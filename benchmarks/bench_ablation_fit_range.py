@@ -1,0 +1,64 @@
+"""Ablation A1 — Eq. 13 accuracy vs the (A, B) fitting range.
+
+The paper fits Eq. 7's linearisation over 0.3-1.0 V and reports <3 %
+error.  This ablation re-runs the calibrated Table 1 with different
+fitting ranges, quantifying how much of the closed form's accuracy is
+owed to choosing a range that brackets the actual optima (0.33-0.83 V in
+Table 1).
+"""
+
+from repro.core.calibration import calibrate_row
+from repro.core.closed_form import ptot_eq13
+from repro.core.constraint import chi_for_architecture
+from repro.core.linearization import fit_vdd_root
+from repro.core.numerical import numerical_optimum
+from repro.core.optimum import approximation_error_percent
+from repro.core.technology import ST_CMOS09_LL
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_ROWS
+from repro.experiments.report import render_table
+
+RANGES = [(0.3, 1.0), (0.2, 1.2), (0.3, 0.6), (0.6, 1.0), (0.33, 0.85)]
+
+
+def _max_error_for_range(vdd_range):
+    fit = fit_vdd_root(ST_CMOS09_LL.alpha, vdd_range)
+    worst = 0.0
+    for published in TABLE1_ROWS:
+        arch = calibrate_row(published, ST_CMOS09_LL, PAPER_FREQUENCY)
+        chi_value = chi_for_architecture(arch, ST_CMOS09_LL, PAPER_FREQUENCY)
+        numerical = numerical_optimum(arch, ST_CMOS09_LL, PAPER_FREQUENCY)
+        eq13 = ptot_eq13(arch, ST_CMOS09_LL, PAPER_FREQUENCY, chi_value, fit)
+        error = approximation_error_percent(numerical.ptot, eq13)
+        worst = max(worst, abs(error))
+    return worst
+
+
+def test_fit_range_sensitivity(benchmark, save_artifact):
+    def sweep():
+        return {vdd_range: _max_error_for_range(vdd_range) for vdd_range in RANGES}
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"{low:.2f}-{high:.2f}", f"{errors[(low, high)]:.2f}"]
+        for low, high in RANGES
+    ]
+    save_artifact(
+        "ablation_fit_range",
+        render_table(
+            ["fit range [V]", "max |Eq13 err| over Table 1 [%]"],
+            rows,
+            title="A1: closed-form error vs linearisation fitting range",
+        ),
+    )
+
+    # The paper's range keeps the abstract's 3% bound...
+    assert errors[(0.3, 1.0)] < 3.0
+    # ...while ranges missing part of the optima (sequential rows sit at
+    # ~0.71-0.83 V, parallel rows at ~0.33-0.40 V) do worse.
+    assert errors[(0.3, 0.6)] > errors[(0.3, 1.0)]
+    assert errors[(0.6, 1.0)] > errors[(0.3, 1.0)]
+    # Perhaps surprisingly, hugging the optima (0.33-0.85 V) does *not*
+    # improve on the paper's range: the least-squares fit's error sign
+    # structure matters as much as its magnitude.  Record, don't idealise.
+    assert errors[(0.33, 0.85)] < 4.0

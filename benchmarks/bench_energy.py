@@ -1,0 +1,69 @@
+"""Ablation A8 (extension) — energy per operation and the minimum-energy point.
+
+Recasts the paper's power optimum as energy per operation across five
+decades of clock frequency, in both threshold regimes (free vs. capped at
+0.45 V).  Shows (a) an interior minimum-energy point exists even with
+ideal threshold control — Eq. 10's ln(1/f) supply growth — and (b) the
+capped regime's low-frequency side is leakage-dominated and orders of
+magnitude steeper, the classic sub-threshold-design MEP picture built
+directly on the paper's model.
+"""
+
+import numpy as np
+
+from repro.core.calibration import calibrate_row
+from repro.core.energy import energy_sweep, minimum_energy_point
+from repro.core.technology import ST_CMOS09_LL
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+from repro.experiments.report import render_table
+
+FREQUENCIES = np.geomspace(50.0, 31.25e6, 12)
+VTH_CAP = 0.45
+
+
+def test_energy_per_operation(benchmark, save_artifact):
+    arch = calibrate_row(TABLE1_BY_NAME["Wallace"], ST_CMOS09_LL, PAPER_FREQUENCY)
+
+    def sweep():
+        free = energy_sweep(arch, ST_CMOS09_LL, FREQUENCIES)
+        capped = energy_sweep(arch, ST_CMOS09_LL, FREQUENCIES, vth_max=VTH_CAP)
+        return free, capped
+
+    free, capped = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{point_free.frequency:.3g}",
+            f"{point_free.energy_per_op * 1e12:.2f}",
+            f"{point_free.result.point.vdd:.3f}",
+            f"{point_capped.energy_per_op * 1e12:.2f}",
+            f"{point_capped.leakage_energy_per_op / point_capped.energy_per_op:.2f}",
+        ]
+        for point_free, point_capped in zip(free, capped)
+    ]
+    mep = minimum_energy_point(arch, ST_CMOS09_LL, 50.0, PAPER_FREQUENCY, VTH_CAP)
+    save_artifact(
+        "energy_per_op",
+        render_table(
+            ["f [Hz]", "free E [pJ/op]", "free Vdd*", "capped E [pJ/op]",
+             "capped leak share"],
+            rows,
+            title=(
+                "A8: energy per operation, free vs capped Vth (Wallace, LL)"
+                f"\nminimum-energy point under the cap: "
+                f"{mep.frequency / 1e6:.3f} MHz at {mep.energy_per_op * 1e12:.2f} pJ/op"
+            ),
+        ),
+    )
+
+    free_energy = [point.energy_per_op for point in free]
+    capped_energy = [point.energy_per_op for point in capped]
+    # Interior minimum in both regimes.
+    assert min(free_energy) < free_energy[0] and min(free_energy) < free_energy[-1]
+    assert min(capped_energy) < capped_energy[0]
+    # The capped low-frequency side is orders of magnitude worse.
+    assert capped_energy[0] > 20 * free_energy[0]
+    # Above the cap-activation frequency the two regimes coincide.
+    assert capped_energy[-1] == free_energy[-1]
+    # The located MEP beats the sweep's endpoints.
+    assert mep.energy_per_op <= min(capped_energy) * 1.01

@@ -1,0 +1,23 @@
+"""Benchmark F1 — regenerate Figure 1 (constrained power curves)."""
+
+import numpy as np
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1(benchmark, save_artifact):
+    result = benchmark(run_figure1)
+    save_artifact("figure1", result.render())
+
+    curves = result.curves
+    # Lower activity: lower optimal power, higher optimal voltages.
+    optima = [curve.optimum for curve in curves]
+    assert optima[0].ptot > optima[1].ptot > optima[2].ptot
+    assert optima[0].vdd < optima[1].vdd < optima[2].vdd
+    assert optima[0].vth < optima[1].vth < optima[2].vth
+    # Every curve is U-shaped with an interior minimum at the cross mark.
+    for curve in curves:
+        index = int(np.argmin(curve.ptot))
+        assert 0 < index < len(curve.vdd) - 1
+        assert curve.ptot[index] <= curve.optimum.ptot * 1.01
+        assert curve.dynamic_static_ratio > 1.0

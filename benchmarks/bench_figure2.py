@@ -1,0 +1,14 @@
+"""Benchmark F2 — regenerate Figure 2 (the Eq. 7 linearisation)."""
+
+import numpy as np
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2(benchmark, save_artifact):
+    result = benchmark(run_figure2)
+    save_artifact("figure2", result.render())
+
+    assert result.alpha == 1.5
+    assert np.max(np.abs(result.linear - result.exact)) < 0.02
+    assert result.fit.a > 0 and result.fit.b > 0

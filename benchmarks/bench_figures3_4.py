@@ -1,0 +1,28 @@
+"""Benchmark F3/F4 — pipeline structure comparison (Figures 3 and 4)."""
+
+from repro.experiments.figures3_4 import run_figures34
+
+
+def test_figures34(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_figures34(width=8, n_vectors=120), rounds=1, iterations=1
+    )
+    save_artifact("figures3_4", result.render())
+
+    base = result.variants[0]
+    hor2 = result.variant("rca8-horipipe2")
+    diag2 = result.variant("rca8-diagpipe2")
+    hor4 = result.variant("rca8-horipipe4")
+    diag4 = result.variant("rca8-diagpipe4")
+
+    # Register planes appear (the figures' flip-flop rows).
+    for variant in (hor2, diag2, hor4, diag4):
+        assert variant.registers_added > 0
+        assert variant.critical_path < base.critical_path
+
+    # The diagonal cut reaches a shorter critical path...
+    assert diag2.critical_path < hor2.critical_path
+    assert diag4.critical_path < hor4.critical_path
+    # ...but glitches more (Section 4's activity observation).
+    assert diag2.glitch_ratio > hor2.glitch_ratio
+    assert diag4.glitch_ratio > hor4.glitch_ratio

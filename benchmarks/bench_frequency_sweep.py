@@ -1,0 +1,69 @@
+"""Ablation A3 — who wins at which frequency (paper Section 4).
+
+"Sequential multipliers are not suited for low power design, unless the
+circuits have to work at a very low data frequency."  This sweep maps the
+cheapest Table 1 architecture across four decades of data rate and
+locates the basic-vs-parallel crossover.
+
+A model finding this exposes (documented in EXPERIMENTS.md): with Vdd and
+Vth *freely* adjustable, the optimum always balances leakage against
+switching (Eq. 9), so the sequential multiplier's small cell count never
+compensates its ~3x higher energy per multiply — it only wins once a
+threshold-voltage ceiling is imposed (future-work extension below).
+"""
+
+import numpy as np
+
+from repro.core.calibration import calibrate_row
+from repro.core.sensitivity import crossover_frequency, frequency_sweep
+from repro.core.technology import ST_CMOS09_LL
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+from repro.experiments.report import render_table
+
+NAMES = ["RCA", "RCA parallel4", "Wallace", "Wallace par4", "Sequential"]
+FREQUENCIES = np.geomspace(1e4, 1e8, 17)
+
+
+def test_frequency_sweep(benchmark, save_artifact):
+    architectures = [
+        calibrate_row(TABLE1_BY_NAME[name], ST_CMOS09_LL, PAPER_FREQUENCY)
+        for name in NAMES
+    ]
+
+    table = benchmark.pedantic(
+        lambda: frequency_sweep(architectures, ST_CMOS09_LL, FREQUENCIES),
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["f [MHz]"] + NAMES + ["winner"]
+    rows = []
+    winners = []
+    for index, frequency in enumerate(FREQUENCIES):
+        powers = {name: table[name][index] for name in NAMES}
+        finite = {k: v for k, v in powers.items() if np.isfinite(v)}
+        winner = min(finite, key=finite.get) if finite else "-"
+        winners.append(winner)
+        rows.append(
+            [f"{frequency / 1e6:.3f}"]
+            + [
+                f"{powers[name] * 1e6:.2f}" if np.isfinite(powers[name]) else "inf"
+                for name in NAMES
+            ]
+            + [winner]
+        )
+    save_artifact(
+        "frequency_sweep",
+        render_table(headers, rows, title="A3: optimal power vs data frequency (uW)"),
+    )
+
+    # The basic RCA must beat its par4 version at low frequency and lose
+    # at Table 1's 31.25 MHz, with a crossover in between.
+    crossover = crossover_frequency(
+        architectures[0], architectures[1], ST_CMOS09_LL, 1e5, PAPER_FREQUENCY
+    )
+    assert crossover is not None and 1e5 < crossover < PAPER_FREQUENCY
+    # Wallace family wins everywhere in this freely-adjustable-Vth model.
+    assert all(winner.startswith("Wallace") for winner in winners)
+    # Sequential is never the winner without a Vth ceiling (model finding).
+    assert "Sequential" not in winners

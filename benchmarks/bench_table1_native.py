@@ -1,0 +1,41 @@
+"""Benchmark T1-native — regenerate Table 1 end to end, zero paper inputs.
+
+Generates all thirteen netlists, verifies them, measures activity by
+event-driven simulation, extracts parameters and optimises on the
+characterised native technology.  Validates the paper's shape claims
+(orderings, the diagonal-glitch effect) rather than absolute numbers.
+"""
+
+from repro.experiments.paper_data import TABLE1_BY_NAME
+from repro.experiments.table1 import compare_to_published, run_table1_native
+
+VECTORS = 120
+
+
+def test_table1_native(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table1_native(n_vectors=VECTORS), rounds=1, iterations=1
+    )
+
+    save_artifact(
+        "table1_native",
+        result.render() + "\n\n" + compare_to_published(result),
+    )
+
+    powers = {row.name: row.ptot for row in result.rows}
+    activity = {row.name: row.activity for row in result.rows}
+
+    # Section 4 orderings, end to end.
+    assert powers["Wallace"] < powers["RCA"] < powers["Sequential"]
+    assert powers["RCA parallel"] < powers["RCA"]
+    assert powers["RCA hor.pipe2"] < powers["RCA"]
+    assert powers["Seq4_16"] < powers["Sequential"]
+    assert activity["RCA diagpipe2"] > activity["RCA hor.pipe2"]
+    assert activity["Sequential"] > 1.0
+
+    # Combinational rows land near the published totals with no calibration.
+    for row in result.rows:
+        if row.name.startswith("Seq"):
+            continue
+        published = TABLE1_BY_NAME[row.name]
+        assert 0.6 < row.ptot / published.ptot < 1.4, row.name

@@ -1,0 +1,17 @@
+"""Benchmark T2 — regenerate Table 2 (technology characterisation)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_characterisation(benchmark, save_artifact):
+    result = benchmark(run_table2)
+    save_artifact("table2", result.render())
+
+    checks = result.ordering_checks()
+    assert all(checks.values()), checks
+    # The extraction must recover alpha within a few percent per flavour.
+    from repro.experiments.paper_data import TABLE2
+
+    for label, fitted in result.fitted.items():
+        assert abs(fitted.alpha - TABLE2[label]["alpha"]) < 0.06
+        assert abs(fitted.vth0_nominal - TABLE2[label]["vth0_nominal"]) < 0.02

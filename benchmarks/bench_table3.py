@@ -1,0 +1,15 @@
+"""Benchmark T3 — regenerate Table 3 (Wallace family on ULL)."""
+
+from repro.experiments.wallace_family import run_table3
+
+
+def test_table3_ull(benchmark, save_artifact):
+    result = benchmark(run_table3)
+    save_artifact("table3", result.render())
+
+    assert result.max_abs_error_percent() < 3.0
+    # Section 5 on ULL: parallelisation still pays, par4 overshoots.
+    assert result.row("Wallace parallel").ptot < result.row("Wallace").ptot
+    assert result.row("Wallace par4").ptot > result.row("Wallace parallel").ptot
+    for row in result.rows:
+        assert abs(row.ptot - row.published_ptot) / row.published_ptot < 0.01

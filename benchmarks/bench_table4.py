@@ -1,0 +1,38 @@
+"""Benchmark T4 — regenerate Table 4 (Wallace family on HS)."""
+
+from repro.experiments.table1 import run_table1_calibrated
+from repro.experiments.wallace_family import run_table4
+
+
+def test_table4_hs(benchmark, save_artifact):
+    result = benchmark(run_table4)
+    save_artifact("table4", result.render())
+
+    assert result.max_abs_error_percent() < 3.0
+    # Section 5 on HS: parallelisation now *hurts* (leakage of 2x cells).
+    assert result.row("Wallace").ptot < result.row("Wallace parallel").ptot
+    assert result.row("Wallace parallel").ptot < result.row("Wallace par4").ptot
+    for row in result.rows:
+        assert abs(row.ptot - row.published_ptot) / row.published_ptot < 0.01
+
+
+def test_flavour_comparison(benchmark, save_artifact):
+    """LL beats both extremes for the whole Wallace family."""
+    from repro.experiments.wallace_family import run_table3
+
+    ll, ull, hs = benchmark.pedantic(
+        lambda: (run_table1_calibrated(), run_table3(), run_table4()),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["flavour comparison (uW): LL vs ULL vs HS"]
+    for name in ("Wallace", "Wallace parallel", "Wallace par4"):
+        ll_power = ll.row(name).ptot
+        ull_power = ull.row(name).ptot
+        hs_power = hs.row(name).ptot
+        lines.append(
+            f"{name:18s} LL={ll_power * 1e6:7.2f}  ULL={ull_power * 1e6:7.2f}  "
+            f"HS={hs_power * 1e6:7.2f}"
+        )
+        assert ll_power < ull_power < hs_power
+    save_artifact("table34_flavour_comparison", "\n".join(lines))

@@ -1,0 +1,60 @@
+"""Glitch study: why the diagonal pipeline loses (paper Section 4).
+
+The diagonal register insertion of Figure 4 cuts the array's critical
+path harder than the horizontal insertion of Figure 3 — yet Table 1 shows
+it costs almost the same power, because the wider spread of path delays
+inside each stage breeds glitches that raise the activity.  This script
+measures the whole causal chain on generated netlists:
+
+  path-delay spread  ->  glitch ratio  ->  activity  ->  optimal power.
+
+Run:  python examples/glitch_study.py
+"""
+
+from repro import numerical_optimum
+from repro.characterization import native_technology
+from repro.experiments.paper_data import PAPER_FREQUENCY
+from repro.generators import build_array_multiplier
+from repro.sim import extract_parameters, measure_activity, uniform_pairs
+from repro.sta import analyze_timing
+
+
+def study(width: int = 16, n_vectors: int = 200) -> None:
+    tech = native_technology("LL")
+    stimulus = uniform_pairs(width, n_vectors)
+
+    variants = [
+        ("basic", 1, None),
+        ("horizontal x2", 2, "horizontal"),
+        ("diagonal x2", 2, "diagonal"),
+        ("horizontal x4", 4, "horizontal"),
+        ("diagonal x4", 4, "diagonal"),
+    ]
+
+    print(
+        f"{'variant':14s} {'LD':>6s} {'spread':>7s} {'a':>7s} "
+        f"{'glitch':>7s} {'Ptot[uW]':>9s}"
+    )
+    for label, stages, style in variants:
+        impl = build_array_multiplier(width, n_stages=stages, style=style)
+        timing = analyze_timing(impl.netlist)
+        activity = measure_activity(impl, operand_pairs=stimulus)
+        arch = extract_parameters(impl, activity_report=activity, name=label)
+        power = numerical_optimum(arch, tech, PAPER_FREQUENCY).ptot
+        print(
+            f"{label:14s} {arch.logical_depth:6.1f} "
+            f"{timing.mean_arrival_spread:7.2f} {activity.activity:7.4f} "
+            f"{activity.glitch_ratio:7.2f} {power * 1e6:9.2f}"
+        )
+
+    print(
+        "\nReading: the diagonal cut achieves a shorter critical path (LD)"
+        "\nbut leaves a larger mean arrival spread at each gate, which the"
+        "\nevent-driven simulation converts into a higher glitch ratio and"
+        "\nactivity — eroding the power advantage exactly as Section 4"
+        "\nobserves on the synthesised versions."
+    )
+
+
+if __name__ == "__main__":
+    study()

@@ -1,0 +1,76 @@
+"""Quickstart: find a circuit's optimal (Vdd, Vth) working point.
+
+The minimal end-to-end use of the library: describe a circuit by the
+paper's four architectural numbers, pick a technology flavour, and ask
+for the supply/threshold pair that minimises total power at the target
+frequency — numerically and with the paper's closed form (Eq. 13).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ST_CMOS09_LL,
+    ArchitectureParameters,
+    approximation_error_percent,
+    closed_form_optimum,
+    numerical_optimum,
+    ptot_eq13,
+)
+
+# A 16-bit Wallace-tree multiplier, as synthesised in the paper's Table 1:
+# 729 cells, 0.2976 average activity, 17 gate-delays of logical depth.
+# The io_factor/zeta_factor defaults of 18x/0.2x reflect that a multiplier
+# "cell" (full adder) leaks ~18 inverters' worth and that the effective
+# per-stage delay coefficient is well below the inverter-chain fit — see
+# DESIGN.md for how these were established.
+wallace = ArchitectureParameters(
+    name="wallace16",
+    n_cells=729,
+    activity=0.2976,
+    logical_depth=17.0,
+    capacitance=70e-15,
+    io_factor=18.0,
+    zeta_factor=0.2,
+)
+
+FREQUENCY = 31.25e6  # the paper's data rate
+
+
+def main() -> None:
+    print(f"Circuit: {wallace.describe()}")
+    print(f"Technology: {ST_CMOS09_LL.describe()}")
+    print(f"Target frequency: {FREQUENCY / 1e6:g} MHz")
+    print()
+
+    # Reference answer: exact constrained minimisation (Eqs. 1-6).
+    numerical = numerical_optimum(wallace, ST_CMOS09_LL, FREQUENCY)
+    print("Numerical optimum :", numerical.point.describe())
+
+    # The paper's contribution: the same answer in closed form.
+    closed = closed_form_optimum(wallace, ST_CMOS09_LL, FREQUENCY)
+    print("Closed-form (Eq.10):", closed.point.describe())
+
+    eq13 = ptot_eq13(wallace, ST_CMOS09_LL, FREQUENCY)
+    error = approximation_error_percent(numerical.ptot, eq13)
+    print()
+    print(f"Eq. 13 total power : {eq13 * 1e6:.2f} uW")
+    print(f"approximation error: {error:+.2f} %  (paper claims < 3 %)")
+
+    # What the optimum buys: compare against running at nominal voltage.
+    from repro import power_breakdown
+
+    scaled = ST_CMOS09_LL.scaled(io_factor=wallace.io_factor, name="LL")
+    _, _, nominal = power_breakdown(
+        wallace.n_cells, wallace.activity, wallace.capacitance,
+        ST_CMOS09_LL.vdd_nominal, ST_CMOS09_LL.vth0_nominal, FREQUENCY, scaled,
+    )
+    print()
+    print(
+        f"At nominal 1.2 V / Vth0 the same circuit burns "
+        f"{float(nominal) * 1e6:.0f} uW -> the optimal point saves "
+        f"{(1 - numerical.ptot / float(nominal)) * 100:.0f} %."
+    )
+
+
+if __name__ == "__main__":
+    main()

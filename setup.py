@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools predates PEP 660 support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy editable installs on toolchains
+without the ``wheel`` package (e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — reproduction of Schuster et al., DATE 2006.
+
+*Architectural and Technology Influence on the Optimal Total Power
+Consumption.*
+
+The library answers one question in many ways: **given a circuit that must
+run at frequency f, what supply/threshold pair minimises its total
+(dynamic + static) power, and how do architecture and technology choices
+move that minimum?**
+
+Quick start::
+
+    from repro import ST_CMOS09_LL, ArchitectureParameters, numerical_optimum
+
+    wallace = ArchitectureParameters(
+        name="wallace16", n_cells=729, activity=0.2976,
+        logical_depth=17, capacitance=70e-15,
+    )
+    result = numerical_optimum(wallace, ST_CMOS09_LL, frequency=31.25e6)
+    print(result.describe())
+
+Sub-packages
+------------
+``repro.core``
+    The paper's analytical model (Eqs. 1–13), numerical reference
+    optimiser, architecture transforms, selection and sensitivity tools.
+``repro.netlist`` / ``repro.generators``
+    Standard-cell library, netlist graphs and structural generators for
+    the paper's thirteen 16-bit multipliers.
+``repro.sim`` / ``repro.sta``
+    Event-driven gate-level timing simulation (activity and glitch
+    extraction) and static timing analysis (logical depth).
+``repro.characterization``
+    Synthetic-SPICE technology characterisation (Io, ζ, α, n fits).
+``repro.experiments``
+    Regeneration of every table and figure of the paper.
+"""
+
+from .core import *  # noqa: F401,F403 -- the core namespace is the public API
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = list(_core_all) + ["__version__"]

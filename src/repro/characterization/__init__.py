@@ -1,0 +1,41 @@
+"""Technology characterisation: synthetic SPICE + parameter extraction
+(DESIGN.md S10)."""
+
+from functools import lru_cache
+
+from .fitting import (
+    DelayFit,
+    DeviceFit,
+    characterize,
+    fit_alpha_power,
+    fit_delay_coefficient,
+    fit_device,
+    fit_subthreshold,
+)
+from .spice import SYNTH_DEVICES, SyntheticDevice, device
+
+
+@lru_cache(maxsize=None)
+def native_technology(label: str):
+    """The characterised native flavour ('LL', 'HS' or 'ULL'), cached.
+
+    This is what the end-to-end (netlist-driven) experiments run on: a
+    :class:`~repro.core.technology.Technology` whose every parameter came
+    out of our own extraction flow rather than the published Table 2.
+    """
+    return characterize(device(label), name=f"native-{label.upper()}")
+
+
+__all__ = [
+    "DelayFit",
+    "DeviceFit",
+    "SYNTH_DEVICES",
+    "SyntheticDevice",
+    "characterize",
+    "device",
+    "fit_alpha_power",
+    "fit_delay_coefficient",
+    "fit_device",
+    "fit_subthreshold",
+    "native_technology",
+]

@@ -1,0 +1,177 @@
+"""Extraction of the paper's reduced model from 'measured' device data.
+
+Mirrors the authors' flow: fit Eq. 1's sub-threshold exponential and
+Eq. 2's alpha-power law to inverter I–V data, then fit Eq. 4's delay
+coefficient ``ζ`` on ring-oscillator delays (Section 5: "technology
+parameters … obtained with ELDO simulations by fitting delays on inverter
+chains ring oscillators").
+
+Steps:
+
+1. **weak inversion** — linear regression of ``ln I`` against ``Vgs`` well
+   below threshold gives the slope factor ``n``;
+2. **threshold + alpha** — for candidate thresholds, regress ``ln I``
+   against ``ln(Vgs − Vth)`` in strong inversion; the ``Vth`` minimising
+   the residual wins and its slope is ``α``;
+3. **off-current** — ``Io`` is the weak-inversion extrapolation evaluated
+   at the fitted ``Vth`` (the paper defines ``Io`` at ``Vgs = Vth``);
+4. **delay coefficient** — least squares of measured stage delays against
+   ``ζ·Vdd/Ion(Vdd)`` with ``Ion`` from the already-fitted parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.constants import EULER
+from ..core.technology import Technology
+from .spice import SyntheticDevice
+
+
+@dataclass(frozen=True)
+class DeviceFit:
+    """Recovered reduced-model parameters and their fit residuals."""
+
+    io: float
+    n: float
+    alpha: float
+    vth: float
+    subthreshold_residual: float
+    alpha_residual: float
+
+
+@dataclass(frozen=True)
+class DelayFit:
+    """Recovered Eq. 4 coefficient and its relative RMS residual."""
+
+    zeta: float
+    relative_rms_error: float
+
+
+def fit_subthreshold(vgs: np.ndarray, current: np.ndarray, ut: float, vth_guess: float):
+    """Weak-inversion fit; returns ``(n, intercept_fn, residual)``.
+
+    ``intercept_fn(v)`` evaluates the fitted exponential at gate voltage
+    ``v`` — used later to read off ``Io`` at the fitted threshold.
+    """
+    # Stay well below threshold: the weak/strong transition contaminates
+    # the exponential within ~2 knee-widths of Vth.
+    mask = vgs < vth_guess - 0.2
+    if mask.sum() < 4:
+        raise ValueError(
+            f"need at least 4 sub-threshold samples below {vth_guess - 0.16:.2f} V"
+        )
+    x = vgs[mask]
+    y = np.log(current[mask])
+    design = np.column_stack([x, np.ones_like(x)])
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    residual = float(np.sqrt(np.mean((design @ [slope, intercept] - y) ** 2)))
+    n = 1.0 / (slope * ut)
+
+    def evaluate(v: float) -> float:
+        return float(np.exp(slope * v + intercept))
+
+    return float(n), evaluate, residual
+
+
+def fit_alpha_power(vgs: np.ndarray, current: np.ndarray, vth_guess: float):
+    """Strong-inversion fit; returns ``(alpha, vth, residual)``.
+
+    Scans candidate thresholds around the guess and keeps the one whose
+    ``ln I`` vs ``ln(Vgs − Vth)`` regression has the smallest residual.
+    """
+    best = None
+    for vth in np.linspace(vth_guess - 0.15, vth_guess + 0.15, 61):
+        mask = vgs > vth + 0.25
+        if mask.sum() < 4:
+            continue
+        x = np.log(vgs[mask] - vth)
+        y = np.log(current[mask])
+        design = np.column_stack([x, np.ones_like(x)])
+        (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+        residual = float(np.sqrt(np.mean((design @ [slope, intercept] - y) ** 2)))
+        if best is None or residual < best[2]:
+            best = (float(slope), float(vth), residual)
+    if best is None:
+        raise ValueError("no candidate threshold leaves enough strong-inversion samples")
+    return best
+
+
+def fit_device(
+    device: SyntheticDevice,
+    vgs_range: tuple[float, float] = (0.05, 1.2),
+    samples: int = 240,
+    noise_relative: float = 0.01,
+    seed: int = 9,
+) -> DeviceFit:
+    """Full I–V extraction for one device flavour."""
+    vgs = np.linspace(vgs_range[0], vgs_range[1], samples)
+    vgs, current = device.iv_curve(vgs, noise_relative=noise_relative, seed=seed)
+
+    alpha, vth, alpha_residual = fit_alpha_power(vgs, current, device.vth0)
+    n, weak_at, weak_residual = fit_subthreshold(vgs, current, device.ut, vth)
+    io = weak_at(vth)
+    return DeviceFit(
+        io=io,
+        n=n,
+        alpha=alpha,
+        vth=vth,
+        subthreshold_residual=weak_residual,
+        alpha_residual=alpha_residual,
+    )
+
+
+def on_current_model(fit: DeviceFit, ut: float, vdd: np.ndarray) -> np.ndarray:
+    """Eq. 2 evaluated with fitted parameters at ``Vgs = Vdd``."""
+    overdrive = np.maximum(vdd - fit.vth, 1e-6)
+    return fit.io * (EULER / (fit.n * ut)) ** fit.alpha * overdrive**fit.alpha
+
+
+def fit_delay_coefficient(
+    device: SyntheticDevice,
+    fit: DeviceFit,
+    vdd_range: tuple[float, float] | None = None,
+    samples: int = 40,
+    noise_relative: float = 0.01,
+    seed: int = 19,
+) -> DelayFit:
+    """Relative least-squares ``ζ`` from ring-oscillator delays (Eq. 4).
+
+    The fit window starts well above threshold (Eq. 2 has no validity
+    below it) and the residual is *relative*, so the millisecond-scale
+    near-threshold delays cannot dominate the nanosecond-scale nominal
+    ones.
+    """
+    if vdd_range is None:
+        vdd_range = (max(fit.vth + 0.3, 0.5), 1.2)
+    vdd = np.linspace(vdd_range[0], vdd_range[1], samples)
+    vdd, delays = device.ring_oscillator_delays(
+        vdd, noise_relative=noise_relative, seed=seed
+    )
+    basis = vdd / on_current_model(fit, device.ut, vdd)  # delay per unit zeta
+    # Minimise sum(((zeta*basis - delay)/delay)^2).
+    ratio = basis / delays
+    zeta = float(np.sum(ratio) / np.sum(ratio**2))
+    relative = (zeta * basis - delays) / delays
+    return DelayFit(
+        zeta=zeta, relative_rms_error=float(np.sqrt(np.mean(relative**2)))
+    )
+
+
+def characterize(device: SyntheticDevice, name: str | None = None) -> Technology:
+    """Run the full extraction and package it as a :class:`Technology`."""
+    device_fit = fit_device(device)
+    delay_fit = fit_delay_coefficient(device, device_fit)
+    return Technology(
+        name=name or f"{device.name}-fit",
+        io=device_fit.io,
+        zeta=delay_fit.zeta,
+        alpha=min(max(device_fit.alpha, 1.0), 2.0),
+        n=device_fit.n,
+        vdd_nominal=1.2,
+        vth0_nominal=device_fit.vth,
+        eta=device.eta,
+        temperature=device.temperature,
+    )

@@ -1,0 +1,158 @@
+"""Synthetic transistor model — the stand-in for ELDO/SPICE decks.
+
+The paper extracted its Table 2 parameters "with Spice simulations (ELDO
+from Mentor Graphics) for inverter cells" and "by fitting delays on
+inverter chains ring oscillators".  We have no ST device decks, so this
+module provides an *analytic* device whose I–V curve is deliberately not
+the paper's reduced model: a smooth EKV-flavoured interpolation
+
+    ``I(Vgs) = Ispec · [α·n·Ut · softplus((Vgs − Vth)/(α·n·Ut))]^α``
+
+which tends to ``exp((Vgs − Vth)/(n·Ut))`` in weak inversion (correct
+sub-threshold slope) and to the alpha-power law ``(Vgs − Vth)^α`` in
+strong inversion.  Fitting the paper's piecewise model (Eqs. 1–2) to
+noisy samples of this smooth curve exercises the same extraction flow the
+authors ran, and the recovered parameters land on the generating values
+only approximately — as they would on silicon.
+
+The native device flavours are scaled so the characterised technologies
+keep Table 2's ratios between HS/LL/ULL while producing a ``ζ`` that
+makes all thirteen generated netlists feasible at the paper's 31.25 MHz
+(see DESIGN.md on the published-ζ inconsistency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.constants import thermal_voltage
+
+
+@dataclass(frozen=True)
+class SyntheticDevice:
+    """An analytic 'transistor' with a smooth weak-to-strong transition.
+
+    Attributes
+    ----------
+    io:
+        Target off-current at ``Vgs = Vth`` [A] (the Table 2 ``Io``).
+    n:
+        Weak-inversion slope factor.
+    alpha:
+        Strong-inversion power-law exponent.
+    vth0:
+        Zero-bias threshold voltage [V].
+    c_load:
+        Inverter-chain load used by the ring-oscillator "measurement" [F];
+        this is what the fitted ``ζ`` mostly reflects.
+    eta:
+        DIBL coefficient (``Vth = Vth0 − η·Vdd``).
+    temperature:
+        Junction temperature [K].
+    """
+
+    name: str
+    io: float
+    n: float
+    alpha: float
+    vth0: float
+    c_load: float
+    eta: float = 0.0
+    temperature: float = 300.0
+
+    @property
+    def ut(self) -> float:
+        """Thermal voltage at the device temperature [V]."""
+        return thermal_voltage(self.temperature)
+
+    @property
+    def _gamma(self) -> float:
+        """Interpolation knee width ``α·n·Ut`` [V]."""
+        return self.alpha * self.n * self.ut
+
+    @property
+    def _ispec(self) -> float:
+        """Normalisation chosen so ``I(Vth) == io`` exactly."""
+        return self.io / (self._gamma * math.log(2.0)) ** self.alpha
+
+    def current(self, vgs, vds: float | None = None):
+        """Drain current [A] for gate voltage(s) ``vgs`` (vectorised).
+
+        ``vds`` (defaults to ``vgs``, the inverter switching condition)
+        only matters through DIBL.
+        """
+        vgs = np.asarray(vgs, dtype=float)
+        if vds is None:
+            vds = vgs
+        vth = self.vth0 - self.eta * np.asarray(vds, dtype=float)
+        x = (vgs - vth) / self._gamma
+        # log1p(exp(x)) computed stably on both tails.
+        softplus = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+        return self._ispec * (self._gamma * softplus) ** self.alpha
+
+    def iv_curve(
+        self,
+        vgs_points,
+        noise_relative: float = 0.01,
+        seed: int = 9,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A 'measured' I–V sweep with multiplicative log-normal noise."""
+        rng = np.random.default_rng(seed)
+        vgs = np.asarray(list(vgs_points), dtype=float)
+        current = self.current(vgs)
+        noise = rng.normal(0.0, noise_relative, size=vgs.shape)
+        return vgs, current * np.exp(noise)
+
+    def stage_delay(self, vdd) -> np.ndarray:
+        """Inverter-chain stage delay ``C_load·Vdd/I(Vdd)`` [s]."""
+        vdd = np.asarray(vdd, dtype=float)
+        return self.c_load * vdd / self.current(vdd)
+
+    def ring_oscillator_delays(
+        self,
+        vdd_points,
+        noise_relative: float = 0.01,
+        seed: int = 19,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """'Measured' per-stage delays over a supply sweep, with noise."""
+        rng = np.random.default_rng(seed)
+        vdd = np.asarray(list(vdd_points), dtype=float)
+        delay = self.stage_delay(vdd)
+        noise = rng.normal(0.0, noise_relative, size=vdd.shape)
+        return vdd, delay * np.exp(noise)
+
+
+#: Native device flavours.  Io/α/Vth0 follow Table 2; c_load keeps
+#: Table 2's HS:LL:ULL ζ ratios at a magnitude where every generated
+#: netlist (including the LDeff≈660 sequential multiplier) stays feasible
+#: at 31.25 MHz.  The *fitted* ζ comes out ~15× larger than c_load
+#: because Eq. 2's prefactor anchors the on-current differently than the
+#: smooth device — exactly the kind of mismatch the paper's ζ is defined
+#: to absorb ("a fitting parameter, which also includes the switched gate
+#: capacitance").
+SYNTH_DEVICES = {
+    "LL": SyntheticDevice(
+        name="synth-LL", io=3.34e-6, n=1.33, alpha=1.86, vth0=0.354,
+        c_load=77e-15,
+    ),
+    "HS": SyntheticDevice(
+        name="synth-HS", io=7.08e-6, n=1.33, alpha=1.58, vth0=0.328,
+        c_load=85e-15,
+    ),
+    "ULL": SyntheticDevice(
+        name="synth-ULL", io=2.11e-6, n=1.33, alpha=1.95, vth0=0.466,
+        c_load=105e-15,
+    ),
+}
+
+
+def device(label: str) -> SyntheticDevice:
+    """Look up a synthetic device flavour by Table 2 label."""
+    try:
+        return SYNTH_DEVICES[label.upper()]
+    except KeyError:
+        known = ", ".join(sorted(SYNTH_DEVICES))
+        raise KeyError(f"unknown device flavour {label!r}; known: {known}")

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``optimize``        optimal working point for explicit parameters
+``table``           regenerate a paper table (1-4; 1 also in native mode)
+``figure``          regenerate a paper figure (1, 2 or 34)
+``verify``          functionally verify generated multipliers
+``export-verilog``  write structural Verilog for a generated multiplier
+``characterize``    run the synthetic-SPICE extraction for a flavour
+``list``            list the thirteen Table 1 architectures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.architecture import ArchitectureParameters
+from .core.closed_form import ptot_eq13_adaptive
+from .core.numerical import numerical_optimum
+from .core.optimum import approximation_error_percent
+from .core.technology import flavour
+
+
+def _cmd_optimize(args) -> int:
+    arch = ArchitectureParameters(
+        name=args.name,
+        n_cells=args.n_cells,
+        activity=args.activity,
+        logical_depth=args.logical_depth,
+        capacitance=args.capacitance,
+        io_factor=args.io_factor,
+        zeta_factor=args.zeta_factor,
+    )
+    tech = flavour(args.tech)
+    result = numerical_optimum(arch, tech, args.frequency)
+    eq13, fit = ptot_eq13_adaptive(arch, tech, args.frequency)
+    print(arch.describe())
+    print(tech.describe())
+    print(f"numerical optimum: {result.point.describe()}")
+    print(
+        f"Eq. 13: {eq13 * 1e6:.2f} uW "
+        f"(error {approximation_error_percent(result.ptot, eq13):+.2f} %, "
+        f"A/B fit on {fit.vdd_min:.2f}-{fit.vdd_max:.2f} V)"
+    )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.number == 1:
+        if args.native:
+            from .experiments.table1 import run_table1_native
+
+            print(run_table1_native(n_vectors=args.vectors).render())
+        else:
+            from .experiments.table1 import run_table1_calibrated
+
+            print(run_table1_calibrated().render())
+    elif args.number == 2:
+        from .experiments.table2 import run_table2
+
+        print(run_table2().render())
+    elif args.number == 3:
+        from .experiments.wallace_family import run_table3
+
+        print(run_table3().render())
+    elif args.number == 4:
+        from .experiments.wallace_family import run_table4
+
+        print(run_table4().render())
+    else:
+        print(f"no table {args.number} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.number == "1":
+        from .experiments.figure1 import run_figure1
+
+        print(run_figure1().render())
+    elif args.number == "2":
+        from .experiments.figure2 import run_figure2
+
+        print(run_figure2().render())
+    elif args.number in ("3", "4", "34"):
+        from .experiments.figures3_4 import run_figures34
+
+        print(run_figures34().render())
+    else:
+        print(f"no figure {args.number} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .generators.registry import MULTIPLIER_NAMES, build_multiplier
+    from .netlist.verify import VerificationError, verify_multiplier
+
+    names = MULTIPLIER_NAMES if args.name == "all" else [args.name]
+    failures = 0
+    for name in names:
+        impl = build_multiplier(name)
+        try:
+            report = verify_multiplier(impl, n_vectors=args.vectors)
+        except VerificationError as error:
+            failures += 1
+            print(f"FAIL {name}: {error}")
+        else:
+            print(f"OK   {report.describe()}")
+    return 1 if failures else 0
+
+
+def _cmd_export_verilog(args) -> int:
+    from .generators.registry import build_multiplier
+    from .netlist.verilog import export_design
+
+    impl = build_multiplier(args.name)
+    text = export_design(impl.netlist)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {impl.netlist.n_cells}-cell design to {args.output}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .characterization import device, fit_delay_coefficient, fit_device
+
+    dev = device(args.flavour)
+    fit = fit_device(dev)
+    delay = fit_delay_coefficient(dev, fit)
+    print(f"flavour {args.flavour.upper()} ({dev.name})")
+    print(f"  Io    = {fit.io:.4e} A   (sub-threshold extrapolation at Vth)")
+    print(f"  n     = {fit.n:.4f}")
+    print(f"  alpha = {fit.alpha:.4f}")
+    print(f"  Vth   = {fit.vth:.4f} V")
+    print(f"  zeta  = {delay.zeta:.4e} F "
+          f"(ring-oscillator fit, rel. RMS {delay.relative_rms_error:.3f})")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from .generators.registry import MULTIPLIER_NAMES
+
+    for name in MULTIPLIER_NAMES:
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Schuster et al., DATE 2006",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    optimize = commands.add_parser(
+        "optimize", help="optimal working point for explicit parameters"
+    )
+    optimize.add_argument("--name", default="circuit")
+    optimize.add_argument("--n-cells", type=float, required=True, dest="n_cells")
+    optimize.add_argument("--activity", type=float, required=True)
+    optimize.add_argument(
+        "--logical-depth", type=float, required=True, dest="logical_depth"
+    )
+    optimize.add_argument(
+        "--capacitance", type=float, default=70e-15,
+        help="per-cell equivalent capacitance [F]",
+    )
+    optimize.add_argument("--io-factor", type=float, default=18.0, dest="io_factor")
+    optimize.add_argument(
+        "--zeta-factor", type=float, default=0.2, dest="zeta_factor"
+    )
+    optimize.add_argument("--tech", default="LL", choices=["LL", "HS", "ULL"])
+    optimize.add_argument("--frequency", type=float, default=31.25e6)
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    table = commands.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    table.add_argument("--native", action="store_true",
+                       help="table 1 from generated netlists (no paper inputs)")
+    table.add_argument("--vectors", type=int, default=120)
+    table.set_defaults(handler=_cmd_table)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=["1", "2", "3", "4", "34"])
+    figure.set_defaults(handler=_cmd_figure)
+
+    verify = commands.add_parser("verify", help="verify generated multipliers")
+    verify.add_argument("name", nargs="?", default="all")
+    verify.add_argument("--vectors", type=int, default=30)
+    verify.set_defaults(handler=_cmd_verify)
+
+    export = commands.add_parser(
+        "export-verilog", help="write structural Verilog for a multiplier"
+    )
+    export.add_argument("name")
+    export.add_argument("-o", "--output", default="-")
+    export.set_defaults(handler=_cmd_export_verilog)
+
+    characterize = commands.add_parser(
+        "characterize", help="synthetic-SPICE extraction for a flavour"
+    )
+    characterize.add_argument("flavour", choices=["LL", "HS", "ULL"])
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    lister = commands.add_parser("list", help="list the Table 1 architectures")
+    lister.set_defaults(handler=_cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Architecture-level circuit summaries (the inputs to Eq. 13).
+
+The paper's whole methodology rests on reducing a gate-level circuit to a
+handful of effective parameters: cell count ``N``, activity ``a``,
+equivalent per-cell capacitance ``C``, effective logical depth ``LDeff`` and
+(implicitly, through the averages-per-cell definition of Section 2) a
+per-cell leakage current that may deviate from the technology's
+characterised ``Io``.  :class:`ArchitectureParameters` is that summary.
+
+Two deviations-from-``Technology`` knobs are provided because the paper
+itself notes that *"architectures with different cells distributions could
+present slightly different parameters even for the same technology"*:
+
+* ``io_factor`` — the circuit's average per-cell leakage relative to the
+  technology's characterised ``Io`` (a full-adder-heavy circuit leaks more
+  per cell than an inverter);
+* ``zeta_factor`` — the average critical-path stage delay coefficient
+  relative to the characterised ``ζ``.
+
+Both default to 1.0, which recovers the paper's plain Eq. 6 / Eq. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class ArchitectureParameters:
+    """Effective parameters of one circuit implementation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"RCA hor.pipe2"``).
+    n_cells:
+        Cell count ``N`` of Eq. 1.
+    activity:
+        Average activity ``a`` per cell per *throughput* clock cycle,
+        glitches included.  May exceed 1 for sequential circuits whose
+        internal clock runs faster than the data clock (paper Section 4).
+    logical_depth:
+        Effective logical depth ``LDeff``: the number of characterised gate
+        delays that must fit into one throughput period.  Parallelised
+        circuits divide their internal depth by the replication factor;
+        sequential circuits multiply theirs by the cycles per result.
+    capacitance:
+        Equivalent switched capacitance per cell ``C`` [F] (short-circuit
+        power lumped in, per Section 2).
+    area:
+        Layout area [µm²]; informative only (Table 1 column).
+    io_factor, zeta_factor:
+        Per-circuit corrections to the technology's ``Io`` and ``ζ``
+        (see module docstring).
+    """
+
+    name: str
+    n_cells: float
+    activity: float
+    logical_depth: float
+    capacitance: float
+    area: float = 0.0
+    io_factor: float = 1.0
+    zeta_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attribute in ("n_cells", "activity", "logical_depth", "capacitance"):
+            value = getattr(self, attribute)
+            if value <= 0.0:
+                raise ValueError(f"{attribute} must be positive, got {value}")
+        for attribute in ("io_factor", "zeta_factor"):
+            value = getattr(self, attribute)
+            if value <= 0.0:
+                raise ValueError(f"{attribute} must be positive, got {value}")
+        if self.area < 0.0:
+            raise ValueError(f"area must be non-negative, got {self.area}")
+
+    def effective_io(self, tech: Technology) -> float:
+        """Per-cell average leakage current for this circuit [A]."""
+        return tech.io * self.io_factor
+
+    def effective_zeta(self, tech: Technology) -> float:
+        """Average critical-path stage delay coefficient for this circuit [F]."""
+        return tech.zeta * self.zeta_factor
+
+    def renamed(self, name: str) -> "ArchitectureParameters":
+        """Copy with a different display name (used by transform helpers)."""
+        return replace(self, name=name)
+
+    def with_updates(self, **changes) -> "ArchitectureParameters":
+        """Copy with arbitrary field updates (thin wrapper over ``replace``)."""
+        return replace(self, **changes)
+
+    def switched_capacitance(self) -> float:
+        """Total switched capacitance per cycle ``N·a·C`` [F].
+
+        This is the quantity dynamic power is proportional to and a useful
+        scalar when comparing architectures at equal voltage.
+        """
+        return self.n_cells * self.activity * self.capacitance
+
+    def describe(self) -> str:
+        """One-line summary used by example scripts and reports."""
+        return (
+            f"{self.name}: N={self.n_cells:.0f}, a={self.activity:.4f}, "
+            f"LDeff={self.logical_depth:g}, C={self.capacitance:.3e} F"
+        )

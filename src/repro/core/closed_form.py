@@ -1,0 +1,313 @@
+"""Closed-form optimal working point — the paper's primary contribution.
+
+This module implements the approximation chain of Section 3:
+
+* Eq. 9  — the optimal per-cell leakage current;
+* Eq. 10 — the optimal supply voltage ``Vdd*``;
+* Eq. 8  — the matching threshold voltage ``Vth*``;
+* Eq. 11 / Eq. 12 — intermediate power expressions;
+* Eq. 13 — the headline closed-form total power at the optimum.
+
+All formulas assume the linearised constraint (Eq. 8, coefficients from
+:mod:`repro.core.linearization`) and, except Eq. 11, the high-supply
+approximation ``Vdd ≫ n·Ut/(1−χA)``.  The approximation error of the
+whole chain against the exact numerical optimum is the paper's headline
+<3 % claim, reproduced in ``benchmarks/bench_table1.py`` and dissected
+step by step in ``benchmarks/bench_ablation_approx_chain.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .architecture import ArchitectureParameters
+from .constraint import chi_for_architecture, is_feasible_linearized
+from .linearization import LinearFit, paper_fit
+from .optimum import OperatingPoint, OptimizationResult
+from .power_model import power_breakdown
+from .technology import Technology
+
+
+class InfeasibleConstraintError(ValueError):
+    """Raised when ``χ·A >= 1``: the circuit cannot close timing.
+
+    In the linearised model a unit supply increase buys ``χ·A`` volts of
+    threshold reduction demand; at ``χ·A >= 1`` raising ``Vdd`` never
+    catches up with the speed requirement and no optimal point exists.
+    """
+
+
+@dataclass(frozen=True)
+class ClosedFormBreakdown:
+    """Every intermediate quantity of the Section 3 derivation.
+
+    Useful for the approximation-chain ablation and for teaching examples;
+    plain users should call :func:`closed_form_optimum` instead.
+    """
+
+    chi: float
+    fit: LinearFit
+    one_minus_chi_a: float
+    leakage_current: float
+    vdd: float
+    vth: float
+    ptot_eq11: float
+    ptot_eq12: float
+    ptot_eq13: float
+
+
+def _require_feasible(chi_value: float, fit: LinearFit, name: str) -> float:
+    if not is_feasible_linearized(chi_value, fit):
+        raise InfeasibleConstraintError(
+            f"{name}: chi*A = {chi_value * fit.a:.3f} >= 1 — the architecture "
+            f"cannot meet timing in this technology at this frequency"
+        )
+    return 1.0 - chi_value * fit.a
+
+
+def optimal_leakage_current(
+    activity: float,
+    capacitance: float,
+    frequency: float,
+    n_ut: float,
+    chi_value: float,
+    fit: LinearFit,
+) -> float:
+    """Optimal per-cell leakage ``Io·exp(−Vth*/(n·Ut))`` [A] (Eq. 9).
+
+    At the optimum the leakage current per cell is *architecture- and
+    technology-balanced*: ``2·a·C·f·n·Ut/(1−χA)`` — proportional to the
+    switched charge per cycle and nearly independent of ``Io`` itself.
+    """
+    margin = _require_feasible(chi_value, fit, "optimal_leakage_current")
+    return 2.0 * activity * capacitance * frequency * n_ut / margin
+
+
+def optimal_vdd(
+    activity: float,
+    capacitance: float,
+    frequency: float,
+    io: float,
+    n_ut: float,
+    chi_value: float,
+    fit: LinearFit,
+) -> float:
+    """Optimal supply voltage ``Vdd*`` [V] (Eq. 10).
+
+    ``io`` is the per-cell leakage current of the circuit (the circuit's
+    ``io_factor`` already applied), matching the ``Io`` of Eq. 1.
+    """
+    margin = _require_feasible(chi_value, fit, "optimal_vdd")
+    log_argument = io * margin / (2.0 * activity * capacitance * frequency * n_ut)
+    if log_argument <= 1.0:
+        raise InfeasibleConstraintError(
+            f"optimal_vdd: ln argument {log_argument:.3e} <= 1 implies a "
+            f"non-positive optimal threshold; the leakage/switching balance "
+            f"is outside the model's validity range"
+        )
+    return (n_ut * math.log(log_argument) + chi_value * fit.b) / margin
+
+
+def optimal_vth(io: float, leakage_current: float, n_ut: float) -> float:
+    """Optimal effective threshold ``Vth*`` [V] by inverting Eq. 9.
+
+    ``Vth* = n·Ut·ln(Io / S*)`` where ``S*`` is the Eq. 9 optimal leakage
+    per cell.  By construction this equals the Eq. 8 value
+    ``Vdd*(1−χA) − χB`` when ``Vdd*`` comes from Eq. 10; both forms are
+    computed (and asserted equal) in the test-suite.
+    """
+    if io <= 0.0 or leakage_current <= 0.0:
+        raise ValueError("io and leakage_current must be positive")
+    return n_ut * math.log(io / leakage_current)
+
+
+def ptot_eq11(
+    arch: ArchitectureParameters,
+    frequency: float,
+    n_ut: float,
+    vdd: float,
+    chi_value: float,
+    fit: LinearFit,
+) -> float:
+    """Total power from Eq. 11 [W]: exact in ``Vdd`` given Eq. 9's leakage."""
+    margin = _require_feasible(chi_value, fit, "ptot_eq11")
+    return (
+        arch.n_cells
+        * arch.activity
+        * arch.capacitance
+        * frequency
+        * vdd
+        * (vdd + 2.0 * n_ut / margin)
+    )
+
+
+def ptot_eq12(
+    arch: ArchitectureParameters,
+    frequency: float,
+    n_ut: float,
+    vdd: float,
+    chi_value: float,
+    fit: LinearFit,
+) -> float:
+    """Total power from Eq. 12 [W]: Eq. 11 completed to a square."""
+    margin = _require_feasible(chi_value, fit, "ptot_eq12")
+    return (
+        arch.n_cells
+        * arch.activity
+        * arch.capacitance
+        * frequency
+        * (vdd + n_ut / margin) ** 2
+    )
+
+
+def ptot_eq13(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    chi_value: float | None = None,
+    fit: LinearFit | None = None,
+) -> float:
+    """The headline closed-form optimal total power [W] (Eq. 13).
+
+    ``Ptot* ≈ [N·a·C·f/(1−χA)²] · [n·Ut·(ln(Io(1−χA)/(2aCf·nUt)) + 1) + χB]²``
+
+    Parameters default to the paper's setup: χ from Eq. 6 with the
+    architecture's ``zeta_factor``, and the Eq. 7 fit over 0.3–1.0 V.
+    """
+    if fit is None:
+        fit = paper_fit(tech.alpha)
+    if chi_value is None:
+        chi_value = chi_for_architecture(arch, tech, frequency)
+    margin = _require_feasible(chi_value, fit, f"ptot_eq13[{arch.name}]")
+
+    n_ut = tech.n_ut
+    io = arch.effective_io(tech)
+    acf = arch.activity * arch.capacitance * frequency
+    log_argument = io * margin / (2.0 * acf * n_ut)
+    if log_argument <= 0.0:
+        raise InfeasibleConstraintError(
+            f"ptot_eq13[{arch.name}]: non-positive ln argument {log_argument:.3e}"
+        )
+    bracket = n_ut * (math.log(log_argument) + 1.0) + chi_value * fit.b
+    return arch.n_cells * acf / margin**2 * bracket**2
+
+
+def ptot_eq13_adaptive(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    chi_value: float | None = None,
+    max_iterations: int = 5,
+) -> tuple[float, LinearFit]:
+    """Eq. 13 with a self-consistent linearisation range (extension).
+
+    The paper fits ``A``/``B`` once over 0.3–1.0 V and implicitly assumes
+    every optimum lands inside that range — true for its thirteen
+    circuits, false for e.g. very deep sequential designs whose optimum
+    exceeds 1 V.  This variant iterates: evaluate Eq. 10's ``Vdd*`` with
+    the current fit; if it falls outside the fitted range, refit over
+    ``[0.3, 1.2·Vdd*]`` and repeat.  No numerical-solver information is
+    used, so the result is still a closed-form prediction.
+
+    Returns ``(ptot, fit)`` so callers can inspect the final range.
+    """
+    if chi_value is None:
+        chi_value = chi_for_architecture(arch, tech, frequency)
+    fit = paper_fit(tech.alpha)
+    for _ in range(max_iterations):
+        margin = _require_feasible(chi_value, fit, f"eq13_adaptive[{arch.name}]")
+        vdd = optimal_vdd(
+            arch.activity,
+            arch.capacitance,
+            frequency,
+            arch.effective_io(tech),
+            tech.n_ut,
+            chi_value,
+            fit,
+        )
+        if vdd <= fit.vdd_max * 1.02:
+            break
+        from .linearization import fit_vdd_root
+
+        fit = fit_vdd_root(tech.alpha, (0.3, 1.2 * vdd))
+    return ptot_eq13(arch, tech, frequency, chi_value, fit), fit
+
+
+def closed_form_breakdown(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    chi_value: float | None = None,
+    fit: LinearFit | None = None,
+) -> ClosedFormBreakdown:
+    """Evaluate the whole Section 3 chain and return every intermediate.
+
+    The returned ``vdd``/``vth`` come from Eqs. 10 and 8; the three power
+    values show how each successive approximation (Eq. 11 → 12 → 13)
+    shifts the estimate.
+    """
+    if fit is None:
+        fit = paper_fit(tech.alpha)
+    if chi_value is None:
+        chi_value = chi_for_architecture(arch, tech, frequency)
+    margin = _require_feasible(chi_value, fit, f"closed_form[{arch.name}]")
+
+    n_ut = tech.n_ut
+    io = arch.effective_io(tech)
+    leakage = optimal_leakage_current(
+        arch.activity, arch.capacitance, frequency, n_ut, chi_value, fit
+    )
+    vdd = optimal_vdd(
+        arch.activity, arch.capacitance, frequency, io, n_ut, chi_value, fit
+    )
+    vth = vdd * margin - chi_value * fit.b  # Eq. 8 at Vdd*
+    return ClosedFormBreakdown(
+        chi=chi_value,
+        fit=fit,
+        one_minus_chi_a=margin,
+        leakage_current=leakage,
+        vdd=vdd,
+        vth=vth,
+        ptot_eq11=ptot_eq11(arch, frequency, n_ut, vdd, chi_value, fit),
+        ptot_eq12=ptot_eq12(arch, frequency, n_ut, vdd, chi_value, fit),
+        ptot_eq13=ptot_eq13(arch, tech, frequency, chi_value, fit),
+    )
+
+
+def closed_form_optimum(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    chi_value: float | None = None,
+    fit: LinearFit | None = None,
+) -> OptimizationResult:
+    """Closed-form optimal working point as an :class:`OptimizationResult`.
+
+    ``Vdd*`` comes from Eq. 10 and ``Vth*`` from Eq. 8; the dynamic/static
+    split is evaluated with the exact Eq. 1 at that point, while
+    ``point.ptot`` is *not* forced to the Eq. 13 value (use
+    :func:`ptot_eq13` for the table column).  The small difference between
+    the two is precisely the content of the approximation-chain ablation.
+    """
+    breakdown = closed_form_breakdown(arch, tech, frequency, chi_value, fit)
+    scaled_tech = tech.scaled(io_factor=arch.io_factor, name=tech.name)
+    pdyn, pstat, _ = power_breakdown(
+        arch.n_cells,
+        arch.activity,
+        arch.capacitance,
+        breakdown.vdd,
+        breakdown.vth,
+        frequency,
+        scaled_tech,
+    )
+    point = OperatingPoint(
+        vdd=breakdown.vdd,
+        vth=breakdown.vth,
+        pdyn=float(pdyn),
+        pstat=float(pstat),
+        method="closed-form",
+    )
+    return OptimizationResult(
+        architecture=arch, technology=tech, frequency=frequency, point=point
+    )

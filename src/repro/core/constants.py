@@ -1,0 +1,42 @@
+"""Physical constants and unit helpers shared by all power/delay models.
+
+Everything in the library is expressed in SI units (volts, amperes, farads,
+hertz, watts, seconds).  The only physics the paper's model needs is the
+thermal voltage ``Ut = kT/q`` (Eq. 1 and 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default junction temperature [K] used throughout the paper's model.
+DEFAULT_TEMPERATURE = 300.0
+
+#: Euler's number, written ``e`` in the paper's Eq. 2.
+EULER = math.e
+
+
+def thermal_voltage(temperature: float = DEFAULT_TEMPERATURE) -> float:
+    """Return the thermal voltage ``Ut = kT/q`` in volts.
+
+    Parameters
+    ----------
+    temperature:
+        Junction temperature in kelvin.  Must be positive.
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE
+
+
+#: Thermal voltage at the default temperature [V].
+UT_300K = thermal_voltage(DEFAULT_TEMPERATURE)

@@ -1,0 +1,142 @@
+"""The zero-slack timing constraint (paper Eqs. 5, 6 and 8).
+
+At the optimal working point the critical path exactly fills the clock
+period (``LD·t_gate = 1/f``): positive slack would allow a lower ``Vdd``
+and negative slack is a broken circuit.  Substituting the delay model
+(Eq. 4) and solving for the threshold voltage gives
+
+    ``Vth(Vdd) = Vdd − χ·Vdd^(1/α)``                            (Eq. 5)
+
+with the *constraint coefficient*
+
+    ``χ = [f·LD·ζ / (Io·(e/(n·Ut))^α)]^(1/α)``                  (Eq. 6)
+
+χ aggregates every speed-related quantity: it grows with frequency and
+logical depth and shrinks for strong (high ``Io``, low ``ζ``)
+technologies.  Feasibility demands ``χ`` small enough that a positive
+``Vth`` exists somewhere in the supply range — and for the linearised form
+(Eq. 8), ``χ·A < 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .architecture import ArchitectureParameters
+from .constants import EULER
+from .linearization import LinearFit, paper_fit
+from .technology import Technology
+
+
+def chi(
+    tech: Technology,
+    logical_depth: float,
+    frequency: float,
+    *,
+    zeta_factor: float = 1.0,
+) -> float:
+    """Constraint coefficient χ of Eq. 6 [V^(1−1/α)].
+
+    Parameters
+    ----------
+    tech:
+        Technology flavour supplying ``Io``, ``ζ``, ``α`` and ``n·Ut``.
+    logical_depth:
+        Effective logical depth ``LDeff`` in characterised gate delays.
+    frequency:
+        Target throughput frequency [Hz].
+    zeta_factor:
+        Per-circuit correction to the characterised ``ζ``
+        (see :class:`repro.core.architecture.ArchitectureParameters`).
+    """
+    if logical_depth <= 0.0:
+        raise ValueError(f"logical_depth must be positive, got {logical_depth}")
+    if frequency <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency}")
+    zeta = tech.zeta * zeta_factor
+    denominator = tech.io * (EULER / tech.n_ut) ** tech.alpha
+    return float(
+        (frequency * logical_depth * zeta / denominator) ** (1.0 / tech.alpha)
+    )
+
+
+def chi_for_architecture(
+    arch: ArchitectureParameters, tech: Technology, frequency: float
+) -> float:
+    """χ for an architecture summary, honouring its ``zeta_factor``."""
+    return chi(
+        tech, arch.logical_depth, frequency, zeta_factor=arch.zeta_factor
+    )
+
+
+def chi_from_operating_point(vdd: float, vth: float, alpha: float) -> float:
+    """Invert Eq. 5: recover χ from a known zero-slack ``(Vdd, Vth)`` pair.
+
+    Used by the calibrated reproduction mode to extract each published
+    row's effective constraint coefficient.
+    """
+    if vdd <= 0.0:
+        raise ValueError(f"vdd must be positive, got {vdd}")
+    if vth >= vdd:
+        raise ValueError(f"need vth < vdd for positive overdrive, got {vth} >= {vdd}")
+    return float((vdd - vth) / vdd ** (1.0 / alpha))
+
+
+def vth_exact(vdd, chi_value: float, alpha: float):
+    """Exact constrained threshold ``Vth = Vdd − χ·Vdd^(1/α)`` (Eq. 5)."""
+    vdd = np.asarray(vdd, dtype=float)
+    return vdd - chi_value * np.power(vdd, 1.0 / alpha)
+
+
+def vth_linearized(vdd, chi_value: float, fit: LinearFit):
+    """Linearised constrained threshold ``Vth ≈ Vdd(1−χA) − χB`` (Eq. 8)."""
+    vdd = np.asarray(vdd, dtype=float)
+    return vdd * (1.0 - chi_value * fit.a) - chi_value * fit.b
+
+
+def is_feasible_linearized(chi_value: float, fit: LinearFit) -> bool:
+    """Check the Eq. 8 feasibility condition ``χ·A < 1``.
+
+    When ``χ·A >= 1`` the linearised threshold decreases (or is flat) with
+    ``Vdd``: no supply increase can buy back the speed the constraint
+    demands, and Eq. 13's prefactor ``1/(1−χA)²`` blows up.
+    """
+    return chi_value * fit.a < 1.0
+
+
+def vdd_for_positive_vth(chi_value: float, alpha: float) -> float:
+    """Smallest supply with non-negative constrained ``Vth`` (exact form).
+
+    Solving ``Vdd = χ·Vdd^(1/α)`` gives ``Vdd = χ^(α/(α−1))`` for
+    ``α > 1``; below this supply the constraint forces a negative threshold
+    voltage.  For ``α == 1`` the constraint is supply-independent and the
+    boundary is 0 (feasible iff ``χ < 1``).
+    """
+    if alpha <= 1.0:
+        return 0.0
+    return float(chi_value ** (alpha / (alpha - 1.0)))
+
+
+def operating_point_consistency(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    vdd: float,
+    vth: float,
+) -> float:
+    """Relative slack of ``(Vdd, Vth)`` against the timing constraint.
+
+    Returns ``(1/f − LD·t_gate)·f``: 0 at zero slack, positive when the
+    circuit is faster than required, negative when timing fails.  Handy
+    for asserting that optimiser outputs actually sit on the constraint.
+    """
+    from .power_model import critical_path_delay
+
+    scaled_tech = tech.scaled(zeta_factor=arch.zeta_factor, name=tech.name)
+    delay = critical_path_delay(scaled_tech, arch.logical_depth, vdd, vth)
+    return float((1.0 / frequency - delay) * frequency)
+
+
+def default_fit(tech: Technology) -> LinearFit:
+    """The paper's Eq. 7 fit (0.3–1.0 V) for this technology's α."""
+    return paper_fit(tech.alpha)

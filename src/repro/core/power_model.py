@@ -1,0 +1,105 @@
+"""Fundamental power and delay equations (paper Section 2, Eqs. 1–4).
+
+The model describes a synchronous CMOS circuit by five architectural
+quantities — cell count ``N``, per-cell activity ``a``, per-cell equivalent
+capacitance ``C`` [F], operating frequency ``f`` [Hz] and logical depth
+``LD`` — plus the technology parameters of :class:`repro.core.technology.
+Technology`.  Everything here is vectorised: voltages may be scalars or
+numpy arrays.
+
+Conventions
+-----------
+* ``vth`` arguments are the *effective* threshold voltage, i.e. after the
+  DIBL shift of Eq. 3 has been applied.  Helpers taking ``vth0`` apply the
+  shift themselves.
+* Short-circuit power is lumped into ``C`` (paper Section 2) and gate
+  tunnelling / junction / punch-through leakage are neglected, exactly as
+  in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import EULER
+from .technology import Technology
+
+
+def dynamic_power(n_cells, activity, capacitance, vdd, frequency):
+    """Dynamic (switching) power ``Pdyn = N·a·C·Vdd²·f`` [W] (Eq. 1, first term).
+
+    ``activity`` is the average number of energy-equivalent transitions per
+    cell and per clock cycle, as annotated by timing simulation; glitching
+    raises it above the purely functional value and sequential circuits
+    referenced to their (slower) throughput clock can exceed 1.
+    """
+    vdd = np.asarray(vdd, dtype=float)
+    return n_cells * activity * capacitance * vdd**2 * frequency
+
+
+def static_power(n_cells, io, vdd, vth, n_slope, ut):
+    """Static (sub-threshold leakage) power [W] (Eq. 1, second term).
+
+    ``Pstat = N·Vdd·Io·exp(−Vth/(n·Ut))`` with ``Io`` the average off-current
+    per cell at ``Vgs = Vth``, which is why the exponent is referenced to the
+    effective threshold voltage directly.
+    """
+    vdd = np.asarray(vdd, dtype=float)
+    vth = np.asarray(vth, dtype=float)
+    # Strongly negative Vth (deep in an optimiser's exploration range) may
+    # overflow the exponential; +inf is the semantically correct answer.
+    with np.errstate(over="ignore"):
+        return n_cells * vdd * io * np.exp(-vth / (n_slope * ut))
+
+
+def total_power(n_cells, activity, capacitance, vdd, vth, frequency, tech: Technology):
+    """Total power ``Pdyn + Pstat`` [W] for one technology (Eq. 1)."""
+    return dynamic_power(n_cells, activity, capacitance, vdd, frequency) + static_power(
+        n_cells, tech.io, vdd, vth, tech.n, tech.ut
+    )
+
+
+def on_current(io, alpha, n_slope, ut, vdd, vth):
+    """Transistor on-current from the modified alpha-power law (Eq. 2).
+
+    ``Ion = Io·(e/(n·Ut))^α·(Vdd − Vth)^α``.  The gate overdrive
+    ``Vdd − Vth`` must be positive; non-positive overdrive means the gate
+    cannot switch and a domain error is raised for scalars (NaN for array
+    entries) rather than silently returning a complex value.
+    """
+    overdrive = np.asarray(vdd, dtype=float) - np.asarray(vth, dtype=float)
+    if overdrive.ndim == 0:
+        if overdrive <= 0.0:
+            raise ValueError(
+                f"gate overdrive Vdd - Vth must be positive, got {float(overdrive):.4f} V"
+            )
+        return io * (EULER / (n_slope * ut)) ** alpha * float(overdrive) ** alpha
+    overdrive = np.where(overdrive > 0.0, overdrive, np.nan)
+    return io * (EULER / (n_slope * ut)) ** alpha * overdrive**alpha
+
+
+def gate_delay(tech: Technology, vdd, vth):
+    """Single-gate delay ``t_gate = ζ·Vdd/Ion`` [s] (Eq. 4)."""
+    ion = on_current(tech.io, tech.alpha, tech.n, tech.ut, vdd, vth)
+    return tech.zeta * np.asarray(vdd, dtype=float) / ion
+
+
+def critical_path_delay(tech: Technology, logical_depth, vdd, vth):
+    """Critical-path delay ``LD·t_gate`` [s] (left side of Eq. 5)."""
+    return logical_depth * gate_delay(tech, vdd, vth)
+
+
+def max_frequency(tech: Technology, logical_depth, vdd, vth):
+    """Highest frequency the circuit closes timing at: ``1/(LD·t_gate)`` [Hz]."""
+    return 1.0 / critical_path_delay(tech, logical_depth, vdd, vth)
+
+
+def power_breakdown(n_cells, activity, capacitance, vdd, vth, frequency, tech: Technology):
+    """Return ``(Pdyn, Pstat, Ptot)`` as a tuple [W].
+
+    Convenience used by the experiment runners, which report the split the
+    way Table 1 does.
+    """
+    pdyn = dynamic_power(n_cells, activity, capacitance, vdd, frequency)
+    pstat = static_power(n_cells, tech.io, vdd, vth, tech.n, tech.ut)
+    return pdyn, pstat, pdyn + pstat

@@ -1,0 +1,145 @@
+"""Architecture and technology selection utilities (paper Sections 4–5).
+
+The paper's punchline is a *selection methodology*: evaluate Eq. 13 for
+every candidate (architecture, technology) pair at the target frequency
+and pick the minimum.  These helpers wrap that loop and keep infeasible
+candidates (χA ≥ 1) in the report instead of silently dropping them,
+because "this architecture cannot reach f in this technology" is itself a
+selection-relevant answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .architecture import ArchitectureParameters
+from .closed_form import InfeasibleConstraintError
+from .numerical import numerical_optimum
+from .optimum import OptimizationResult
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated (architecture, technology) pair.
+
+    ``result`` is None when the pair cannot close timing at the target
+    frequency; ``reason`` then explains why.
+    """
+
+    architecture: ArchitectureParameters
+    technology: Technology
+    result: OptimizationResult | None
+    reason: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        """True when an optimal working point exists."""
+        return self.result is not None
+
+    @property
+    def ptot(self) -> float:
+        """Optimal total power [W]; +inf for infeasible candidates."""
+        return self.result.ptot if self.result is not None else float("inf")
+
+
+def evaluate_candidates(
+    architectures: list[ArchitectureParameters],
+    technologies: list[Technology],
+    frequency: float,
+) -> list[Candidate]:
+    """Numerically evaluate every (architecture, technology) pair.
+
+    The numerical solver is used (not Eq. 13) because selection is the
+    end-user operation and should rest on the reference model; Eq. 13
+    agreement is separately validated by the Table 1 experiments.
+    """
+    candidates = []
+    for tech in technologies:
+        for arch in architectures:
+            try:
+                result = numerical_optimum(arch, tech, frequency)
+            except (InfeasibleConstraintError, ValueError) as error:
+                candidates.append(
+                    Candidate(
+                        architecture=arch,
+                        technology=tech,
+                        result=None,
+                        reason=str(error),
+                    )
+                )
+            else:
+                candidates.append(
+                    Candidate(architecture=arch, technology=tech, result=result)
+                )
+    return candidates
+
+
+def rank_architectures(
+    architectures: list[ArchitectureParameters],
+    tech: Technology,
+    frequency: float,
+) -> list[Candidate]:
+    """Architectures sorted by optimal total power on one technology."""
+    candidates = evaluate_candidates(architectures, [tech], frequency)
+    return sorted(candidates, key=lambda candidate: candidate.ptot)
+
+
+def best_architecture(
+    architectures: list[ArchitectureParameters],
+    tech: Technology,
+    frequency: float,
+) -> Candidate:
+    """The cheapest feasible architecture on one technology.
+
+    Raises ValueError when nothing is feasible, listing the reasons.
+    """
+    ranked = rank_architectures(architectures, tech, frequency)
+    winner = ranked[0]
+    if not winner.feasible:
+        reasons = "; ".join(candidate.reason for candidate in ranked)
+        raise ValueError(
+            f"no architecture is feasible at {frequency / 1e6:g} MHz on "
+            f"{tech.name}: {reasons}"
+        )
+    return winner
+
+
+def rank_technologies(
+    arch: ArchitectureParameters,
+    technologies: list[Technology],
+    frequency: float,
+) -> list[Candidate]:
+    """Technologies sorted by optimal total power for one architecture."""
+    candidates = evaluate_candidates([arch], technologies, frequency)
+    return sorted(candidates, key=lambda candidate: candidate.ptot)
+
+
+def best_technology(
+    arch: ArchitectureParameters,
+    technologies: list[Technology],
+    frequency: float,
+) -> Candidate:
+    """The cheapest feasible technology flavour for one architecture."""
+    ranked = rank_technologies(arch, technologies, frequency)
+    winner = ranked[0]
+    if not winner.feasible:
+        reasons = "; ".join(candidate.reason for candidate in ranked)
+        raise ValueError(
+            f"{arch.name} is infeasible at {frequency / 1e6:g} MHz on every "
+            f"candidate technology: {reasons}"
+        )
+    return winner
+
+
+def selection_matrix(
+    architectures: list[ArchitectureParameters],
+    technologies: list[Technology],
+    frequency: float,
+) -> dict[tuple[str, str], Candidate]:
+    """Full (architecture × technology) map keyed by ``(arch, tech)`` names."""
+    candidates = evaluate_candidates(architectures, technologies, frequency)
+    return {
+        (candidate.architecture.name, candidate.technology.name): candidate
+        for candidate in candidates
+    }

@@ -1,0 +1,199 @@
+"""Sensitivity analysis and parameter sweeps around the optimal point.
+
+Eq. 13 makes the optimal power an explicit function of the architecture
+vector ``(N, a, C, LD)`` and the technology vector ``(Io, ζ, α, n)``.
+This module quantifies *how strongly* each parameter matters:
+
+* :func:`elasticity` — logarithmic derivatives ``d ln Ptot* / d ln x``
+  (an elasticity of 1 means "10 % more x costs 10 % more power");
+* :func:`sweep` — one-dimensional sweeps of any architecture or
+  technology field, returning aligned numpy arrays ready for tabulation;
+* :func:`frequency_sweep` — the Section 4 "sequential circuits only pay
+  off at very low data frequency" experiment (ablation A3).
+
+Everything uses the closed form by default (it is differentiable and
+fast) but accepts ``solver="numerical"`` for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from .architecture import ArchitectureParameters
+from .closed_form import InfeasibleConstraintError, ptot_eq13
+from .numerical import numerical_optimum
+from .technology import Technology
+
+#: Architecture fields that may be swept / differentiated.
+ARCHITECTURE_FIELDS = ("n_cells", "activity", "logical_depth", "capacitance")
+
+#: Technology fields that may be swept / differentiated.
+TECHNOLOGY_FIELDS = ("io", "zeta", "alpha", "n")
+
+
+def _solve(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    solver: str,
+) -> float:
+    if solver == "closed-form":
+        return ptot_eq13(arch, tech, frequency)
+    if solver == "numerical":
+        return numerical_optimum(arch, tech, frequency).ptot
+    raise ValueError(f"unknown solver {solver!r}; use 'closed-form' or 'numerical'")
+
+
+def _with_field(
+    arch: ArchitectureParameters, tech: Technology, field: str, value: float
+) -> tuple[ArchitectureParameters, Technology]:
+    if field in ARCHITECTURE_FIELDS:
+        return arch.with_updates(**{field: value}), tech
+    if field in TECHNOLOGY_FIELDS:
+        return arch, replace(tech, **{field: value})
+    known = ARCHITECTURE_FIELDS + TECHNOLOGY_FIELDS
+    raise ValueError(f"unknown field {field!r}; known fields: {known}")
+
+
+def _field_value(arch: ArchitectureParameters, tech: Technology, field: str) -> float:
+    if field in ARCHITECTURE_FIELDS:
+        return getattr(arch, field)
+    if field in TECHNOLOGY_FIELDS:
+        return getattr(tech, field)
+    known = ARCHITECTURE_FIELDS + TECHNOLOGY_FIELDS
+    raise ValueError(f"unknown field {field!r}; known fields: {known}")
+
+
+def elasticity(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    field: str,
+    relative_step: float = 1e-4,
+    solver: str = "closed-form",
+) -> float:
+    """Elasticity ``d ln Ptot* / d ln field`` by central finite differences.
+
+    >>> # activity enters Eq. 13 almost linearly (prefactor) minus a weak
+    >>> # logarithmic correction, so its elasticity is slightly below 1.
+    """
+    base = _field_value(arch, tech, field)
+    up_arch, up_tech = _with_field(arch, tech, field, base * (1.0 + relative_step))
+    dn_arch, dn_tech = _with_field(arch, tech, field, base * (1.0 - relative_step))
+    p_up = _solve(up_arch, up_tech, frequency, solver)
+    p_dn = _solve(dn_arch, dn_tech, frequency, solver)
+    # d ln P / d ln x with the exact log-step ln((1+s)/(1-s)).
+    log_step = np.log1p(relative_step) - np.log1p(-relative_step)
+    return float((np.log(p_up) - np.log(p_dn)) / log_step)
+
+
+def elasticities(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    fields: tuple[str, ...] = ARCHITECTURE_FIELDS + TECHNOLOGY_FIELDS,
+    solver: str = "closed-form",
+) -> dict[str, float]:
+    """Elasticity of the optimal power w.r.t. every requested field."""
+    return {
+        field: elasticity(arch, tech, frequency, field, solver=solver)
+        for field in fields
+    }
+
+
+def sweep(
+    arch: ArchitectureParameters,
+    tech: Technology,
+    frequency: float,
+    field: str,
+    values,
+    solver: str = "closed-form",
+) -> dict[str, np.ndarray]:
+    """Sweep one field; returns ``{'values': ..., 'ptot': ...}`` arrays.
+
+    Infeasible points (``χA >= 1``) yield NaN rather than aborting the
+    sweep, so crossover plots can extend into the infeasible region.
+    """
+    values = np.asarray(list(values), dtype=float)
+    powers = np.empty_like(values)
+    for index, value in enumerate(values):
+        swept_arch, swept_tech = _with_field(arch, tech, field, float(value))
+        try:
+            powers[index] = _solve(swept_arch, swept_tech, frequency, solver)
+        except (InfeasibleConstraintError, ValueError):
+            powers[index] = np.nan
+    return {"values": values, "ptot": powers}
+
+
+def frequency_sweep(
+    architectures: list[ArchitectureParameters],
+    tech: Technology,
+    frequencies,
+    solver: str = "closed-form",
+) -> dict[str, np.ndarray]:
+    """Optimal power of several architectures across a frequency range.
+
+    Returns ``{'frequency': array, '<arch name>': array, ...}``; NaN marks
+    frequencies an architecture cannot reach.  Used by the crossover
+    ablation (sequential vs. parallel, DESIGN.md A3).
+    """
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    table: dict[str, np.ndarray] = {"frequency": frequencies}
+    for arch in architectures:
+        powers = np.empty_like(frequencies)
+        for index, frequency in enumerate(frequencies):
+            try:
+                powers[index] = _solve(arch, tech, float(frequency), solver)
+            except (InfeasibleConstraintError, ValueError):
+                powers[index] = np.nan
+        table[arch.name] = powers
+    return table
+
+
+def crossover_frequency(
+    arch_a: ArchitectureParameters,
+    arch_b: ArchitectureParameters,
+    tech: Technology,
+    f_low: float,
+    f_high: float,
+    solver: str = "closed-form",
+    tolerance: float = 1e-3,
+) -> float | None:
+    """Frequency where two architectures' optimal powers cross, if any.
+
+    Bisection on ``Ptot_a(f) − Ptot_b(f)`` over ``[f_low, f_high]``;
+    returns None when the sign does not change on the interval (no
+    crossover, or one side infeasible).
+    """
+
+    def difference(frequency: float) -> float:
+        return _solve(arch_a, tech, frequency, solver) - _solve(
+            arch_b, tech, frequency, solver
+        )
+
+    try:
+        d_low, d_high = difference(f_low), difference(f_high)
+    except (InfeasibleConstraintError, ValueError):
+        return None
+    if d_low == 0.0:
+        return f_low
+    if d_high == 0.0:
+        return f_high
+    if np.sign(d_low) == np.sign(d_high):
+        return None
+
+    lo, hi = f_low, f_high
+    while (hi - lo) / hi > tolerance:
+        mid = 0.5 * (lo + hi)
+        try:
+            d_mid = difference(mid)
+        except (InfeasibleConstraintError, ValueError):
+            return None
+        if np.sign(d_mid) == np.sign(d_low):
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

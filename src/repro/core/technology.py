@@ -1,0 +1,206 @@
+"""Technology parameter sets (paper Section 2 and Table 2).
+
+A :class:`Technology` bundles every process-dependent quantity the paper's
+model needs:
+
+* ``io`` — average off-current per characterised cell at ``Vgs = Vth`` [A]
+  (the ``Io`` of Eqs. 1, 2 and 13);
+* ``zeta`` — delay coefficient of Eq. 4 [F];
+* ``alpha`` — alpha-power-law exponent of Eq. 2;
+* ``n`` — weak-inversion slope factor of Eq. 1;
+* ``vdd_nominal`` / ``vth0_nominal`` — the nominal operating point of the
+  flavour (Table 2);
+* ``eta`` — DIBL coefficient of Eq. 3 (``Vth = Vth0 − η·Vdd``);
+* ``temperature`` — junction temperature used for ``Ut``.
+
+The three ST Microelectronics CMOS09 (0.13 µm) flavours from Table 2 are
+shipped as module-level constants: :data:`ST_CMOS09_LL`,
+:data:`ST_CMOS09_HS` and :data:`ST_CMOS09_ULL`.
+
+Table 2's ``ζ`` values are the published inverter-chain fits.  As
+documented in DESIGN.md, they are *not* mutually consistent with the
+Table 1 operating points under the paper's own Eq. 6, so the native
+(netlist-driven) flow characterises its own ``ζ``; the published values
+remain available for the calibrated reproduction and for Table 2 itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .constants import DEFAULT_TEMPERATURE, thermal_voltage
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process parameters of one technology flavour (paper Table 2).
+
+    Instances are immutable; derive variants with :meth:`scaled` or
+    :func:`dataclasses.replace`.
+    """
+
+    name: str
+    io: float
+    zeta: float
+    alpha: float
+    n: float
+    vdd_nominal: float
+    vth0_nominal: float
+    eta: float = 0.0
+    temperature: float = DEFAULT_TEMPERATURE
+
+    def __post_init__(self) -> None:
+        for attribute in ("io", "zeta", "n", "vdd_nominal", "temperature"):
+            value = getattr(self, attribute)
+            if value <= 0.0:
+                raise ValueError(f"{attribute} must be positive, got {value}")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise ValueError(
+                f"alpha must lie in [1, 2] (velocity-saturated short channel "
+                f"to long-channel square law), got {self.alpha}"
+            )
+        if self.eta < 0.0:
+            raise ValueError(f"eta (DIBL) must be non-negative, got {self.eta}")
+        if self.vth0_nominal < 0.0:
+            raise ValueError(
+                f"vth0_nominal must be non-negative, got {self.vth0_nominal}"
+            )
+
+    @property
+    def ut(self) -> float:
+        """Thermal voltage ``kT/q`` at this technology's temperature [V]."""
+        return thermal_voltage(self.temperature)
+
+    @property
+    def n_ut(self) -> float:
+        """Sub-threshold slope voltage ``n·Ut`` [V] (appears all over Eq. 13)."""
+        return self.n * self.ut
+
+    def effective_vth(self, vth0: float, vdd: float) -> float:
+        """Apply the DIBL shift of Eq. 3: ``Vth = Vth0 − η·Vdd``."""
+        return vth0 - self.eta * vdd
+
+    def zero_bias_vth(self, vth: float, vdd: float) -> float:
+        """Invert Eq. 3: recover ``Vth0`` from an effective ``Vth`` at ``Vdd``."""
+        return vth + self.eta * vdd
+
+    def scaled(
+        self,
+        *,
+        name: str | None = None,
+        io_factor: float = 1.0,
+        zeta_factor: float = 1.0,
+        alpha_shift: float = 0.0,
+        vth0_shift: float = 0.0,
+    ) -> "Technology":
+        """Return a derived flavour with multiplicatively/additively shifted knobs.
+
+        Used by the technology-map ablation (DESIGN.md experiment A5) to
+        explore the (Io, ζ, α) neighbourhood of a flavour.
+        """
+        return replace(
+            self,
+            name=name if name is not None else f"{self.name}-scaled",
+            io=self.io * io_factor,
+            zeta=self.zeta * zeta_factor,
+            alpha=self.alpha + alpha_shift,
+            vth0_nominal=self.vth0_nominal + vth0_shift,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by example scripts)."""
+        return (
+            f"{self.name}: Io={self.io:.3e} A, zeta={self.zeta:.3e} F, "
+            f"alpha={self.alpha:.3f}, n={self.n:.3f}, "
+            f"Vdd_nom={self.vdd_nominal:.2f} V, Vth0_nom={self.vth0_nominal:.3f} V"
+        )
+
+
+#: ST CMOS09 Low Leakage flavour (Table 2, middle row) — the paper's default.
+ST_CMOS09_LL = Technology(
+    name="ST-CMOS09-LL",
+    io=3.34e-6,
+    zeta=5.5e-12,
+    alpha=1.86,
+    n=1.33,
+    vdd_nominal=1.2,
+    vth0_nominal=0.354,
+)
+
+#: ST CMOS09 High Speed flavour (Table 2, bottom row).
+ST_CMOS09_HS = Technology(
+    name="ST-CMOS09-HS",
+    io=7.08e-6,
+    zeta=6.1e-12,
+    alpha=1.58,
+    n=1.33,
+    vdd_nominal=1.2,
+    vth0_nominal=0.328,
+)
+
+#: ST CMOS09 Ultra Low Leakage flavour (Table 2, top row).
+ST_CMOS09_ULL = Technology(
+    name="ST-CMOS09-ULL",
+    io=2.11e-6,
+    zeta=7.5e-12,
+    alpha=1.95,
+    n=1.33,
+    vdd_nominal=1.2,
+    vth0_nominal=0.466,
+)
+
+#: All published flavours keyed by their Table 2 label.
+ST_CMOS09_FLAVOURS = {
+    "ULL": ST_CMOS09_ULL,
+    "LL": ST_CMOS09_LL,
+    "HS": ST_CMOS09_HS,
+}
+
+
+def flavour(label: str) -> Technology:
+    """Look up a published ST CMOS09 flavour by its Table 2 label.
+
+    >>> flavour("LL").alpha
+    1.86
+    """
+    try:
+        return ST_CMOS09_FLAVOURS[label.upper()]
+    except KeyError:
+        known = ", ".join(sorted(ST_CMOS09_FLAVOURS))
+        raise KeyError(f"unknown technology flavour {label!r}; known: {known}")
+
+
+def flavour_line(t: float) -> Technology:
+    """A continuous flavour axis through ULL (t=-1), LL (t=0) and HS (t=+1).
+
+    Real flavours trade leakage, speed and velocity saturation *jointly*:
+    moving towards low leakage raises ``ζ`` and ``Vth0`` while moving
+    towards high speed lowers ``α``.  This helper interpolates the three
+    published flavours (geometrically for ``Io``/``ζ``, linearly for
+    ``α``/``Vth0``) and extrapolates beyond both ends, giving Section 5's
+    "extreme flavours are penalised" claim a continuous axis to be tested
+    on (DESIGN.md experiment A5).
+    """
+    import math
+
+    if t <= 0.0:
+        low, high, fraction = ST_CMOS09_ULL, ST_CMOS09_LL, t + 1.0
+    else:
+        low, high, fraction = ST_CMOS09_LL, ST_CMOS09_HS, t
+
+    def geometric(a: float, b: float) -> float:
+        return math.exp((1.0 - fraction) * math.log(a) + fraction * math.log(b))
+
+    def linear(a: float, b: float) -> float:
+        return (1.0 - fraction) * a + fraction * b
+
+    alpha = min(max(linear(low.alpha, high.alpha), 1.0), 2.0)
+    return Technology(
+        name=f"ST-CMOS09-line({t:+.2f})",
+        io=geometric(low.io, high.io),
+        zeta=geometric(low.zeta, high.zeta),
+        alpha=alpha,
+        n=linear(low.n, high.n),
+        vdd_nominal=1.2,
+        vth0_nominal=linear(low.vth0_nominal, high.vth0_nominal),
+    )

@@ -1,0 +1,181 @@
+"""Parameter-level architecture transformations (paper Section 4).
+
+Section 4 studies how pipelining, parallelisation and sequentialisation
+move the Eq. 13 inputs ``(N, a, LDeff)``.  The netlist packages
+(:mod:`repro.generators`) perform these transformations *structurally*;
+this module models them at the parameter level so the consequences can be
+explored analytically, which is exactly how the paper's discussion
+proceeds ("knowing the effect of transforming an architecture … it is
+directly possible to see if it will result in a higher or lower total
+power using (13)").
+
+The default coefficients are extracted from the paper's own Table 1 ratios
+(RCA family), and every knob is exposed because the paper stresses that
+these effects are circuit-dependent ("simple architectural transformations
+can modify the parameters like a and LD in a complex, and difficult to
+predict, manner").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .architecture import ArchitectureParameters
+
+
+@dataclass(frozen=True)
+class ParallelizationModel:
+    """How k-way replication + multiplexing changes the Eq. 13 inputs.
+
+    Replicating a circuit ``k`` times and distributing successive operands
+    across the copies gives every copy ``k`` clock periods per result:
+
+    * ``LDeff → LDeff/k + mux_depth`` — relaxed timing, plus the output
+      multiplexer on the critical path;
+    * ``N → k·N + mux_cells_per_output·outputs + control_cells`` — the
+      replication overhead the paper blames for the Wallace-par4 loss;
+    * ``a → a/k·(1 + activity_overhead)`` — the same total switching spread
+      over ``k×`` more cells, plus mux/select toggling.
+
+    Defaults reproduce the RCA column of Table 1 within a few percent
+    (608→1256 cells, a 0.5056→0.2624, LD 61→30.5).
+    """
+
+    mux_cells_per_output: float = 1.25
+    control_cells: float = 0.0
+    mux_depth: float = 0.25
+    activity_overhead: float = 0.04
+
+    def apply(
+        self, arch: ArchitectureParameters, k: int, n_outputs: int = 32
+    ) -> ArchitectureParameters:
+        """Return the k-way parallelised parameter set."""
+        if k < 2:
+            raise ValueError(f"parallelisation factor must be >= 2, got {k}")
+        overhead_cells = self.mux_cells_per_output * n_outputs * (k - 1) / 1.0
+        return arch.with_updates(
+            name=f"{arch.name} par{k}",
+            n_cells=k * arch.n_cells + overhead_cells + self.control_cells,
+            activity=arch.activity / k * (1.0 + self.activity_overhead),
+            logical_depth=arch.logical_depth / k + self.mux_depth,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """How register insertion changes the Eq. 13 inputs.
+
+    ``depth_efficiency`` captures that cutting a circuit into ``s`` stages
+    rarely divides the critical path by ``s`` (register setup/clk-to-q and
+    unbalanced stages): ``LDeff → LDeff·stage_ratio`` with
+    ``stage_ratio = (1/s)^depth_efficiency``.  Horizontal cuts in the RCA
+    array give ``depth_efficiency ≈ 0.61`` (61→40→28); the deeper diagonal
+    cuts give ``≈ 1.06`` (61→26→14) but raise activity because the spread
+    of path delays grows (more glitches): ``a → a·activity_ratio(s)``.
+
+    Defaults: horizontal style — glitch-*reducing* (`activity_gain` < 0,
+    Table 1: 0.5056→0.3904); diagonal style — less glitch reduction and a
+    shorter depth (0.5056→0.4064).
+    """
+
+    depth_efficiency: float
+    activity_gain: float
+    registers_per_cut: float = 64.0
+
+    def apply(self, arch: ArchitectureParameters, stages: int) -> ArchitectureParameters:
+        """Return the s-stage pipelined parameter set."""
+        if stages < 2:
+            raise ValueError(f"pipeline stage count must be >= 2, got {stages}")
+        stage_ratio = (1.0 / stages) ** self.depth_efficiency
+        cuts = stages - 1
+        activity_ratio = (1.0 + self.activity_gain) ** math.log2(stages)
+        return arch.with_updates(
+            name=f"{arch.name} pipe{stages}",
+            n_cells=arch.n_cells + self.registers_per_cut * cuts,
+            activity=arch.activity * activity_ratio,
+            logical_depth=arch.logical_depth * stage_ratio,
+        )
+
+
+@dataclass(frozen=True)
+class SequentializationModel:
+    """How folding a datapath over ``cycles`` clock ticks changes parameters.
+
+    A sequential implementation reuses one operator for ``cycles``
+    sub-operations per result, so with respect to the *throughput* clock:
+
+    * ``LDeff → per_cycle_depth·cycles`` — the internal clock must run
+      ``cycles×`` faster (paper: 16 × 14 = 224 for the basic sequential
+      multiplier);
+    * ``N → hardware_fraction·N`` — a fraction of the combinational
+      hardware plus result/state registers;
+    * ``a → a·activity_amplification·cycles / hardware_fraction / N_ratio``
+      — every cell switches every *internal* cycle, which the paper's
+      throughput-referenced activity counts ``cycles`` times (hence
+      activities above 1 in Table 1).
+    """
+
+    hardware_fraction: float = 0.48
+    per_cycle_depth: float = 14.0
+    activity_per_cycle: float = 0.175
+
+    def apply(self, arch: ArchitectureParameters, cycles: int) -> ArchitectureParameters:
+        """Return the ``cycles``-per-result sequentialised parameter set."""
+        if cycles < 2:
+            raise ValueError(f"cycles per result must be >= 2, got {cycles}")
+        return arch.with_updates(
+            name=f"{arch.name} seq{cycles}",
+            n_cells=arch.n_cells * self.hardware_fraction,
+            activity=self.activity_per_cycle * cycles,
+            logical_depth=self.per_cycle_depth * cycles,
+        )
+
+
+#: Horizontal-pipeline defaults fitted on Table 1 (RCA 61→40→28, a ↓).
+HORIZONTAL_PIPELINE = PipelineModel(depth_efficiency=0.61, activity_gain=-0.228)
+
+#: Diagonal-pipeline defaults fitted on Table 1 (RCA 61→26→14, a ↓ less).
+DIAGONAL_PIPELINE = PipelineModel(depth_efficiency=1.06, activity_gain=-0.196)
+
+#: Parallelisation defaults fitted on the RCA/Wallace rows of Table 1.
+PARALLELIZATION = ParallelizationModel()
+
+#: Sequentialisation defaults fitted on the Sequential row of Table 1.
+SEQUENTIALIZATION = SequentializationModel()
+
+
+def parallelize(
+    arch: ArchitectureParameters,
+    k: int,
+    model: ParallelizationModel = PARALLELIZATION,
+    n_outputs: int = 32,
+) -> ArchitectureParameters:
+    """k-way parallelisation with the default (Table-1-fitted) overheads."""
+    return model.apply(arch, k, n_outputs=n_outputs)
+
+
+def pipeline(
+    arch: ArchitectureParameters,
+    stages: int,
+    style: str = "horizontal",
+) -> ArchitectureParameters:
+    """Pipeline into ``stages`` stages, ``style`` in {'horizontal', 'diagonal'}."""
+    models = {"horizontal": HORIZONTAL_PIPELINE, "diagonal": DIAGONAL_PIPELINE}
+    try:
+        model = models[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline style {style!r}; expected one of {sorted(models)}"
+        )
+    transformed = model.apply(arch, stages)
+    return transformed.renamed(f"{arch.name} {style[:4]}.pipe{stages}")
+
+
+def sequentialize(
+    arch: ArchitectureParameters,
+    cycles: int,
+    model: SequentializationModel = SEQUENTIALIZATION,
+) -> ArchitectureParameters:
+    """Fold into a ``cycles``-per-result sequential implementation."""
+    return model.apply(arch, cycles)

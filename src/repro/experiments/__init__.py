@@ -1,0 +1,59 @@
+"""Regeneration of every table and figure in the paper (DESIGN.md S11)."""
+
+from .figure1 import Figure1Result, run_figure1
+from .figure2 import Figure2Result, run_figure2
+from .figures3_4 import Figures34Result, run_figures34
+from .paper_data import (
+    PAPER_FREQUENCY,
+    TABLE1_BY_NAME,
+    TABLE1_ROWS,
+    TABLE2,
+    TABLE3_ROWS,
+    TABLE4_ROWS,
+)
+from .report import ascii_plot, microwatts, render_table
+from .runner import run_all
+from .table1 import (
+    Table1Result,
+    Table1Row,
+    compare_to_published,
+    run_table1_calibrated,
+    run_table1_native,
+)
+from .table2 import Table2Result, run_table2
+from .wallace_family import (
+    WallaceFamilyResult,
+    WallaceFamilyRow,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "Figure1Result",
+    "Figure2Result",
+    "Figures34Result",
+    "PAPER_FREQUENCY",
+    "TABLE1_BY_NAME",
+    "TABLE1_ROWS",
+    "TABLE2",
+    "TABLE3_ROWS",
+    "TABLE4_ROWS",
+    "Table1Result",
+    "Table1Row",
+    "Table2Result",
+    "WallaceFamilyResult",
+    "WallaceFamilyRow",
+    "ascii_plot",
+    "compare_to_published",
+    "microwatts",
+    "render_table",
+    "run_all",
+    "run_figure1",
+    "run_figure2",
+    "run_figures34",
+    "run_table1_calibrated",
+    "run_table1_native",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.experiments`` runs the full battery."""
+
+from .runner import run_all
+
+run_all()

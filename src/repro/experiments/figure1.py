@@ -1,0 +1,107 @@
+"""Experiment F1 — regenerate Figure 1.
+
+Figure 1 plots total power against supply voltage along the zero-slack
+constraint for a 16-bit RCA multiplier at three activities (a = 1, 0.1,
+0.01), marks each curve's optimal working point, and annotates the
+dynamic/static power ratio there.  It is the paper's motivating picture:
+lower activity lowers the achievable power but pushes the optimum to a
+*higher* Vdd and Vth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.architecture import ArchitectureParameters
+from ..core.calibration import calibrate_row
+from ..core.numerical import constrained_total_power, numerical_optimum
+from ..core.optimum import OperatingPoint
+from ..core.technology import ST_CMOS09_LL, Technology
+from .paper_data import FIGURE1_ACTIVITIES, PAPER_FREQUENCY, TABLE1_BY_NAME
+from .report import ascii_plot, render_table
+
+
+@dataclass(frozen=True)
+class Figure1Curve:
+    """One activity's constrained power curve plus its optimum."""
+
+    activity: float
+    vdd: np.ndarray
+    ptot: np.ndarray
+    optimum: OperatingPoint
+
+    @property
+    def dynamic_static_ratio(self) -> float:
+        """The Pdyn/Pstat annotation printed next to each cross mark."""
+        return self.optimum.dynamic_static_ratio
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """All curves of the figure."""
+
+    technology: Technology
+    curves: list[Figure1Curve]
+
+    def render(self) -> str:
+        series = {
+            f"a={curve.activity:g}": (curve.vdd, curve.ptot * 1e6)
+            for curve in self.curves
+        }
+        chart = ascii_plot(
+            series,
+            logy=True,
+            title=(
+                "Figure 1: total power along the timing constraint "
+                f"({self.technology.name}, 16-bit RCA multiplier)"
+            ),
+            xlabel="Vdd [V]",
+            ylabel="Ptot [uW]",
+        )
+        headers = ["activity", "Vdd*", "Vth*", "Ptot* [uW]", "Pdyn/Pstat"]
+        rows = [
+            [
+                f"{curve.activity:g}",
+                f"{curve.optimum.vdd:.3f}",
+                f"{curve.optimum.vth:.3f}",
+                f"{curve.optimum.ptot * 1e6:.2f}",
+                f"{curve.dynamic_static_ratio:.2f}",
+            ]
+            for curve in self.curves
+        ]
+        marks = render_table(headers, rows, title="optimal working points")
+        return chart + "\n\n" + marks
+
+
+def run_figure1(
+    activities: tuple[float, ...] = FIGURE1_ACTIVITIES,
+    tech: Technology = ST_CMOS09_LL,
+    frequency: float = PAPER_FREQUENCY,
+    vdd_points: int = 120,
+) -> Figure1Result:
+    """Sweep the constrained power curve for each activity.
+
+    The circuit is the calibrated basic RCA multiplier with its activity
+    overridden per curve, matching the figure's caption ("for different
+    circuit activities").
+    """
+    base = calibrate_row(TABLE1_BY_NAME["RCA"], tech, frequency)
+    curves = []
+    for activity in activities:
+        arch: ArchitectureParameters = base.with_updates(
+            name=f"RCA a={activity:g}", activity=activity
+        )
+        optimum = numerical_optimum(arch, tech, frequency).point
+        vdd = np.linspace(max(0.2, optimum.vdd - 0.25), optimum.vdd + 0.55, vdd_points)
+        _, _, _, ptot = constrained_total_power(arch, tech, frequency, vdd)
+        curves.append(
+            Figure1Curve(
+                activity=activity,
+                vdd=vdd,
+                ptot=np.asarray(ptot),
+                optimum=optimum,
+            )
+        )
+    return Figure1Result(technology=tech, curves=curves)

@@ -1,0 +1,66 @@
+"""Experiment F2 — regenerate Figure 2 (the Eq. 7 linearisation).
+
+Figure 2 shows ``Vdd**(1/alpha)`` for α = 1.5 over 0.3–0.9 V together
+with its linear approximation — the step that makes the closed form
+(Eq. 13) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.linearization import LinearFit, figure2_curves, fit_vdd_root
+from .paper_data import FIGURE2_ALPHA, FIGURE2_RANGE
+from .report import ascii_plot, render_table
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Sampled curves and the underlying fit."""
+
+    alpha: float
+    vdd: np.ndarray
+    exact: np.ndarray
+    linear: np.ndarray
+    fit: LinearFit
+
+    def render(self) -> str:
+        chart = ascii_plot(
+            {
+                "Vdd^(1/alpha)": (self.vdd, self.exact),
+                "A*Vdd + B": (self.vdd, self.linear),
+            },
+            title=f"Figure 2: linearisation of Vdd^(1/alpha), alpha = {self.alpha:g}",
+            xlabel="Vdd [V]",
+            ylabel="Vdd^(1/alpha)",
+            height=16,
+        )
+        headers = ["alpha", "range [V]", "A", "B", "max |err|", "rms err"]
+        rows = [[
+            f"{self.alpha:g}",
+            f"{self.fit.vdd_min:g}-{self.fit.vdd_max:g}",
+            f"{self.fit.a:.4f}",
+            f"{self.fit.b:.4f}",
+            f"{self.fit.max_abs_error:.4f}",
+            f"{self.fit.rms_error:.4f}",
+        ]]
+        return chart + "\n\n" + render_table(headers, rows, title="fit quality")
+
+
+def run_figure2(
+    alpha: float = FIGURE2_ALPHA,
+    vdd_range: tuple[float, float] = FIGURE2_RANGE,
+    samples: int = 73,
+) -> Figure2Result:
+    """Sample the exact and linearised curves over the figure's range."""
+    curves = figure2_curves(alpha=alpha, vdd_range=vdd_range, samples=samples)
+    fit = fit_vdd_root(alpha, vdd_range)
+    return Figure2Result(
+        alpha=alpha,
+        vdd=curves["vdd"],
+        exact=curves["exact"],
+        linear=curves["linear"],
+        fit=fit,
+    )

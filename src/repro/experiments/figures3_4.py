@@ -1,0 +1,115 @@
+"""Experiments F3/F4 — the pipelined-array structure figures.
+
+Figures 3 and 4 are schematics of the 8-bit RCA multiplier with
+horizontal and diagonal register insertion.  Their reproducible content
+is structural, and that is what this experiment regenerates:
+
+* register counts added by each cut style (the figures' flip-flop rows);
+* per-stage logic depth (how evenly each style balances the pipeline);
+* the measured activity/glitch consequence of the style — the reason
+  Section 4 concludes the diagonal cut's shorter critical path is paid
+  for in glitches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..generators.array_mult import build_array_multiplier
+from ..sim.activity import ActivityReport, measure_activity
+from ..sta.analysis import analyze_timing, critical_path_length
+from .report import render_table
+
+
+@dataclass(frozen=True)
+class PipelineStructure:
+    """Structural summary of one pipelined array variant."""
+
+    name: str
+    style: str | None
+    n_stages: int
+    n_cells: int
+    n_registers: int
+    registers_added: int
+    critical_path: float
+    mean_arrival_spread: float
+    activity: float
+    glitch_ratio: float
+
+
+@dataclass(frozen=True)
+class Figures34Result:
+    """All variants of the comparison (basic + hor/diag × stage counts)."""
+
+    width: int
+    variants: list[PipelineStructure]
+
+    def variant(self, name: str) -> PipelineStructure:
+        for candidate in self.variants:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no variant named {name!r}")
+
+    def render(self) -> str:
+        headers = [
+            "variant", "stages", "cells", "DFFs", "+regs", "crit.path",
+            "arr.spread", "activity", "glitch",
+        ]
+        rows = [
+            [
+                variant.name,
+                str(variant.n_stages),
+                str(variant.n_cells),
+                str(variant.n_registers),
+                f"+{variant.registers_added}",
+                f"{variant.critical_path:.1f}",
+                f"{variant.mean_arrival_spread:.2f}",
+                f"{variant.activity:.4f}",
+                f"{variant.glitch_ratio:.2f}",
+            ]
+            for variant in self.variants
+        ]
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Figures 3/4: register insertion in the {self.width}-bit "
+                f"RCA array (horizontal vs diagonal cuts)"
+            ),
+        )
+
+
+def _structure(
+    width: int, n_stages: int, style: str | None, base_registers: int,
+    n_vectors: int,
+) -> PipelineStructure:
+    impl = build_array_multiplier(width, n_stages=n_stages, style=style)
+    timing = analyze_timing(impl.netlist)
+    activity: ActivityReport = measure_activity(impl, n_vectors=n_vectors)
+    registers = impl.netlist.cell_counts().get("DFF", 0)
+    return PipelineStructure(
+        name=impl.name,
+        style=style,
+        n_stages=n_stages,
+        n_cells=impl.n_cells,
+        n_registers=registers,
+        registers_added=registers - base_registers,
+        critical_path=timing.critical_path_length,
+        mean_arrival_spread=timing.mean_arrival_spread,
+        activity=activity.activity,
+        glitch_ratio=activity.glitch_ratio,
+    )
+
+
+def run_figures34(width: int = 8, n_vectors: int = 120) -> Figures34Result:
+    """Regenerate the structural comparison at the figures' 8-bit width."""
+    base = build_array_multiplier(width)
+    base_registers = base.netlist.cell_counts().get("DFF", 0)
+    variants = [
+        _structure(width, 1, None, base_registers, n_vectors),
+        _structure(width, 2, "horizontal", base_registers, n_vectors),
+        _structure(width, 2, "diagonal", base_registers, n_vectors),
+        _structure(width, 4, "horizontal", base_registers, n_vectors),
+        _structure(width, 4, "diagonal", base_registers, n_vectors),
+    ]
+    return Figures34Result(width=width, variants=variants)

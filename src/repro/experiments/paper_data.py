@@ -1,0 +1,100 @@
+"""Every number published in the paper, as structured data.
+
+This module is the single source of truth for paper-vs-measured
+comparisons: Table 1 (thirteen 16-bit multipliers on ST LL), Table 2
+(technology flavours), Tables 3–4 (Wallace family on ULL/HS), the fitted
+linearisation constants, and the evaluation frequency.
+
+Nothing here is computed — transcription only.  Power values are stored in
+watts (the paper prints microwatts), areas in µm².
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import PublishedRow
+
+#: Throughput frequency of every table: 31.25 MHz data clock.
+PAPER_FREQUENCY = 31.25e6
+
+#: Linearisation constants published in Section 4 for the LL flavour
+#: (alpha = 1.86, fit range 0.3-1.0 V).
+PAPER_A = 0.671
+PAPER_B = 0.347
+
+#: Other Section 4 model constants.
+PAPER_ALPHA_LL = 1.86
+PAPER_N = 1.33
+PAPER_VT0_NOMINAL = 0.354
+PAPER_VDD_NOMINAL = 1.2
+
+#: Table 1 — all values at the optimal working point, f = 31.25 MHz, ST LL.
+#: Columns: name, N, area, a, LDeff, Vdd, Vth, Pdyn, Pstat, Ptot,
+#: Eq.13 Ptot, Eq.13 error %.
+TABLE1_ROWS = [
+    PublishedRow("RCA",            608, 11038, 0.5056,  61.00, 0.478, 0.213, 154.86e-6,  36.57e-6, 191.44e-6, 191.09e-6,  0.182),
+    PublishedRow("RCA parallel",  1256, 22223, 0.2624,  30.50, 0.395, 0.233, 117.20e-6,  30.37e-6, 147.57e-6, 150.29e-6, -1.844),
+    PublishedRow("RCA parallel4", 2455, 43735, 0.1344,  15.75, 0.359, 0.256, 100.51e-6,  26.39e-6, 126.90e-6, 129.93e-6, -2.384),
+    PublishedRow("RCA hor.pipe2",  672, 12458, 0.3904,  40.00, 0.423, 0.225, 100.51e-6,  25.27e-6, 125.78e-6, 127.25e-6, -1.166),
+    PublishedRow("RCA hor.pipe4",  800, 15298, 0.2944,  28.00, 0.394, 0.238,  81.54e-6,  20.94e-6, 102.48e-6, 104.34e-6, -1.819),
+    PublishedRow("RCA diagpipe2",  670, 12684, 0.4064,  26.00, 0.407, 0.224,  98.65e-6,  25.50e-6, 124.15e-6, 126.11e-6, -1.581),
+    PublishedRow("RCA diagpipe4",  812, 15762, 0.3456,  14.00, 0.366, 0.233,  82.83e-6,  22.52e-6, 105.35e-6, 108.04e-6, -2.559),
+    PublishedRow("Wallace",        729, 11928, 0.2976,  17.00, 0.372, 0.236,  56.69e-6,  15.17e-6,  71.86e-6,  73.56e-6, -2.376),
+    PublishedRow("Wallace parallel", 1465, 23993, 0.1568, 8.00, 0.341, 0.256,  55.64e-6,  15.06e-6,  70.69e-6,  72.58e-6, -2.676),
+    PublishedRow("Wallace par4",  2939, 47271, 0.0832,   4.75, 0.333, 0.277,  58.04e-6,  15.26e-6,  73.30e-6,  75.01e-6, -2.335),
+    PublishedRow("Sequential",     290,  4954, 2.9152, 224.00, 0.824, 0.173, 1134.00e-6, 184.48e-6, 1318.48e-6, 1318.94e-6, -0.035),
+    PublishedRow("Seq4_16",        351,  6132, 0.2464, 120.00, 0.711, 0.228, 184.69e-6,  31.59e-6, 216.29e-6, 212.62e-6,  1.696),
+    PublishedRow("Seq parallel",   322,  7276, 1.3280, 168.00, 0.817, 0.192, 888.19e-6, 142.07e-6, 1030.26e-6, 1028.97e-6,  0.124),
+]
+
+#: Table 1 rows keyed by architecture name.
+TABLE1_BY_NAME = {row.name: row for row in TABLE1_ROWS}
+
+#: Table 2 — published technology parameters (Vdd nom, Vth0 nom, Io, zeta,
+#: alpha). Io in amperes, zeta in farads.
+TABLE2 = {
+    "ULL": {"vdd_nominal": 1.2, "vth0_nominal": 0.466, "io": 2.11e-6, "zeta": 7.5e-12, "alpha": 1.95},
+    "LL":  {"vdd_nominal": 1.2, "vth0_nominal": 0.354, "io": 3.34e-6, "zeta": 5.5e-12, "alpha": 1.86},
+    "HS":  {"vdd_nominal": 1.2, "vth0_nominal": 0.328, "io": 7.08e-6, "zeta": 6.1e-12, "alpha": 1.58},
+}
+
+
+def _family_row(name, vdd, vth, ptot, ptot_eq13, err):
+    """Compact constructor for the Tables 3/4 Wallace-family rows."""
+    return {
+        "name": name,
+        "vdd": vdd,
+        "vth": vth,
+        "ptot": ptot,
+        "ptot_eq13": ptot_eq13,
+        "eq13_error_percent": err,
+    }
+
+
+#: Table 3 — Wallace family on ULL at 31.25 MHz (only Vdd/Vth/Ptot columns
+#: are published; N/a/LD are the Table 1 architecture inputs).
+TABLE3_ROWS = [
+    _family_row("Wallace",          0.409, 0.231, 84.79e-6, 86.03e-6, -1.47),
+    _family_row("Wallace parallel", 0.363, 0.253, 76.24e-6, 78.02e-6, -2.33),
+    _family_row("Wallace par4",     0.360, 0.281, 80.61e-6, 82.21e-6, -1.98),
+]
+
+#: Table 4 — Wallace family on HS at 31.25 MHz.
+TABLE4_ROWS = [
+    _family_row("Wallace",          0.398, 0.328,  99.56e-6, 100.33e-6, -0.78),
+    _family_row("Wallace parallel", 0.383, 0.349, 110.27e-6, 111.39e-6, -1.01),
+    _family_row("Wallace par4",     0.390, 0.376, 118.89e-6, 119.99e-6, -0.93),
+]
+
+#: Map from Table 3/4 names to the Table 1 rows carrying (N, a, LDeff).
+WALLACE_FAMILY = ["Wallace", "Wallace parallel", "Wallace par4"]
+
+#: Figure 1 — activities of the three plotted curves (16-bit RCA
+#: multiplier, STM 0.13 µm HCMOS9GPLL).
+FIGURE1_ACTIVITIES = (1.0, 0.1, 0.01)
+
+#: Figure 2 — alpha and display range of the linearisation plot.
+FIGURE2_ALPHA = 1.5
+FIGURE2_RANGE = (0.3, 0.9)
+
+#: Headline claim of the abstract: |Eq.13 error| < 3 % on all 13 multipliers.
+MAX_ABS_EQ13_ERROR_PERCENT = 3.0

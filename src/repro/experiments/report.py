@@ -1,0 +1,104 @@
+"""Plain-text rendering for tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned, diff-able and free of plotting
+dependencies (figures render as ASCII charts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Align ``rows`` under ``headers``; floats are pre-formatted by caller."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells))
+        if cells
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(value.rjust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def microwatts(power_watts: float) -> str:
+    """Format a power in microwatts with two decimals (Table 1 style)."""
+    return f"{power_watts * 1e6:.2f}"
+
+
+def ascii_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 20,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets a distinct marker; NaN points are skipped.  Good
+    enough to eyeball the U-shaped Figure 1 curves and the Figure 2
+    linearisation without matplotlib.
+    """
+    markers = "ox+*#@%&"
+    all_x = np.concatenate([x for x, _ in series.values()])
+    all_y = np.concatenate([y for _, y in series.values()])
+    finite = np.isfinite(all_x) & np.isfinite(all_y)
+    if logy:
+        finite &= all_y > 0
+    if not finite.any():
+        raise ValueError("nothing to plot: no finite points")
+    x_lo, x_hi = float(all_x[finite].min()), float(all_x[finite].max())
+    y_values = np.log10(all_y[finite]) if logy else all_y[finite]
+    y_lo, y_hi = float(y_values.min()), float(y_values.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if logy:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            column = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_bottom = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    lines.append(f"{ylabel} [{y_bottom} .. {y_top}]" + (" (log)" if logy else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Run every experiment and print the paper's tables and figures.
+
+``python -m repro.experiments`` executes the full battery: Tables 1–4 in
+calibrated mode, Table 1 in native (netlist-driven) mode, and Figures 1–4.
+Used to produce EXPERIMENTS.md and as the integration smoke test.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .figures3_4 import run_figures34
+from .table1 import compare_to_published, run_table1_calibrated, run_table1_native
+from .table2 import run_table2
+from .wallace_family import run_table3, run_table4
+
+
+def run_all(native_vectors: int = 150, verbose: bool = True) -> dict[str, object]:
+    """Execute every experiment; returns results keyed by experiment id."""
+    results: dict[str, object] = {}
+
+    def stage(name: str, worker):
+        start = time.perf_counter()
+        results[name] = worker()
+        elapsed = time.perf_counter() - start
+        if verbose:
+            print(f"\n=== {name} ({elapsed:.1f} s) " + "=" * 30)
+            rendered = getattr(results[name], "render", None)
+            if rendered is not None:
+                print(rendered())
+
+    stage("table1-calibrated", run_table1_calibrated)
+    if verbose:
+        print()
+        print(compare_to_published(results["table1-calibrated"]))
+    stage("table1-native", lambda: run_table1_native(n_vectors=native_vectors))
+    if verbose:
+        print()
+        print(compare_to_published(results["table1-native"]))
+    stage("table2", run_table2)
+    stage("table3", run_table3)
+    stage("table4", run_table4)
+    stage("figure1", run_figure1)
+    stage("figure2", run_figure2)
+    stage("figures3-4", run_figures34)
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run_all()

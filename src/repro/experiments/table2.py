@@ -1,0 +1,81 @@
+"""Experiment T2 — regenerate Table 2 (technology parameters).
+
+Table 2 lists the extracted ST CMOS09 parameters per flavour.  We cannot
+re-run ELDO on ST decks, so the regeneration has two parts:
+
+* the published values themselves (transcribed in ``paper_data``), and
+* our own extraction flow run on the synthetic devices
+  (:mod:`repro.characterization`), demonstrating the same procedure the
+  authors describe and reporting how faithfully the fit recovers the
+  generating parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..characterization import device, native_technology
+from ..core.technology import Technology
+from .paper_data import TABLE2
+from .report import render_table
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Published and characterised parameter sets, per flavour."""
+
+    fitted: dict[str, Technology]
+
+    def render(self) -> str:
+        headers = [
+            "flavour", "source", "Vdd nom [V]", "Vth0 [V]", "Io [uA]",
+            "zeta [pF]", "alpha",
+        ]
+        rows = []
+        for label in ("ULL", "LL", "HS"):
+            published = TABLE2[label]
+            rows.append([
+                label, "paper",
+                f"{published['vdd_nominal']:.1f}",
+                f"{published['vth0_nominal']:.3f}",
+                f"{published['io'] * 1e6:.2f}",
+                f"{published['zeta'] * 1e12:.1f}",
+                f"{published['alpha']:.2f}",
+            ])
+            fitted = self.fitted[label]
+            rows.append([
+                label, "our fit",
+                f"{fitted.vdd_nominal:.1f}",
+                f"{fitted.vth0_nominal:.3f}",
+                f"{fitted.io * 1e6:.2f}",
+                f"{fitted.zeta * 1e12:.2f}",
+                f"{fitted.alpha:.2f}",
+            ])
+        return render_table(
+            headers, rows, title="Table 2: technology parameters (ST CMOS09)"
+        )
+
+    def ordering_checks(self) -> dict[str, bool]:
+        """The relations Section 5 builds its argument on."""
+        fitted = self.fitted
+        return {
+            "io: ULL < LL < HS": fitted["ULL"].io < fitted["LL"].io < fitted["HS"].io,
+            "alpha: HS < LL < ULL": (
+                fitted["HS"].alpha < fitted["LL"].alpha < fitted["ULL"].alpha
+            ),
+            "vth0: HS < LL < ULL": (
+                fitted["HS"].vth0_nominal
+                < fitted["LL"].vth0_nominal
+                < fitted["ULL"].vth0_nominal
+            ),
+            "zeta: LL < ULL (slow flavour)": fitted["LL"].zeta < fitted["ULL"].zeta,
+        }
+
+
+def run_table2() -> Table2Result:
+    """Characterise every synthetic flavour and package the comparison."""
+    fitted = {label: native_technology(label) for label in ("ULL", "LL", "HS")}
+    # Touch the devices so a missing flavour fails loudly here, not in render.
+    for label in fitted:
+        device(label)
+    return Table2Result(fitted=fitted)

@@ -1,0 +1,49 @@
+"""Structural generators for the paper's thirteen multipliers (DESIGN.md S7)."""
+
+from .adders import (
+    carry_save_row,
+    full_adder,
+    half_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+    sklansky_adder,
+)
+from .array_mult import array_core, build_array_multiplier
+from .base import MultiplierImplementation
+from .parallel import build_parallel_multiplier
+from .registry import (
+    MULTIPLIER_FACTORIES,
+    MULTIPLIER_NAMES,
+    PAPER_WIDTH,
+    build_all_multipliers,
+    build_multiplier,
+)
+from .sequential import (
+    build_parallel_sequential_multiplier,
+    build_sequential_4x16_multiplier,
+    build_sequential_multiplier,
+)
+from .wallace import build_wallace_multiplier, wallace_core
+
+__all__ = [
+    "MULTIPLIER_FACTORIES",
+    "MULTIPLIER_NAMES",
+    "MultiplierImplementation",
+    "PAPER_WIDTH",
+    "array_core",
+    "build_all_multipliers",
+    "build_array_multiplier",
+    "build_multiplier",
+    "build_parallel_multiplier",
+    "build_parallel_sequential_multiplier",
+    "build_sequential_4x16_multiplier",
+    "build_sequential_multiplier",
+    "build_wallace_multiplier",
+    "carry_save_row",
+    "full_adder",
+    "half_adder",
+    "kogge_stone_adder",
+    "ripple_carry_adder",
+    "sklansky_adder",
+    "wallace_core",
+]

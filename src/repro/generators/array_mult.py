@@ -1,0 +1,212 @@
+"""RCA array multiplier and its pipelined variants (paper Section 4, item 1).
+
+The "Ripple Carry Array" multiplier is the classic carry-save array with a
+final ripple-carry (vector-merge) adder: a grid of 1-bit adders whose
+overall speed is limited by carry/sum propagation through the array — the
+basic implementation's critical path walks diagonally through all rows and
+then ripples along the final adder, giving the long logical depth Table 1
+reports (LDeff 61).
+
+Pipelined flavours insert register planes through the array:
+
+* **horizontal** (Figure 3): cuts between adder rows;
+* **diagonal** (Figure 4): cuts along constant ``row − column`` lines,
+  which shortens the worst path more aggressively but leaves a larger
+  spread of path lengths inside each stage — the structural cause of the
+  extra glitching Section 4 blames for the diagonal version's higher
+  activity.
+
+Cell coordinates: partial product ``pp[i][j] = a[j] AND b[i]`` has weight
+``i + j``; the carry-save cell at (row *i*, column *j*) combines
+``pp[i][j]`` with row *i−1*'s sum from column *j+1* and carry from column
+*j*.  Product bit *i* (*i < width*) falls out of column 0 of row *i*; the
+final adder merges the surviving sum/carry vectors into the high half.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import Builder
+from ..netlist.netlist import Netlist
+from .base import MultiplierImplementation
+from .pipeline import PipelineContext, diagonal_stage, horizontal_stage
+
+#: Pipeline styles accepted by :func:`build_array_multiplier`.
+PIPELINE_STYLES = ("horizontal", "diagonal")
+
+
+def _stage_schedule(style: str | None, width: int, n_stages: int):
+    """Return ``stage(i, j)`` for array cells and ``stage_final(c)`` for the
+    vector-merge adder, according to the pipeline style."""
+    if n_stages == 1 or style is None:
+        return (lambda i, j: 0), (lambda c: 0)
+    if style == "horizontal":
+        # Array rows 0..width-1, final adder behaves as one more row.
+        n_rows = width + 1
+        return (
+            lambda i, j: horizontal_stage(i, n_rows, n_stages),
+            lambda c: horizontal_stage(width, n_rows, n_stages),
+        )
+    if style == "diagonal":
+        # metric = i - j + (width-1) in [0, 2w-2] for array cells,
+        # continued as (2w-1) + c through the final adder's carry chain.
+        span = 3 * width - 2
+        return (
+            lambda i, j: diagonal_stage(i - j + width - 1, span, n_stages),
+            lambda c: diagonal_stage(2 * width - 1 + c, span, n_stages),
+        )
+    raise ValueError(
+        f"unknown pipeline style {style!r}; expected one of {PIPELINE_STYLES}"
+    )
+
+
+def array_core(
+    builder: Builder,
+    a: list[int],
+    b: list[int],
+    context: PipelineContext | None = None,
+    stage_array=None,
+    stage_final=None,
+) -> list[int]:
+    """The carry-save array + vector-merge datapath; returns product bits.
+
+    ``a``/``b`` are registered operand buses already declared in the
+    pipeline context (stage 0).  Without a context, a trivial single-stage
+    one is created — this is the entry point the parallelised variants use
+    to replicate the datapath.
+    """
+    width = len(a)
+    if len(b) != width:
+        raise ValueError(f"operand width mismatch: {width} vs {len(b)}")
+    if context is None:
+        context = PipelineContext(builder, 1)
+        context.produce_bus(a, 0)
+        context.produce_bus(b, 0)
+    if stage_array is None or stage_final is None:
+        stage_array, stage_final = _stage_schedule(None, width, context.n_stages)
+
+    # Partial products: pp[i][j] = a[j] & b[i], scheduled with their row.
+    pp = [
+        [
+            context.add_cell("AND2", [a[j], b[i]], stage_array(i, j))[0][0]
+            for j in range(width)
+        ]
+        for i in range(width)
+    ]
+
+    # Row state: after processing row i, sum_row[j] = s(i, j) has weight
+    # i+j and carry_row[j] = c(i, j) has weight i+j+1.  Row i's cell at
+    # column j therefore consumes pp[i][j], s(i-1, j+1) and c(i-1, j),
+    # all of weight i+j.
+    def compress(operands: list[int], requested: int) -> tuple[int, int | None]:
+        """HA/FA/wire depending on how many operands share this weight."""
+        if len(operands) == 1:
+            return operands[0], None
+        if len(operands) == 2:
+            (bit_sum, bit_carry), _ = context.add_cell("HA", operands, requested)
+        else:
+            (bit_sum, bit_carry), _ = context.add_cell("FA", operands, requested)
+        return bit_sum, bit_carry
+
+    sum_row: list[int | None] = list(pp[0])  # s(0, j) = pp[0][j]
+    carry_row: list[int | None] = [None] * width
+    product_bits: list[int] = [sum_row[0]]  # bit 0 = pp[0][0]
+
+    for i in range(1, width):
+        next_sums: list[int | None] = [None] * width
+        next_carries: list[int | None] = [None] * width
+        for j in range(width):
+            operands = [pp[i][j]]
+            if j + 1 < width and sum_row[j + 1] is not None:
+                operands.append(sum_row[j + 1])
+            if carry_row[j] is not None:
+                operands.append(carry_row[j])
+            next_sums[j], next_carries[j] = compress(operands, stage_array(i, j))
+        product_bits.append(next_sums[0])
+        sum_row, carry_row = next_sums, next_carries
+
+    # Final vector-merge (ripple-carry) adder over the surviving
+    # sum/carry vectors; the top carry (weight 2*width) is provably zero
+    # for unsigned operands and left dangling.
+    carry: int | None = None
+    for c in range(width):
+        operands = []
+        if c + 1 < width and sum_row[c + 1] is not None:
+            operands.append(sum_row[c + 1])
+        if carry_row[c] is not None:
+            operands.append(carry_row[c])
+        if carry is not None:
+            operands.append(carry)
+        bit_sum, carry = compress(operands, stage_final(c))
+        product_bits.append(bit_sum)
+
+    return context.align_bus(product_bits, context.last_stage)
+
+
+def build_array_multiplier(
+    width: int = 16,
+    n_stages: int = 1,
+    style: str | None = None,
+    name: str | None = None,
+) -> MultiplierImplementation:
+    """Generate the (optionally pipelined) RCA array multiplier.
+
+    Parameters
+    ----------
+    width:
+        Operand width in bits (the paper uses 16).
+    n_stages:
+        Pipeline stage count (1 = the basic combinational array).
+    style:
+        ``"horizontal"`` or ``"diagonal"`` register insertion; ignored for
+        ``n_stages == 1``.
+
+    Returns
+    -------
+    MultiplierImplementation
+        Input-registered, output-registered netlist with a data latency of
+        ``n_stages + 1`` clock cycles.
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if n_stages > 1 and style not in PIPELINE_STYLES:
+        raise ValueError(
+            f"pipelined array needs style in {PIPELINE_STYLES}, got {style!r}"
+        )
+
+    if name is None:
+        if n_stages == 1:
+            name = f"rca{width}"
+        else:
+            name = f"rca{width}-{style[:4]}pipe{n_stages}"
+
+    netlist = Netlist(name)
+    builder = Builder(netlist)
+    context = PipelineContext(builder, n_stages)
+    stage_array, stage_final = _stage_schedule(style, width, n_stages)
+
+    a_pins = netlist.add_input_bus("a", width)
+    b_pins = netlist.add_input_bus("b", width)
+    a = builder.register_bus(a_pins)
+    b = builder.register_bus(b_pins)
+    context.produce_bus(a, 0)
+    context.produce_bus(b, 0)
+
+    aligned = array_core(builder, a, b, context, stage_array, stage_final)
+    outputs = builder.register_bus(aligned)
+    netlist.set_outputs(outputs)
+    netlist.freeze()
+
+    return MultiplierImplementation(
+        name=name,
+        netlist=netlist,
+        width=width,
+        a_bus=tuple(a_pins),
+        b_bus=tuple(b_pins),
+        product_bus=tuple(outputs),
+        cycles_per_result=1,
+        ld_divisor=1.0,
+        description=(
+            f"carry-save array multiplier with ripple vector-merge adder, "
+            f"{n_stages} stage(s)" + (f" ({style} cuts)" if n_stages > 1 else "")
+        ),
+    )

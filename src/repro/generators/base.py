@@ -1,0 +1,98 @@
+"""Common wrapper for generated multiplier implementations.
+
+Every generator returns a :class:`MultiplierImplementation`, which bundles
+the netlist with the scheduling metadata the simulator, verifier and
+parameter-extraction code need:
+
+* ``cycles_per_result`` — internal clock cycles consumed per operand pair
+  (1 for combinational/pipelined/parallel designs, 16 for the basic
+  add-shift multiplier, 4 for the 4×16 Wallace variant);
+* ``results_per_fill`` — how many operand pairs are in flight (pipeline
+  depth in data periods, used to compute verification latency);
+* ``ld_divisor`` — how many data periods the critical path may stretch
+  over (k for k-parallel designs: each replica sees a new operand every
+  k-th cycle, which is exactly the timing relaxation Section 4 exploits);
+* ``clock_multiplier`` — internal clock frequency relative to the data
+  throughput clock (16 for the basic sequential multiplier, matching the
+  paper's "internal clock running 16 times faster" remark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class MultiplierImplementation:
+    """A generated multiplier netlist plus its scheduling metadata."""
+
+    name: str
+    netlist: Netlist
+    width: int
+    a_bus: tuple[int, ...]
+    b_bus: tuple[int, ...]
+    product_bus: tuple[int, ...]
+    cycles_per_result: int = 1
+    ld_divisor: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.a_bus) != self.width or len(self.b_bus) != self.width:
+            raise ValueError(
+                f"{self.name}: operand buses must be {self.width} bits wide"
+            )
+        if len(self.product_bus) != 2 * self.width:
+            raise ValueError(
+                f"{self.name}: product bus must be {2 * self.width} bits wide"
+            )
+        if self.cycles_per_result < 1:
+            raise ValueError(
+                f"{self.name}: cycles_per_result must be >= 1, "
+                f"got {self.cycles_per_result}"
+            )
+
+    @property
+    def clock_multiplier(self) -> int:
+        """Internal clock rate relative to the data (throughput) clock."""
+        return self.cycles_per_result
+
+    @property
+    def n_cells(self) -> int:
+        """Cell count of the underlying netlist."""
+        return self.netlist.n_cells
+
+    def operand_cycles(self, a: int, b: int) -> list[dict[int, int]]:
+        """Primary-input assignments for one operand pair.
+
+        Returns one dict per internal clock cycle (length
+        ``cycles_per_result``); operands are simply held stable, since all
+        sequencing (counters, enables) is internal to the netlists.
+        """
+        mask = (1 << self.width) - 1
+        if a & mask != a or b & mask != b:
+            raise ValueError(
+                f"operands must fit in {self.width} bits, got a={a}, b={b}"
+            )
+        assignment = {}
+        for bit, net in enumerate(self.a_bus):
+            assignment[net] = (a >> bit) & 1
+        for bit, net in enumerate(self.b_bus):
+            assignment[net] = (b >> bit) & 1
+        return [dict(assignment) for _ in range(self.cycles_per_result)]
+
+    def read_product(self, net_values: dict[int, int]) -> int:
+        """Decode the product bus from a settled net-value map."""
+        product = 0
+        for bit, net in enumerate(self.product_bus):
+            product |= (net_values[net] & 1) << bit
+        return product
+
+    def describe(self) -> str:
+        """One-line summary used by examples and reports."""
+        return (
+            f"{self.name}: {self.n_cells} cells, width {self.width}, "
+            f"{self.cycles_per_result} cycle(s)/result, "
+            f"LD divisor {self.ld_divisor:g}"
+        )

@@ -1,0 +1,111 @@
+"""Shared control-logic generators: counters, decoders, shift registers.
+
+These small state machines implement the sequencing the paper's
+sequential and parallelised multipliers need (load pulses, phase
+interleaving, operand shifting).  They rely on the netlist's
+placeholder/rewire mechanism to close register feedback loops.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import Builder, Bus
+
+
+def modulo_counter(builder: Builder, n_cycles: int, enable: int | None = None) -> Bus:
+    """Free-running modulo-``n_cycles`` binary counter; returns its Q bits.
+
+    ``n_cycles`` must be a power of two (the counter wraps naturally).
+    With ``enable``, the counter only advances on enabled cycles.
+    """
+    n_bits = (n_cycles - 1).bit_length()
+    if 1 << n_bits != n_cycles or n_cycles < 2:
+        raise ValueError(f"cycle count must be a power of two >= 2, got {n_cycles}")
+    netlist = builder.netlist
+
+    state = [netlist.add_placeholder(f"count[{bit}]") for bit in range(n_bits)]
+    carry = builder.const(1)
+    resolved: Bus = []
+    for bit in range(n_bits):
+        toggled = builder.gate("XOR2", state[bit], carry)
+        if bit + 1 < n_bits:
+            carry = builder.gate("AND2", state[bit], carry)
+        q = builder.register(toggled, enable=enable)
+        netlist.rewire(state[bit], q)
+        resolved.append(q)
+    return resolved
+
+
+def equals_constant(builder: Builder, bits: Bus, value: int) -> int:
+    """Decode ``bits == value`` with an AND tree over (possibly inverted) bits."""
+    terms = []
+    for position, bit in enumerate(bits):
+        if (value >> position) & 1:
+            terms.append(bit)
+        else:
+            terms.append(builder.invert(bit))
+    decoded = terms[0]
+    for term in terms[1:]:
+        decoded = builder.gate("AND2", decoded, term)
+    return decoded
+
+
+def load_pulse(
+    builder: Builder,
+    n_cycles: int,
+    enable: int | None = None,
+    fire_at: int | None = None,
+) -> int:
+    """A pulse one cycle wide per ``n_cycles`` window (default: last cycle).
+
+    ``fire_at`` offsets the pulse inside the window, which the interleaved
+    sequential-parallel multiplier uses to stagger its two copies.
+    """
+    if fire_at is None:
+        fire_at = n_cycles - 1
+    count = modulo_counter(builder, n_cycles, enable=enable)
+    pulse = equals_constant(builder, count, fire_at)
+    if enable is not None:
+        pulse = builder.gate("AND2", pulse, enable)
+    return pulse
+
+
+def shift_register_with_load(
+    builder: Builder,
+    data_in: Bus,
+    load: int,
+    shift_by: int = 1,
+    enable: int | None = None,
+) -> Bus:
+    """Right-shifting register with parallel load; returns its Q bits.
+
+    Bit 0 is the serial output.  With ``enable``, shifting/loading only
+    happens on enabled cycles.
+    """
+    netlist = builder.netlist
+    width = len(data_in)
+    state = [netlist.add_placeholder(f"shift[{bit}]") for bit in range(width)]
+    zero = builder.const(0)
+    resolved: Bus = []
+    for bit in range(width):
+        above = state[bit + shift_by] if bit + shift_by < width else zero
+        next_value = builder.mux(above, data_in[bit], load)
+        q = builder.register(next_value, enable=enable)
+        netlist.rewire(state[bit], q)
+        resolved.append(q)
+    return resolved
+
+
+def toggle_flipflop(builder: Builder) -> tuple[int, int]:
+    """A divide-by-two phase generator; returns ``(phase, not_phase)``.
+
+    ``phase`` starts at 0 (all flip-flops power up to 0) and toggles every
+    cycle — the interleaving signal for two-way parallel designs.
+    """
+    netlist = builder.netlist
+    state = netlist.add_placeholder("phase")
+    inverted = builder.invert(state)
+    q = builder.register(inverted)
+    netlist.rewire(state, q)
+    # After rewiring, `inverted` computes NOT(q) combinationally, so it
+    # doubles as the complementary phase output.
+    return q, inverted

@@ -1,0 +1,96 @@
+"""k-way parallelised multipliers (paper Section 4, "parallelization").
+
+Parallelisation replicates a combinational multiplier core ``k`` times and
+multiplexes the data across the copies: copy ``c`` captures a new operand
+pair only when the phase counter equals ``c``, so every copy's
+combinational logic has ``k`` clock periods to settle — "each multiplier
+has additional clock cycles at its disposal relaxing timing constraints".
+Throughput is unchanged (one result per cycle); the cost is ``k×`` the
+cells plus the output multiplexers — the overhead that eventually cancels
+the benefit for already-fast structures (the Wallace par4 case).
+
+Implementation details that matter for power:
+
+* operand capture uses enable flip-flops (DFFE), the cell-level equivalent
+  of the clock gating a synthesis flow would infer, so an idle copy's
+  inputs — and therefore its whole combinational cone — do not toggle;
+  this is what makes the per-cell activity drop towards ``a/k``;
+* the output side is a MUX2 tree selecting the copy whose k-cycle window
+  just completed, followed by the usual output register plane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..netlist.builder import Builder, Bus
+from ..netlist.netlist import Netlist
+from .base import MultiplierImplementation
+from .control import equals_constant, modulo_counter
+
+#: A combinational multiplier datapath: (builder, a_bus, b_bus) -> product.
+CoreFunction = Callable[[Builder, Bus, Bus], Bus]
+
+
+def build_parallel_multiplier(
+    core: CoreFunction,
+    width: int,
+    k: int,
+    name: str,
+    description: str = "",
+) -> MultiplierImplementation:
+    """Replicate ``core`` ``k`` times with interleaved operand capture.
+
+    ``k`` must be a power of two (the phase counter wraps naturally).
+    The returned implementation has ``ld_divisor = k``: its effective
+    logical depth at a given throughput is the core depth divided by k.
+    """
+    if k < 2 or (k & (k - 1)) != 0:
+        raise ValueError(f"parallelisation factor must be a power of two >= 2, got {k}")
+
+    netlist = Netlist(name)
+    builder = Builder(netlist)
+
+    a_pins = netlist.add_input_bus("a", width)
+    b_pins = netlist.add_input_bus("b", width)
+
+    phase = modulo_counter(builder, k)
+    products: list[Bus] = []
+    for copy in range(k):
+        capture = equals_constant(builder, phase, copy)
+        a_copy = [builder.register(pin, enable=capture) for pin in a_pins]
+        b_copy = [builder.register(pin, enable=capture) for pin in b_pins]
+        products.append(core(builder, a_copy, b_copy))
+
+    # Output side: during the cycle with phase == c, copy c's window is
+    # ending (it captured k cycles ago), so route copy c to the output
+    # registers.  A balanced MUX2 tree keyed on the phase bits does this
+    # with log2(k) levels.
+    def mux_tree(candidates: list[int], level: int) -> int:
+        if len(candidates) == 1:
+            return candidates[0]
+        half = len(candidates) // 2
+        low = mux_tree(candidates[:half], level + 1)
+        high = mux_tree(candidates[half:], level + 1)
+        # Select by the highest phase bit distinguishing the two halves.
+        select_bit = phase[len(phase) - 1 - level]
+        return builder.mux(low, high, select_bit)
+
+    outputs = []
+    for bit in range(2 * width):
+        routed = mux_tree([products[copy][bit] for copy in range(k)], 0)
+        outputs.append(builder.register(routed))
+    netlist.set_outputs(outputs)
+    netlist.freeze()
+
+    return MultiplierImplementation(
+        name=name,
+        netlist=netlist,
+        width=width,
+        a_bus=tuple(a_pins),
+        b_bus=tuple(b_pins),
+        product_bus=tuple(outputs),
+        cycles_per_result=1,
+        ld_divisor=float(k),
+        description=description or f"{k}-way parallel multiplier",
+    )

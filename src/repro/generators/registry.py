@@ -1,0 +1,94 @@
+"""The paper's thirteen 16-bit multipliers, by their Table 1 names.
+
+Each entry is a zero-argument factory returning a verified-construction
+:class:`~repro.generators.base.MultiplierImplementation`.  Names match the
+Table 1 rows exactly so experiment code can join generated circuits with
+published data.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+from .array_mult import array_core, build_array_multiplier
+from .base import MultiplierImplementation
+from .parallel import build_parallel_multiplier
+from .sequential import (
+    build_parallel_sequential_multiplier,
+    build_sequential_4x16_multiplier,
+    build_sequential_multiplier,
+)
+from .wallace import build_wallace_multiplier, wallace_core
+
+#: Operand width used throughout the paper.
+PAPER_WIDTH = 16
+
+
+def _rca_parallel(k: int) -> MultiplierImplementation:
+    return build_parallel_multiplier(
+        core=lambda builder, a, b: array_core(builder, a, b),
+        width=PAPER_WIDTH,
+        k=k,
+        name=f"rca{PAPER_WIDTH}-par{k}",
+        description=f"{k}-way parallel carry-save array multiplier",
+    )
+
+
+def _wallace_parallel(k: int) -> MultiplierImplementation:
+    return build_parallel_multiplier(
+        core=wallace_core,
+        width=PAPER_WIDTH,
+        k=k,
+        name=f"wallace{PAPER_WIDTH}-par{k}",
+        description=f"{k}-way parallel Wallace multiplier",
+    )
+
+
+#: Factories for all thirteen Table 1 architectures, keyed by row name.
+MULTIPLIER_FACTORIES: dict[str, Callable[[], MultiplierImplementation]] = {
+    "RCA": partial(build_array_multiplier, PAPER_WIDTH),
+    "RCA parallel": partial(_rca_parallel, 2),
+    "RCA parallel4": partial(_rca_parallel, 4),
+    "RCA hor.pipe2": partial(
+        build_array_multiplier, PAPER_WIDTH, n_stages=2, style="horizontal"
+    ),
+    "RCA hor.pipe4": partial(
+        build_array_multiplier, PAPER_WIDTH, n_stages=4, style="horizontal"
+    ),
+    "RCA diagpipe2": partial(
+        build_array_multiplier, PAPER_WIDTH, n_stages=2, style="diagonal"
+    ),
+    "RCA diagpipe4": partial(
+        build_array_multiplier, PAPER_WIDTH, n_stages=4, style="diagonal"
+    ),
+    "Wallace": partial(build_wallace_multiplier, PAPER_WIDTH),
+    "Wallace parallel": partial(_wallace_parallel, 2),
+    "Wallace par4": partial(_wallace_parallel, 4),
+    "Sequential": partial(build_sequential_multiplier, PAPER_WIDTH),
+    "Seq4_16": partial(build_sequential_4x16_multiplier, PAPER_WIDTH),
+    "Seq parallel": partial(build_parallel_sequential_multiplier, PAPER_WIDTH),
+}
+
+#: Table 1 row order, for reports.
+MULTIPLIER_NAMES = list(MULTIPLIER_FACTORIES)
+
+
+def build_multiplier(name: str) -> MultiplierImplementation:
+    """Build one of the thirteen paper multipliers by Table 1 name.
+
+    >>> build_multiplier("Wallace").width
+    16
+    """
+    try:
+        factory = MULTIPLIER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(MULTIPLIER_NAMES)
+        raise KeyError(f"unknown multiplier {name!r}; known: {known}")
+    implementation = factory()
+    return implementation
+
+
+def build_all_multipliers() -> dict[str, MultiplierImplementation]:
+    """Build the full thirteen-architecture set (Table 1 order)."""
+    return {name: build_multiplier(name) for name in MULTIPLIER_NAMES}

@@ -1,0 +1,297 @@
+"""Sequential (add-and-shift) multipliers (paper Section 4, item 3).
+
+The basic implementation computes a 16×16 product as sixteen add-shift
+steps on a single 17-bit adder: very few cells, but the internal clock
+must run 16× faster than the data clock to sustain throughput — which is
+why its *effective* logical depth (referenced to the data clock) is
+enormous (Table 1: LDeff 224 = 16 cycles × 14-gate adder chain) and its
+throughput-referenced activity exceeds 1.
+
+The ``4_16 Wallace`` variant retires four multiplier bits per cycle by
+summing four partial products through a small carry-save tree, cutting
+the cycles per result from 16 to 4.
+
+The parallel variant interleaves two copies on alternate internal cycles
+("simple replication and multiplexing of the basic version"), giving each
+copy two internal clock periods per add-shift step — the timing
+relaxation Section 4's parallelisation discussion is about.
+
+All sequencing (cycle counter, load detection, operand capture, shifting,
+result hand-off) is inside the netlists; the testbench only holds each
+operand pair stable for ``cycles_per_result`` internal cycles.
+
+Data-path invariant (basic version): after processing multiplier bit
+``t``, the high accumulator ``PH`` equals the running partial product
+shifted right by ``t+1`` and the low shift register ``PL`` holds its
+``t+1`` finished low bits.  The result is therefore complete exactly at
+the load edge, where the output registers capture it while ``PH``/``PL``
+clear for the next operand pair.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import Builder, Bus
+from ..netlist.netlist import Netlist
+from .adders import carry_save_row, ripple_carry_adder
+from .base import MultiplierImplementation
+from .control import load_pulse, shift_register_with_load, toggle_flipflop
+
+
+def _gated_accumulator(
+    builder: Builder, next_bits: Bus, clear: int, enable: int | None
+) -> Bus:
+    """Registers taking ``next_bits`` each (enabled) cycle, clearing on ``clear``."""
+    not_clear = builder.invert(clear)
+    gated = [builder.gate("AND2", bit, not_clear) for bit in next_bits]
+    return [builder.register(bit, enable=enable) for bit in gated]
+
+
+def sequential_core(
+    builder: Builder,
+    a_pins: Bus,
+    b_pins: Bus,
+    width: int,
+    enable: int | None = None,
+    load_offset: int | None = None,
+) -> Bus:
+    """The add-shift datapath + control; returns the registered product bus.
+
+    ``enable`` gates every state element (used by the interleaved parallel
+    variant); ``load_offset`` staggers the operand-capture pulse inside
+    the 16-cycle window so two copies can take turns.
+    """
+    load = load_pulse(builder, width, enable=enable, fire_at=load_offset)
+    netlist = builder.netlist
+
+    # Operand capture: A parallel-loads, B shifts one bit right per cycle.
+    # (load is already ANDed with the enable inside load_pulse.)
+    a_reg = [builder.register(pin, enable=load) for pin in a_pins]
+    b_reg = shift_register_with_load(builder, list(b_pins), load, enable=enable)
+
+    # Accumulator state (placeholders close the feedback loop).
+    ph_state = [netlist.add_placeholder(f"ph[{bit}]") for bit in range(width + 1)]
+    pl_state = [netlist.add_placeholder(f"pl[{bit}]") for bit in range(width)]
+
+    # One add-shift step: T = PH + (A & b0); PH' = T >> 1.
+    addend = builder.and_word(a_reg, b_reg[0])
+    zero = builder.const(0)
+    t_bits, t_carry = ripple_carry_adder(builder, ph_state, addend + [zero])
+    t_full = t_bits + [t_carry]
+
+    ph_next = [t_full[bit + 1] for bit in range(width + 1)]
+    pl_next = [pl_state[bit + 1] for bit in range(width - 1)] + [t_full[0]]
+
+    ph_regs = _gated_accumulator(builder, ph_next, load, enable)
+    pl_regs = _gated_accumulator(builder, pl_next, load, enable)
+    for placeholder, q in zip(ph_state, ph_regs):
+        netlist.rewire(placeholder, q)
+    for placeholder, q in zip(pl_state, pl_regs):
+        netlist.rewire(placeholder, q)
+
+    # Result hand-off: the would-be final {PH', PL'} captured at the load
+    # edge (after the 16th add), while the accumulator clears.
+    result_low = [pl_regs[bit + 1] for bit in range(width - 1)] + [t_full[0]]
+    result_high = [t_full[bit + 1] for bit in range(width)]
+    return [
+        builder.register(bit, enable=load) for bit in result_low + result_high
+    ]
+
+
+def build_sequential_multiplier(
+    width: int = 16,
+    name: str | None = None,
+) -> MultiplierImplementation:
+    """The basic add-shift multiplier: ``width`` internal cycles per result."""
+    if width < 2 or (width & (width - 1)) != 0:
+        raise ValueError(f"width must be a power of two >= 2, got {width}")
+    if name is None:
+        name = f"seq{width}"
+
+    netlist = Netlist(name)
+    builder = Builder(netlist)
+    a_pins = netlist.add_input_bus("a", width)
+    b_pins = netlist.add_input_bus("b", width)
+    outputs = sequential_core(builder, list(a_pins), list(b_pins), width)
+    netlist.set_outputs(outputs)
+    netlist.freeze()
+
+    return MultiplierImplementation(
+        name=name,
+        netlist=netlist,
+        width=width,
+        a_bus=tuple(a_pins),
+        b_bus=tuple(b_pins),
+        product_bus=tuple(outputs),
+        cycles_per_result=width,
+        ld_divisor=1.0,
+        description=(
+            f"add-shift sequential multiplier, {width} internal cycles per "
+            f"result (internal clock {width}x the data clock)"
+        ),
+    )
+
+
+def build_parallel_sequential_multiplier(
+    width: int = 16,
+    name: str | None = None,
+) -> MultiplierImplementation:
+    """Two interleaved add-shift multipliers sharing one internal clock.
+
+    Copy 0 advances on even cycles, copy 1 on odd cycles; their operand
+    loads are staggered half a window apart so they serve alternating
+    operand pairs.  Throughput stays one result per ``width`` cycles while
+    every register-to-register path gets **two** internal periods to
+    settle — ``ld_divisor = 2``.
+    """
+    if width < 4 or (width & (width - 1)) != 0:
+        raise ValueError(f"width must be a power of two >= 4, got {width}")
+    if name is None:
+        name = f"seq{width}-par2"
+
+    netlist = Netlist(name)
+    builder = Builder(netlist)
+    a_pins = netlist.add_input_bus("a", width)
+    b_pins = netlist.add_input_bus("b", width)
+
+    phase, not_phase = toggle_flipflop(builder)
+    out0 = sequential_core(
+        builder, list(a_pins), list(b_pins), width,
+        enable=not_phase, load_offset=width - 1,
+    )
+    out1 = sequential_core(
+        builder, list(a_pins), list(b_pins), width,
+        enable=phase, load_offset=width // 2 - 1,
+    )
+
+    # Select whichever copy produced the most recent completed result:
+    # both copies hold their result for a full window, and their windows
+    # are staggered by half a window, so the copy that loaded least
+    # recently is stale.  A set/reset bit tracks the latest loader.
+    # Recreating the two load pulses here would duplicate counters, so we
+    # track phase parity of the *result registers* instead: each copy's
+    # outputs only change right after its own load; sampling happens once
+    # per window (testbench samples the last cycle), by which time both
+    # copies' captures for the window are long settled.  The correct
+    # source alternates with the *pair index*, i.e. with the window
+    # parity, tracked by one more toggle bit advanced once per window.
+    window_toggle = load_pulse(builder, width)
+    select_state = netlist.add_placeholder("result_select")
+    select_next = builder.mux(select_state, builder.invert(select_state), window_toggle)
+    select = builder.register(select_next)
+    netlist.rewire(select_state, select)
+
+    outputs = [
+        builder.register(builder.mux(bit0, bit1, select))
+        for bit0, bit1 in zip(out0, out1)
+    ]
+    netlist.set_outputs(outputs)
+    netlist.freeze()
+
+    return MultiplierImplementation(
+        name=name,
+        netlist=netlist,
+        width=width,
+        a_bus=tuple(a_pins),
+        b_bus=tuple(b_pins),
+        product_bus=tuple(outputs),
+        cycles_per_result=width,
+        ld_divisor=2.0,
+        description=(
+            "two interleaved add-shift multipliers on alternating internal "
+            "cycles (2x timing relaxation at equal throughput)"
+        ),
+    )
+
+
+def build_sequential_4x16_multiplier(
+    width: int = 16,
+    name: str | None = None,
+) -> MultiplierImplementation:
+    """The ``4_16 Wallace`` variant: four partial products per cycle.
+
+    A 4×``width`` carry-save tree (two CSA levels) compresses the four
+    partial products of the current multiplier nibble, a third CSA folds
+    in the accumulator, and one carry-propagate add per cycle retires four
+    product bits — 4 cycles per result instead of 16 (paper Section 4).
+    """
+    bits_per_cycle = 4
+    if width % bits_per_cycle != 0:
+        raise ValueError(f"width must be a multiple of 4, got {width}")
+    cycles = width // bits_per_cycle
+    if cycles & (cycles - 1) != 0 or cycles < 2:
+        raise ValueError(f"width/4 must be a power of two >= 2, got {cycles}")
+    if name is None:
+        name = f"seq4_{width}"
+
+    netlist = Netlist(name)
+    builder = Builder(netlist)
+
+    a_pins = netlist.add_input_bus("a", width)
+    b_pins = netlist.add_input_bus("b", width)
+
+    load = load_pulse(builder, cycles)
+    a_reg = [builder.register(pin, enable=load) for pin in a_pins]
+    b_reg = shift_register_with_load(
+        builder, list(b_pins), load, shift_by=bits_per_cycle
+    )
+
+    acc_width = width + 1
+    ph_state = [netlist.add_placeholder(f"ph[{bit}]") for bit in range(acc_width)]
+    pl_state = [netlist.add_placeholder(f"pl[{bit}]") for bit in range(width)]
+
+    zero = builder.const(0)
+    work_width = width + bits_per_cycle + 1  # max weight in PH + A*nibble
+
+    def widen(bus: Bus, offset: int) -> Bus:
+        """Align a bus at ``offset`` and pad/truncate to the working width."""
+        padded = [zero] * offset + list(bus)
+        padded += [zero] * (work_width - len(padded))
+        return padded[:work_width]
+
+    rows = [
+        widen(builder.and_word(a_reg, b_reg[m]), m) for m in range(bits_per_cycle)
+    ]
+    # Two CSA levels compress the four rows, a third folds in PH, and one
+    # carry-propagate add retires the cycle.
+    s1, c1 = carry_save_row(builder, rows[0], rows[1], rows[2])
+    s2, c2 = carry_save_row(builder, s1, widen(c1, 1), rows[3])
+    s3, c3 = carry_save_row(builder, s2, widen(c2, 1), widen(ph_state, 0))
+    t_bits, t_carry = ripple_carry_adder(builder, s3, widen(c3, 1))
+    t_full = t_bits + [t_carry]
+
+    ph_next = [t_full[bit + bits_per_cycle] for bit in range(acc_width)]
+    pl_next = [
+        pl_state[bit + bits_per_cycle] for bit in range(width - bits_per_cycle)
+    ] + [t_full[m] for m in range(bits_per_cycle)]
+
+    ph_regs = _gated_accumulator(builder, ph_next, load, None)
+    pl_regs = _gated_accumulator(builder, pl_next, load, None)
+    for placeholder, q in zip(ph_state, ph_regs):
+        netlist.rewire(placeholder, q)
+    for placeholder, q in zip(pl_state, pl_regs):
+        netlist.rewire(placeholder, q)
+
+    result_low = [
+        pl_regs[bit + bits_per_cycle] for bit in range(width - bits_per_cycle)
+    ] + [t_full[m] for m in range(bits_per_cycle)]
+    result_high = [t_full[bit + bits_per_cycle] for bit in range(width)]
+    outputs = [
+        builder.register(bit, enable=load) for bit in result_low + result_high
+    ]
+    netlist.set_outputs(outputs)
+    netlist.freeze()
+
+    return MultiplierImplementation(
+        name=name,
+        netlist=netlist,
+        width=width,
+        a_bus=tuple(a_pins),
+        b_bus=tuple(b_pins),
+        product_bus=tuple(outputs),
+        cycles_per_result=cycles,
+        ld_divisor=1.0,
+        description=(
+            f"4x{width} Wallace sequential multiplier, {cycles} internal "
+            f"cycles per result"
+        ),
+    )

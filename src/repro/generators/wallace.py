@@ -1,0 +1,109 @@
+"""Wallace-tree multiplier (paper Section 4, item 2).
+
+The Wallace structure adds all partial products with carry-save adders
+arranged in parallel reduction levels, so path delays are far better
+balanced than in the array multiplier and the logical depth collapses
+from O(width) to O(log width) — Table 1's LDeff 17 vs. 61.  A two-operand
+parallel-prefix adder (Sklansky) merges the final carry-save pair.
+
+The reduction is the classic column-wise Wallace scheme: every level
+compresses each weight column in groups of three (FA) and two (HA) until
+no column holds more than two bits.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import Builder
+from ..netlist.netlist import Netlist
+from .adders import sklansky_adder
+from .base import MultiplierImplementation
+
+
+def wallace_reduce(builder: Builder, columns: list[list[int]]) -> list[list[int]]:
+    """One Wallace reduction level over weight columns.
+
+    Columns with three or more bits feed full adders (sum stays, carry
+    moves up one weight); a leftover pair feeds a half adder; singles pass
+    through untouched.
+    """
+    width = len(columns)
+    result: list[list[int]] = [[] for _ in range(width + 1)]
+    for weight, bits in enumerate(columns):
+        index = 0
+        while len(bits) - index >= 3:
+            outputs = builder.netlist.add_cell("FA", bits[index : index + 3])
+            result[weight].append(outputs[0])
+            result[weight + 1].append(outputs[1])
+            index += 3
+        remaining = len(bits) - index
+        if remaining == 2:
+            outputs = builder.netlist.add_cell("HA", bits[index : index + 2])
+            result[weight].append(outputs[0])
+            result[weight + 1].append(outputs[1])
+        elif remaining == 1:
+            result[weight].append(bits[index])
+    while result and not result[-1]:
+        result.pop()
+    return result
+
+
+def wallace_core(builder: Builder, a: list[int], b: list[int]) -> list[int]:
+    """Wallace reduction + Sklansky merge; returns the 2w product bits."""
+    width = len(a)
+    if len(b) != width:
+        raise ValueError(f"operand width mismatch: {width} vs {len(b)}")
+
+    # Partial-product columns by weight.
+    columns: list[list[int]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(builder.gate("AND2", a[j], b[i]))
+
+    while max(len(bits) for bits in columns) > 2:
+        columns = wallace_reduce(builder, columns)
+
+    # Merge the surviving carry-save pair with a parallel-prefix adder.
+    zero = builder.const(0)
+    operand_x = [bits[0] if len(bits) >= 1 else zero for bits in columns]
+    operand_y = [bits[1] if len(bits) >= 2 else zero for bits in columns]
+    operand_x += [zero] * (2 * width - len(operand_x))
+    operand_y += [zero] * (2 * width - len(operand_y))
+    sums, _carry_out = sklansky_adder(
+        builder, operand_x[: 2 * width], operand_y[: 2 * width]
+    )
+    return sums
+
+
+def build_wallace_multiplier(
+    width: int = 16,
+    name: str | None = None,
+) -> MultiplierImplementation:
+    """Generate the input/output-registered Wallace-tree multiplier."""
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if name is None:
+        name = f"wallace{width}"
+
+    netlist = Netlist(name)
+    builder = Builder(netlist)
+
+    a_pins = netlist.add_input_bus("a", width)
+    b_pins = netlist.add_input_bus("b", width)
+    a = builder.register_bus(a_pins)
+    b = builder.register_bus(b_pins)
+
+    outputs = builder.register_bus(wallace_core(builder, a, b))
+    netlist.set_outputs(outputs)
+    netlist.freeze()
+
+    return MultiplierImplementation(
+        name=name,
+        netlist=netlist,
+        width=width,
+        a_bus=tuple(a_pins),
+        b_bus=tuple(b_pins),
+        product_bus=tuple(outputs),
+        cycles_per_result=1,
+        ld_divisor=1.0,
+        description="Wallace CSA tree with Sklansky final adder",
+    )

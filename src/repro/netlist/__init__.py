@@ -1,0 +1,33 @@
+"""Standard-cell library and gate-level netlist substrate (DESIGN.md S6)."""
+
+from .builder import Builder, Bus
+from .cells import (
+    AREA_PER_TRANSISTOR,
+    CAP_PER_UNIT,
+    CellType,
+    LIBRARY,
+    cell,
+)
+from .netlist import CellInstance, NetInfo, Netlist, NetlistError
+from .verify import VerificationError, VerificationReport, verify_multiplier
+from .verilog import export_design, library_verilog, netlist_to_verilog
+
+__all__ = [
+    "AREA_PER_TRANSISTOR",
+    "Builder",
+    "Bus",
+    "CAP_PER_UNIT",
+    "CellInstance",
+    "CellType",
+    "LIBRARY",
+    "NetInfo",
+    "Netlist",
+    "NetlistError",
+    "VerificationError",
+    "VerificationReport",
+    "cell",
+    "export_design",
+    "library_verilog",
+    "netlist_to_verilog",
+    "verify_multiplier",
+]

@@ -1,0 +1,92 @@
+"""Bus-level construction helpers on top of :class:`~repro.netlist.netlist.Netlist`.
+
+Generators in :mod:`repro.generators` express datapaths in terms of buses
+(little-endian lists of net indices).  This module supplies the common
+word-level idioms: registered buses, bitwise gates, 2:1 word multiplexers,
+constants and shifts, so each generator reads like the block diagram in
+the paper's Figures 3–4.
+"""
+
+from __future__ import annotations
+
+from .cells import AND2, DFF, DFFE, INV, MUX2, TIEHI, TIELO, XOR2
+from .netlist import Netlist
+
+#: A bus is a little-endian list of net indices (index 0 = LSB).
+Bus = list
+
+
+class Builder:
+    """Thin stateful wrapper adding word-level operations to a netlist."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+
+    # -- scalar helpers -------------------------------------------------
+    def const(self, value: int) -> int:
+        """A constant-0 or constant-1 net (TIE cell)."""
+        cell = TIEHI if value else TIELO
+        return self.netlist.add_cell(cell, [])[0]
+
+    def gate(self, cell_name: str, *inputs: int) -> int:
+        """Single-output gate; returns its output net."""
+        return self.netlist.add_cell(cell_name, list(inputs))[0]
+
+    def invert(self, net: int) -> int:
+        """Logical NOT."""
+        return self.netlist.add_cell(INV, [net])[0]
+
+    def register(self, net: int, enable: int | None = None) -> int:
+        """A DFF (or enabled DFFE) on one net; returns the Q net."""
+        if enable is None:
+            return self.netlist.add_cell(DFF, [net])[0]
+        return self.netlist.add_cell(DFFE, [net, enable])[0]
+
+    def mux(self, d0: int, d1: int, select: int) -> int:
+        """2:1 multiplexer: ``select ? d1 : d0``."""
+        return self.netlist.add_cell(MUX2, [d0, d1, select])[0]
+
+    # -- bus helpers -----------------------------------------------------
+    def const_bus(self, value: int, width: int) -> Bus:
+        """A bus tied to the binary encoding of ``value``."""
+        return [self.const((value >> bit) & 1) for bit in range(width)]
+
+    def register_bus(self, bus: Bus, enable: int | None = None) -> Bus:
+        """Register every bit of a bus."""
+        return [self.register(net, enable) for net in bus]
+
+    def bitwise(self, cell_name: str, bus_a: Bus, bus_b: Bus) -> Bus:
+        """Bitwise two-input gate across two equal-width buses."""
+        if len(bus_a) != len(bus_b):
+            raise ValueError(
+                f"bus width mismatch: {len(bus_a)} vs {len(bus_b)}"
+            )
+        return [
+            self.gate(cell_name, a, b) for a, b in zip(bus_a, bus_b)
+        ]
+
+    def and_word(self, bus: Bus, bit: int) -> Bus:
+        """AND every bus bit with one control bit (partial-product row)."""
+        return [self.netlist.add_cell(AND2, [net, bit])[0] for net in bus]
+
+    def xor_word(self, bus_a: Bus, bus_b: Bus) -> Bus:
+        """Bitwise XOR of two buses."""
+        return self.bitwise(XOR2.name, bus_a, bus_b)
+
+    def mux_bus(self, bus0: Bus, bus1: Bus, select: int) -> Bus:
+        """Word-level 2:1 multiplexer."""
+        if len(bus0) != len(bus1):
+            raise ValueError(
+                f"bus width mismatch: {len(bus0)} vs {len(bus1)}"
+            )
+        return [self.mux(a, b, select) for a, b in zip(bus0, bus1)]
+
+    def shift_left(self, bus: Bus, amount: int, fill: int | None = None) -> Bus:
+        """Logical shift left by ``amount`` (width grows by ``amount``)."""
+        if fill is None:
+            fill = self.const(0)
+        return [fill] * amount + list(bus)
+
+    def take(self, bus: Bus, width: int) -> Bus:
+        """Truncate a bus to its ``width`` least significant bits."""
+        return list(bus[:width])

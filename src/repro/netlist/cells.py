@@ -1,0 +1,206 @@
+"""Standard-cell library for the netlist substrate.
+
+The paper synthesised its multipliers onto ST's CMOS09 library; we replace
+that with a small in-house library whose per-cell electrical figures are
+derived from transistor counts, normalised to the inverter (DESIGN.md, S6):
+
+* ``leak_units``   — average off-current relative to the inverter
+  (≈ transistor count / 2, since the inverter has two devices);
+* ``cap_units``    — equivalent switched capacitance relative to the
+  inverter (same normalisation: gate + drain area scales with devices);
+* ``delay_units``  — pin-to-output delay in inverter-delay equivalents,
+  per output (a mirror full-adder's carry output is famously faster than
+  its sum output, which is what shapes array-multiplier critical paths);
+* ``area_um2``     — layout area, ``AREA_PER_TRANSISTOR`` per device
+  (calibrated so a 608-cell RCA multiplier lands near Table 1's
+  11 038 µm²).
+
+Logic functions operate on integers 0/1 and return a tuple with one entry
+per output, so multi-output cells (HA, FA) are first-class citizens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Layout area per transistor [µm²]; see module docstring for calibration.
+AREA_PER_TRANSISTOR = 1.05
+
+#: Inverter-equivalent switched capacitance [F].  Chosen so the average
+#: multiplier cell (full-adder dominated, ~14 cap units) carries ~70 fF,
+#: the value the Table 1 calibration recovers (DESIGN.md).
+CAP_PER_UNIT = 5.0e-15
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One library cell.
+
+    Attributes
+    ----------
+    name:
+        Library name (``"FA"``, ``"NAND2"``...).
+    n_inputs / n_outputs:
+        Pin counts (data pins only; the DFF clock is implicit).
+    transistors:
+        Device count, the basis of leak/cap/area figures.
+    delay_units:
+        Per-output delay in inverter equivalents (tuple, one per output).
+    logic:
+        ``f(inputs) -> outputs`` on 0/1 integers; None for state elements
+        (DFF family), whose behaviour the simulator implements.
+    sequential:
+        True for clocked cells.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    transistors: int
+    delay_units: tuple[float, ...]
+    logic: Callable[[tuple[int, ...]], tuple[int, ...]] | None
+    sequential: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.delay_units) != self.n_outputs:
+            raise ValueError(
+                f"{self.name}: {self.n_outputs} outputs but "
+                f"{len(self.delay_units)} delay entries"
+            )
+
+    @property
+    def leak_units(self) -> float:
+        """Off-current relative to the inverter (2 transistors)."""
+        return self.transistors / 2.0
+
+    @property
+    def cap_units(self) -> float:
+        """Switched capacitance relative to the inverter."""
+        return self.transistors / 2.0
+
+    @property
+    def capacitance(self) -> float:
+        """Equivalent switched capacitance [F]."""
+        return self.cap_units * CAP_PER_UNIT
+
+    @property
+    def area_um2(self) -> float:
+        """Layout area [µm²]."""
+        return self.transistors * AREA_PER_TRANSISTOR
+
+    def evaluate(self, inputs: tuple[int, ...]) -> tuple[int, ...]:
+        """Evaluate the cell's combinational function."""
+        if self.logic is None:
+            raise ValueError(f"{self.name} is sequential; the simulator owns its state")
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"{self.name} expects {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        return self.logic(inputs)
+
+
+def _inv(p):
+    return (1 - p[0],)
+
+
+def _buf(p):
+    return (p[0],)
+
+
+def _and2(p):
+    return (p[0] & p[1],)
+
+
+def _or2(p):
+    return (p[0] | p[1],)
+
+
+def _nand2(p):
+    return (1 - (p[0] & p[1]),)
+
+
+def _nor2(p):
+    return (1 - (p[0] | p[1]),)
+
+
+def _xor2(p):
+    return (p[0] ^ p[1],)
+
+
+def _xnor2(p):
+    return (1 - (p[0] ^ p[1]),)
+
+
+def _and3(p):
+    return (p[0] & p[1] & p[2],)
+
+
+def _or3(p):
+    return (p[0] | p[1] | p[2],)
+
+
+def _mux2(p):
+    # inputs: (d0, d1, select)
+    return (p[1] if p[2] else p[0],)
+
+
+def _ha(p):
+    a, b = p
+    return (a ^ b, a & b)  # (sum, carry)
+
+
+def _fa(p):
+    a, b, c = p
+    return (a ^ b ^ c, (a & b) | (a & c) | (b & c))  # (sum, carry)
+
+
+def _aoi21(p):
+    a, b, c = p
+    return (1 - ((a & b) | c),)
+
+
+INV = CellType("INV", 1, 1, 2, (1.0,), _inv)
+BUF = CellType("BUF", 1, 1, 4, (1.6,), _buf)
+AND2 = CellType("AND2", 2, 1, 6, (1.8,), _and2)
+OR2 = CellType("OR2", 2, 1, 6, (1.8,), _or2)
+NAND2 = CellType("NAND2", 2, 1, 4, (1.2,), _nand2)
+NOR2 = CellType("NOR2", 2, 1, 4, (1.4,), _nor2)
+XOR2 = CellType("XOR2", 2, 1, 10, (2.6,), _xor2)
+XNOR2 = CellType("XNOR2", 2, 1, 10, (2.6,), _xnor2)
+AND3 = CellType("AND3", 3, 1, 8, (2.2,), _and3)
+OR3 = CellType("OR3", 3, 1, 8, (2.2,), _or3)
+MUX2 = CellType("MUX2", 3, 1, 10, (2.2,), _mux2)
+AOI21 = CellType("AOI21", 3, 1, 6, (1.6,), _aoi21)
+#: Half adder: outputs (sum, carry); the carry is a bare AND stack.
+HA = CellType("HA", 2, 2, 14, (2.6, 1.8), _ha)
+#: Mirror full adder: outputs (sum, carry); carry is the fast output.
+FA = CellType("FA", 3, 2, 28, (3.8, 2.0), _fa)
+#: Rising-edge D flip-flop; delay is clock-to-q.
+DFF = CellType("DFF", 1, 1, 24, (2.0,), None, sequential=True)
+#: D flip-flop with enable: inputs (d, enable); holds state when enable=0.
+DFFE = CellType("DFFE", 2, 1, 30, (2.0,), None, sequential=True)
+#: Constant drivers (zero-input cells).
+TIELO = CellType("TIELO", 0, 1, 2, (0.0,), lambda p: (0,))
+TIEHI = CellType("TIEHI", 0, 1, 2, (0.0,), lambda p: (1,))
+
+#: All library cells keyed by name.
+LIBRARY = {
+    cell.name: cell
+    for cell in (
+        INV, BUF, AND2, OR2, NAND2, NOR2, XOR2, XNOR2, AND3, OR3,
+        MUX2, AOI21, HA, FA, DFF, DFFE, TIELO, TIEHI,
+    )
+}
+
+
+def cell(name: str) -> CellType:
+    """Look up a library cell by name.
+
+    >>> cell("FA").n_outputs
+    2
+    """
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise KeyError(f"unknown cell {name!r}; library has: {sorted(LIBRARY)}")

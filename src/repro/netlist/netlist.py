@@ -1,0 +1,356 @@
+"""Gate-level netlist graph (replaces the paper's Design Compiler output).
+
+A :class:`Netlist` is a synchronous single-clock circuit: primary inputs,
+primary outputs, combinational cells and DFF state elements, connected by
+integer-indexed nets.  It supports
+
+* structural construction (``add_input`` / ``add_cell`` / ``set_outputs``),
+* validation (single driver per net, no combinational cycles, complete
+  connectivity),
+* zero-delay functional evaluation cycle by cycle (the golden-model path
+  used by :mod:`repro.netlist.verify`),
+* aggregate statistics (cell counts, area, leak/cap unit totals) that feed
+  :class:`repro.core.architecture.ArchitectureParameters`.
+
+Event-driven *timed* simulation lives in :mod:`repro.sim`; static timing in
+:mod:`repro.sta`.  Both consume the representation defined here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from .cells import CellType, LIBRARY
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """One placed cell: its type, input nets and output nets."""
+
+    index: int
+    name: str
+    cell_type: CellType
+    inputs: tuple[int, ...]
+    outputs: tuple[int, ...]
+
+
+@dataclass
+class NetInfo:
+    """Book-keeping for one net: who drives it, who reads it."""
+
+    name: str
+    driver_cell: int | None = None   # cell index; None for primary inputs
+    driver_pin: int = 0              # output pin index on the driver
+    is_primary_input: bool = False
+    is_placeholder: bool = False     # forward reference awaiting rewire()
+    fanout: list[tuple[int, int]] = field(default_factory=list)  # (cell, pin)
+
+
+class NetlistError(ValueError):
+    """Raised for structural rule violations (double drive, cycles...)."""
+
+
+class Netlist:
+    """A synchronous gate-level circuit over :data:`repro.netlist.cells.LIBRARY`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nets: list[NetInfo] = []
+        self.cells: list[CellInstance] = []
+        self.primary_inputs: list[int] = []
+        self.primary_outputs: list[int] = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        """Create a primary input; returns its net index."""
+        self._check_mutable()
+        net = self._new_net(name)
+        self.nets[net].is_primary_input = True
+        self.primary_inputs.append(net)
+        return net
+
+    def add_input_bus(self, name: str, width: int) -> list[int]:
+        """Create ``width`` primary inputs named ``name[0..width-1]``."""
+        return [self.add_input(f"{name}[{bit}]") for bit in range(width)]
+
+    def add_placeholder(self, name: str) -> int:
+        """Create a forward-reference net for feedback loops.
+
+        State machines (counters, shift registers) need a flip-flop's Q
+        while building the logic that computes its D.  A placeholder can
+        be consumed immediately and must be resolved with :meth:`rewire`
+        before :meth:`freeze`.
+        """
+        self._check_mutable()
+        net = self._new_net(name)
+        self.nets[net].is_placeholder = True
+        return net
+
+    def rewire(self, placeholder: int, source: int) -> None:
+        """Resolve a placeholder: all its consumers now read ``source``."""
+        self._check_mutable()
+        self._check_net(placeholder)
+        self._check_net(source)
+        info = self.nets[placeholder]
+        if not info.is_placeholder:
+            raise NetlistError(
+                f"net {placeholder} ({info.name}) is not a placeholder"
+            )
+        if self.nets[source].is_placeholder:
+            raise NetlistError("cannot rewire a placeholder onto another placeholder")
+        for cell_index, pin in info.fanout:
+            instance = self.cells[cell_index]
+            new_inputs = tuple(
+                source if (current == placeholder and position == pin) else current
+                for position, current in enumerate(instance.inputs)
+            )
+            self.cells[cell_index] = CellInstance(
+                index=instance.index,
+                name=instance.name,
+                cell_type=instance.cell_type,
+                inputs=new_inputs,
+                outputs=instance.outputs,
+            )
+            self.nets[source].fanout.append((cell_index, pin))
+        info.fanout.clear()
+        info.name = f"{info.name}(resolved->{self.nets[source].name})"
+
+    def add_cell(
+        self,
+        cell_type: CellType | str,
+        inputs: list[int],
+        name: str | None = None,
+    ) -> list[int]:
+        """Instantiate a cell; returns the list of its output net indices."""
+        self._check_mutable()
+        if isinstance(cell_type, str):
+            cell_type = LIBRARY[cell_type]
+        if len(inputs) != cell_type.n_inputs:
+            raise NetlistError(
+                f"{cell_type.name} expects {cell_type.n_inputs} inputs, "
+                f"got {len(inputs)}"
+            )
+        for net in inputs:
+            self._check_net(net)
+
+        cell_index = len(self.cells)
+        instance_name = name or f"{cell_type.name.lower()}_{cell_index}"
+        outputs = tuple(
+            self._new_net(f"{instance_name}.{pin}")
+            for pin in range(cell_type.n_outputs)
+        )
+        for pin, net in enumerate(outputs):
+            self.nets[net].driver_cell = cell_index
+            self.nets[net].driver_pin = pin
+        for pin, net in enumerate(inputs):
+            self.nets[net].fanout.append((cell_index, pin))
+
+        self.cells.append(
+            CellInstance(
+                index=cell_index,
+                name=instance_name,
+                cell_type=cell_type,
+                inputs=tuple(inputs),
+                outputs=outputs,
+            )
+        )
+        return list(outputs)
+
+    def set_outputs(self, nets: list[int]) -> None:
+        """Declare the primary outputs (a flat list of net indices)."""
+        self._check_mutable()
+        for net in nets:
+            self._check_net(net)
+        self.primary_outputs = list(nets)
+
+    def freeze(self) -> "Netlist":
+        """Validate and seal the netlist; returns self for chaining."""
+        self.validate()
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # validation and derived structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on structural violations."""
+        for net_index, info in enumerate(self.nets):
+            if info.is_placeholder:
+                if info.fanout:
+                    raise NetlistError(
+                        f"placeholder net {net_index} ({info.name}) was never "
+                        f"rewire()d but still has {len(info.fanout)} consumer(s)"
+                    )
+                continue  # resolved placeholder: inert
+            driven = info.is_primary_input or info.driver_cell is not None
+            if not driven:
+                raise NetlistError(f"net {net_index} ({info.name}) has no driver")
+            if info.is_primary_input and info.driver_cell is not None:
+                raise NetlistError(
+                    f"net {net_index} ({info.name}) is both a primary input "
+                    f"and driven by cell {info.driver_cell}"
+                )
+        if not self.primary_outputs:
+            raise NetlistError(f"netlist {self.name!r} declares no primary outputs")
+        for net in self.primary_outputs:
+            if self.nets[net].is_placeholder:
+                raise NetlistError(
+                    f"primary output net {net} ({self.nets[net].name}) is an "
+                    f"unresolved placeholder"
+                )
+        self.combinational_order()  # raises on combinational cycles
+
+    def combinational_order(self) -> list[int]:
+        """Topological order of the combinational cells (Kahn's algorithm).
+
+        Sequential cells are sources (their outputs are state) and sinks
+        (their inputs are captured at the clock edge), so they never
+        appear in the ordering.  Raises on combinational cycles.
+        """
+        indegree = {}
+        for instance in self.cells:
+            if instance.cell_type.sequential:
+                continue
+            count = 0
+            for net in instance.inputs:
+                info = self.nets[net]
+                if info.driver_cell is not None:
+                    driver = self.cells[info.driver_cell]
+                    if not driver.cell_type.sequential:
+                        count += 1
+            indegree[instance.index] = count
+
+        ready = deque(index for index, count in indegree.items() if count == 0)
+        order: list[int] = []
+        while ready:
+            cell_index = ready.popleft()
+            order.append(cell_index)
+            for net in self.cells[cell_index].outputs:
+                for consumer, _pin in self.nets[net].fanout:
+                    if consumer in indegree:
+                        indegree[consumer] -= 1
+                        if indegree[consumer] == 0:
+                            ready.append(consumer)
+        if len(order) != len(indegree):
+            raise NetlistError(
+                f"netlist {self.name!r} contains a combinational cycle "
+                f"({len(indegree) - len(order)} cells unreachable)"
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    # zero-delay functional evaluation
+    # ------------------------------------------------------------------
+    def initial_state(self) -> dict[int, int]:
+        """All-zero DFF state, keyed by cell index."""
+        return {
+            instance.index: 0
+            for instance in self.cells
+            if instance.cell_type.sequential
+        }
+
+    def evaluate_cycle(
+        self,
+        input_values: dict[int, int],
+        state: dict[int, int],
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        """One clock cycle of zero-delay evaluation.
+
+        Parameters
+        ----------
+        input_values:
+            Primary-input net index -> 0/1 value, for this cycle.
+        state:
+            DFF state (cell index -> 0/1) *before* the clock edge.
+
+        Returns
+        -------
+        (net_values, next_state):
+            Settled value of every net during the cycle, and the state
+            after the next rising edge.
+        """
+        values: dict[int, int] = {}
+        for net in self.primary_inputs:
+            if net not in input_values:
+                raise NetlistError(
+                    f"missing value for primary input {self.nets[net].name!r}"
+                )
+            values[net] = input_values[net]
+        for instance in self.cells:
+            if instance.cell_type.sequential:
+                values[instance.outputs[0]] = state[instance.index]
+
+        for cell_index in self.combinational_order():
+            instance = self.cells[cell_index]
+            inputs = tuple(values[net] for net in instance.inputs)
+            for net, value in zip(instance.outputs, instance.cell_type.evaluate(inputs)):
+                values[net] = value
+
+        next_state: dict[int, int] = {}
+        for instance in self.cells:
+            if not instance.cell_type.sequential:
+                continue
+            data = values[instance.inputs[0]]
+            if instance.cell_type.name == "DFFE":
+                enable = values[instance.inputs[1]]
+                next_state[instance.index] = data if enable else state[instance.index]
+            else:
+                next_state[instance.index] = data
+        return values, next_state
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Total placed cells (combinational + sequential)."""
+        return len(self.cells)
+
+    def cell_counts(self) -> Counter:
+        """Histogram of cell-type names."""
+        return Counter(instance.cell_type.name for instance in self.cells)
+
+    @property
+    def area_um2(self) -> float:
+        """Total layout area [µm²]."""
+        return sum(instance.cell_type.area_um2 for instance in self.cells)
+
+    @property
+    def total_leak_units(self) -> float:
+        """Sum of per-cell leakage in inverter units."""
+        return sum(instance.cell_type.leak_units for instance in self.cells)
+
+    @property
+    def average_leak_units(self) -> float:
+        """Average per-cell leakage relative to the inverter (= io_factor)."""
+        return self.total_leak_units / self.n_cells
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        counts = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.cell_counts().items())
+        )
+        return (
+            f"{self.name}: {self.n_cells} cells, {len(self.nets)} nets, "
+            f"{len(self.primary_inputs)} PIs, {len(self.primary_outputs)} POs, "
+            f"area {self.area_um2:.0f} um2 [{counts}]"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_net(self, name: str) -> int:
+        self.nets.append(NetInfo(name=name))
+        return len(self.nets) - 1
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < len(self.nets):
+            raise NetlistError(f"net index {net} out of range")
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise NetlistError(f"netlist {self.name!r} is frozen")

@@ -1,0 +1,21 @@
+"""Event-driven timing simulation and activity extraction (DESIGN.md S8)."""
+
+from .activity import ActivityReport, measure_activity
+from .parameters import extract_parameters
+from .probabilistic import ProbabilisticReport, estimate_activity, propagate
+from .simulator import EventDrivenSimulator, SimulationStats
+from .vectors import correlated_pairs, sparse_pairs, uniform_pairs
+
+__all__ = [
+    "ActivityReport",
+    "EventDrivenSimulator",
+    "ProbabilisticReport",
+    "SimulationStats",
+    "correlated_pairs",
+    "estimate_activity",
+    "extract_parameters",
+    "propagate",
+    "measure_activity",
+    "sparse_pairs",
+    "uniform_pairs",
+]

@@ -1,0 +1,49 @@
+"""Bridge from generated netlists to the paper's effective parameters.
+
+This closes the native (end-to-end) flow: a generated multiplier plus a
+characterised technology yields the :class:`ArchitectureParameters` that
+Eq. 13 and the numerical optimiser consume —
+
+* ``N``     — cell count of the netlist;
+* ``a``     — timed-simulation activity (glitches included);
+* ``C``     — transition-weighted average cell capacitance;
+* ``LDeff`` — STA critical path × sequencing factors, in inverter units
+  (so ``zeta_factor`` stays 1: the characterised ζ *is* the inverter ζ);
+* ``io_factor`` — average per-cell leakage in inverter units, from the
+  cell library's transistor counts.
+"""
+
+from __future__ import annotations
+
+from ..core.architecture import ArchitectureParameters
+from ..generators.base import MultiplierImplementation
+from ..sta.analysis import effective_logical_depth
+from .activity import ActivityReport, measure_activity
+
+
+def extract_parameters(
+    impl: MultiplierImplementation,
+    activity_report: ActivityReport | None = None,
+    n_vectors: int = 200,
+    seed: int = 2006,
+    name: str | None = None,
+) -> ArchitectureParameters:
+    """Derive the Eq. 13 inputs for a generated implementation.
+
+    Pass a pre-computed ``activity_report`` to avoid re-simulating (the
+    experiment runners measure once and reuse).
+    """
+    if activity_report is None:
+        activity_report = measure_activity(impl, n_vectors=n_vectors, seed=seed)
+
+    netlist = impl.netlist
+    return ArchitectureParameters(
+        name=name or impl.name,
+        n_cells=netlist.n_cells,
+        activity=activity_report.activity,
+        logical_depth=effective_logical_depth(impl),
+        capacitance=activity_report.effective_capacitance,
+        area=netlist.area_um2,
+        io_factor=netlist.average_leak_units,
+        zeta_factor=1.0,
+    )

@@ -1,0 +1,202 @@
+"""Event-driven gate-level timing simulation (DESIGN.md S8).
+
+This is the ModelSIM substitute: it propagates signal changes through the
+netlist with per-cell transport delays, so unequal path arrival times
+produce the spurious intermediate transitions (glitches) that dominate the
+activity differences Section 4 discusses (diagonal vs. horizontal
+pipelining).
+
+Model:
+
+* one clock domain; each internal clock cycle starts with a clock edge
+  where every DFF/DFFE output assumes the value captured at the end of
+  the previous cycle (clock-to-q delay applied), and primary-input
+  changes are applied at time 0 of the cycle;
+* combinational cells re-evaluate whenever an input-net value changes and
+  schedule their new output value after the cell's per-output delay with
+  **inertial semantics**: a re-evaluation cancels the net's still-pending
+  event, so pulses narrower than the gate delay are filtered exactly as a
+  real gate's output capacitance filters them (without this, an array
+  multiplier's carry fabric amplifies glitch trains unboundedly and the
+  measured activity loses all contact with the published values);
+* every *delivered* change on a cell output counts one transition for
+  that cell — the quantity the paper's activity ``a`` is built from;
+* the settled value at the end of the cycle feeds the next clock edge's
+  captures, and settled-value changes are tallied separately so the
+  glitch share of the activity can be reported.
+
+The simulator assumes the clock period exceeds the longest settle time
+(zero-slack or better), which is exactly the operating condition the
+paper's optimal working point enforces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..netlist.netlist import Netlist
+
+
+@dataclass
+class SimulationStats:
+    """Raw counters accumulated over a simulation run."""
+
+    cycles: int = 0
+    transitions_per_cell: list[int] = field(default_factory=list)
+    settled_transitions_per_cell: list[int] = field(default_factory=list)
+
+    @property
+    def total_transitions(self) -> int:
+        """All delivered output transitions (glitches included)."""
+        return sum(self.transitions_per_cell)
+
+    @property
+    def settled_transitions(self) -> int:
+        """Cycle-boundary value changes only (the glitch-free baseline)."""
+        return sum(self.settled_transitions_per_cell)
+
+    @property
+    def glitch_transitions(self) -> int:
+        """Transitions in excess of the settled (functional) ones."""
+        return self.total_transitions - self.settled_transitions
+
+
+class EventDrivenSimulator:
+    """Timed simulation of one netlist with transition counting."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._order = netlist.combinational_order()
+        # net value store; index by net id.
+        self.values = [0] * len(netlist.nets)
+        self.state = {
+            instance.index: 0
+            for instance in netlist.cells
+            if instance.cell_type.sequential
+        }
+        self.stats = SimulationStats(
+            transitions_per_cell=[0] * len(netlist.cells),
+            settled_transitions_per_cell=[0] * len(netlist.cells),
+        )
+        self._driver_of = {}
+        for instance in netlist.cells:
+            for net in instance.outputs:
+                self._driver_of[net] = instance.index
+        self._version = [0] * len(netlist.nets)
+        self.counting = True
+        self.settle_functional(input_values={net: 0 for net in netlist.primary_inputs})
+        self.stats.cycles = 0
+
+    # ------------------------------------------------------------------
+    def settle_functional(self, input_values: dict[int, int]) -> None:
+        """Zero-delay settle (used for reset/warm-up, counts nothing)."""
+        for net, value in input_values.items():
+            self.values[net] = value
+        for instance in self.netlist.cells:
+            if instance.cell_type.sequential:
+                self.values[instance.outputs[0]] = self.state[instance.index]
+        for cell_index in self._order:
+            instance = self.netlist.cells[cell_index]
+            inputs = tuple(self.values[net] for net in instance.inputs)
+            for net, value in zip(instance.outputs, instance.cell_type.evaluate(inputs)):
+                self.values[net] = value
+
+    # ------------------------------------------------------------------
+    def run_cycle(self, input_values: dict[int, int]) -> None:
+        """Simulate one clock cycle with event timing.
+
+        ``input_values`` are the primary-input levels for this cycle.
+        """
+        netlist = self.netlist
+        queue: list[tuple[float, int, int, int, int]] = []
+        sequence = 0  # tie-breaker keeps heap ordering deterministic
+        # Inertial model: one pending transaction per net; a newer schedule
+        # invalidates the older one via a per-net version stamp.
+        version = self._version
+
+        before_settle = None
+        if self.counting:
+            before_settle = list(self.values)
+
+        def schedule(time: float, net: int, value: int) -> None:
+            nonlocal sequence
+            version[net] += 1
+            heapq.heappush(queue, (time, sequence, net, value, version[net]))
+            sequence += 1
+
+        # 1. Clock edge: captured state appears at clock-to-q.
+        for instance in netlist.cells:
+            if not instance.cell_type.sequential:
+                continue
+            q_net = instance.outputs[0]
+            new_value = self.state[instance.index]
+            if self.values[q_net] != new_value:
+                schedule(instance.cell_type.delay_units[0], q_net, new_value)
+
+        # 2. Primary-input changes at time zero.
+        for net, value in input_values.items():
+            if self.values[net] != value:
+                schedule(0.0, net, value)
+
+        # 3. Inertial-delay event loop.
+        while queue:
+            time, _, net, value, stamp = heapq.heappop(queue)
+            if stamp != version[net]:
+                continue  # superseded: pulse narrower than the gate delay
+            if self.values[net] == value:
+                continue  # settles to the value it already has
+            self.values[net] = value
+            driver = self._driver_of.get(net)
+            if driver is not None and self.counting:
+                self.stats.transitions_per_cell[driver] += 1
+            for consumer_index, _pin in netlist.nets[net].fanout:
+                consumer = netlist.cells[consumer_index]
+                if consumer.cell_type.sequential:
+                    continue  # state sampled at the next edge
+                inputs = tuple(self.values[n] for n in consumer.inputs)
+                outputs = consumer.cell_type.evaluate(inputs)
+                for pin, out_net in enumerate(consumer.outputs):
+                    schedule(
+                        time + consumer.cell_type.delay_units[pin],
+                        out_net,
+                        outputs[pin],
+                    )
+
+        # 4. Settled-value accounting (glitch-free baseline).
+        if self.counting and before_settle is not None:
+            for instance in netlist.cells:
+                if instance.cell_type.sequential:
+                    continue
+                for net in instance.outputs:
+                    if self.values[net] != before_settle[net]:
+                        self.stats.settled_transitions_per_cell[instance.index] += 1
+            for instance in netlist.cells:
+                if instance.cell_type.sequential:
+                    q_net = instance.outputs[0]
+                    if self.values[q_net] != before_settle[q_net]:
+                        self.stats.settled_transitions_per_cell[instance.index] += 1
+
+        # 5. Capture the next state at the (implicit) end-of-cycle edge.
+        for instance in netlist.cells:
+            if not instance.cell_type.sequential:
+                continue
+            data = self.values[instance.inputs[0]]
+            if instance.cell_type.name == "DFFE":
+                enable = self.values[instance.inputs[1]]
+                if enable:
+                    self.state[instance.index] = data
+            else:
+                self.state[instance.index] = data
+
+        if self.counting:
+            self.stats.cycles += 1
+
+    # ------------------------------------------------------------------
+    def warm_up(self, cycles: int, input_values: dict[int, int]) -> None:
+        """Run cycles without counting (drains the power-up transient)."""
+        self.counting = False
+        for _ in range(cycles):
+            self.run_cycle(input_values)
+        self.counting = True

@@ -1,0 +1,17 @@
+"""Static timing analysis (DESIGN.md S9)."""
+
+from .analysis import (
+    TimingReport,
+    analyze_timing,
+    critical_path_length,
+    effective_logical_depth,
+    stage_depths,
+)
+
+__all__ = [
+    "TimingReport",
+    "analyze_timing",
+    "critical_path_length",
+    "effective_logical_depth",
+    "stage_depths",
+]

@@ -1,0 +1,126 @@
+"""Static timing analysis over netlist DAGs (DESIGN.md S9).
+
+Replaces the synthesis timing reports the paper read its effective logical
+depths from.  Delays are expressed in inverter-delay units (the same
+normalisation as the cell library), so the reported critical-path length
+*is* the ``LD`` of Eq. 5/6 once referenced to the characterised gate.
+
+Definitions:
+
+* a **timing path** starts at a primary input or a flip-flop output
+  (clock-to-q included) and ends at a flip-flop data/enable input or a
+  primary output;
+* ``critical_path_length`` is the longest such path;
+* ``effective_logical_depth`` scales it by the implementation's
+  sequencing: × cycles per result (a sequential multiplier must fit
+  ``cycles`` critical paths into one data period), ÷ the parallelisation
+  divisor (a k-parallel copy gets k periods per path) — exactly how the
+  paper's Table 1 LDeff column is defined (224 = 16 × 14; 30.5 = 61 / 2);
+* ``arrival_spread`` quantifies the imbalance of input arrival times over
+  the netlist's cells, the structural driver of glitching that Section 4
+  invokes to explain the diagonal pipeline's higher activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..generators.base import MultiplierImplementation
+from ..netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of :func:`analyze_timing` (delays in inverter units)."""
+
+    critical_path_length: float
+    critical_endpoint: str
+    arrival_times: dict[int, float]
+    mean_arrival_spread: float
+    max_arrival_spread: float
+
+    def describe(self) -> str:
+        return (
+            f"critical path {self.critical_path_length:.1f} inverter delays "
+            f"to {self.critical_endpoint}; mean input-arrival spread "
+            f"{self.mean_arrival_spread:.2f}"
+        )
+
+
+def analyze_timing(netlist: Netlist) -> TimingReport:
+    """Longest-path analysis; returns arrivals, critical path and spreads."""
+    arrival: dict[int, float] = {}
+    for net in netlist.primary_inputs:
+        arrival[net] = 0.0
+    for instance in netlist.cells:
+        if instance.cell_type.sequential:
+            for pin, net in enumerate(instance.outputs):
+                arrival[net] = instance.cell_type.delay_units[pin]
+
+    spreads: list[float] = []
+    for cell_index in netlist.combinational_order():
+        instance = netlist.cells[cell_index]
+        input_arrivals = [arrival[net] for net in instance.inputs]
+        latest = max(input_arrivals, default=0.0)
+        if len(input_arrivals) > 1:
+            spreads.append(latest - min(input_arrivals))
+        for pin, net in enumerate(instance.outputs):
+            arrival[net] = latest + instance.cell_type.delay_units[pin]
+
+    # Endpoints: flip-flop data/enable inputs and primary outputs.
+    worst = 0.0
+    worst_name = "(none)"
+    for instance in netlist.cells:
+        if not instance.cell_type.sequential:
+            continue
+        for net in instance.inputs:
+            if arrival[net] > worst:
+                worst = arrival[net]
+                worst_name = f"{instance.name}.D"
+    for net in netlist.primary_outputs:
+        if arrival[net] > worst:
+            worst = arrival[net]
+            worst_name = netlist.nets[net].name
+
+    return TimingReport(
+        critical_path_length=worst,
+        critical_endpoint=worst_name,
+        arrival_times=arrival,
+        mean_arrival_spread=(sum(spreads) / len(spreads)) if spreads else 0.0,
+        max_arrival_spread=max(spreads, default=0.0),
+    )
+
+
+def critical_path_length(netlist: Netlist) -> float:
+    """Longest register-to-register / port-to-port path [inverter delays]."""
+    return analyze_timing(netlist).critical_path_length
+
+
+def effective_logical_depth(impl: MultiplierImplementation) -> float:
+    """The paper's LDeff for a generated implementation.
+
+    ``LDeff = critical_path × cycles_per_result / ld_divisor`` — the
+    number of characterised gate delays that must fit into one *data*
+    period for the implementation to sustain its throughput.
+    """
+    return (
+        critical_path_length(impl.netlist)
+        * impl.cycles_per_result
+        / impl.ld_divisor
+    )
+
+
+def stage_depths(netlist: Netlist) -> list[float]:
+    """Arrival times at every sequential endpoint, sorted descending.
+
+    Useful for inspecting pipeline balance (Figures 3/4): a well-balanced
+    pipeline shows a flat prefix, an unbalanced one a steep head.
+    """
+    report = analyze_timing(netlist)
+    depths = []
+    for instance in netlist.cells:
+        if instance.cell_type.sequential:
+            depths.append(max(report.arrival_times[n] for n in instance.inputs))
+    for net in netlist.primary_outputs:
+        depths.append(report.arrival_times[net])
+    return sorted(depths, reverse=True)

@@ -1,0 +1,140 @@
+"""Tests for the synthetic-SPICE characterisation flow."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    SYNTH_DEVICES,
+    characterize,
+    device,
+    fit_delay_coefficient,
+    fit_device,
+    native_technology,
+)
+from repro.characterization.spice import SyntheticDevice
+
+
+class TestSyntheticDevice:
+    def test_current_monotone_in_vgs(self):
+        dev = device("LL")
+        vgs = np.linspace(0.05, 1.2, 100)
+        current = dev.current(vgs)
+        assert np.all(np.diff(current) > 0)
+
+    def test_subthreshold_slope_matches_n(self):
+        """Two decades below threshold the slope must be n*Ut per e-fold."""
+        dev = device("LL")
+        v1, v2 = dev.vth0 - 0.3, dev.vth0 - 0.25
+        ratio = dev.current(v2) / dev.current(v1)
+        expected = math.exp((v2 - v1) / (dev.n * dev.ut))
+        assert float(ratio) == pytest.approx(expected, rel=0.02)
+
+    def test_current_at_threshold_is_io(self):
+        """The device is normalised so I(Vth) == Io exactly."""
+        dev = device("LL")
+        assert float(dev.current(dev.vth0)) == pytest.approx(dev.io, rel=1e-9)
+
+    def test_strong_inversion_power_law(self):
+        dev = device("HS")
+        v1, v2 = 0.9, 1.2
+        ratio = dev.current(v2) / dev.current(v1)
+        expected = ((v2 - dev.vth0) / (v1 - dev.vth0)) ** dev.alpha
+        assert float(ratio) == pytest.approx(expected, rel=0.03)
+
+    def test_stage_delay_decreases_with_vdd(self):
+        dev = device("LL")
+        vdd = np.linspace(0.5, 1.2, 20)
+        delays = dev.stage_delay(vdd)
+        assert np.all(np.diff(delays) < 0)
+
+    def test_noise_is_reproducible(self):
+        dev = device("LL")
+        _, first = dev.iv_curve(np.linspace(0.1, 1.0, 10), seed=3)
+        _, second = dev.iv_curve(np.linspace(0.1, 1.0, 10), seed=3)
+        assert np.array_equal(first, second)
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            device("XX")
+
+
+class TestDeviceFit:
+    @pytest.mark.parametrize("label", ["LL", "HS", "ULL"])
+    def test_recovers_generating_parameters(self, label):
+        dev = device(label)
+        fit = fit_device(dev)
+        assert fit.n == pytest.approx(dev.n, rel=0.03)
+        assert fit.alpha == pytest.approx(dev.alpha, rel=0.04)
+        assert fit.vth == pytest.approx(dev.vth0, abs=0.02)
+        # The sub-threshold extrapolation evaluated at Vth overshoots the
+        # smooth device's I(Vth) by exactly (1/ln2)^alpha (the exponential
+        # asymptote lies above the softplus knee), and Io is defined *at*
+        # the threshold, so a +-10 mV Vth placement moves it by
+        # exp(dVth/(n*Ut)) — both effects are part of the expectation.
+        expected_io = (
+            dev.io
+            * (1.0 / math.log(2.0)) ** dev.alpha
+            * math.exp((fit.vth - dev.vth0) / (dev.n * dev.ut))
+        )
+        assert fit.io == pytest.approx(expected_io, rel=0.15)
+
+    def test_fit_residuals_reported(self):
+        fit = fit_device(device("LL"))
+        assert 0.0 < fit.subthreshold_residual < 0.1
+        assert 0.0 < fit.alpha_residual < 0.1
+
+
+class TestDelayFit:
+    def test_zeta_fits_delays_tightly(self):
+        dev = device("LL")
+        fit = fit_device(dev)
+        delay_fit = fit_delay_coefficient(dev, fit)
+        assert delay_fit.relative_rms_error < 0.15
+        assert delay_fit.zeta > 0
+
+    def test_zeta_scales_with_load(self):
+        import dataclasses
+
+        light = device("LL")
+        heavy = dataclasses.replace(light, c_load=2 * light.c_load)
+        zeta_light = fit_delay_coefficient(light, fit_device(light)).zeta
+        zeta_heavy = fit_delay_coefficient(heavy, fit_device(heavy)).zeta
+        assert zeta_heavy == pytest.approx(2 * zeta_light, rel=0.02)
+
+
+class TestNativeTechnologies:
+    def test_all_flavours_characterise(self):
+        for label in SYNTH_DEVICES:
+            tech = native_technology(label)
+            assert tech.io > 0 and tech.zeta > 0
+            assert 1.0 <= tech.alpha <= 2.0
+
+    def test_flavour_orderings_preserved(self):
+        """Table 2's orderings must survive the extraction."""
+        ll = native_technology("LL")
+        hs = native_technology("HS")
+        ull = native_technology("ULL")
+        assert ull.io < ll.io < hs.io
+        assert hs.alpha < ll.alpha < ull.alpha
+        assert ll.zeta < ull.zeta  # ULL is the slow flavour
+        assert ull.vth0_nominal > ll.vth0_nominal > 0.3
+
+    def test_characterize_names_technology(self):
+        tech = characterize(device("LL"), name="my-ll")
+        assert tech.name == "my-ll"
+
+    def test_caching_returns_same_object(self):
+        assert native_technology("LL") is native_technology("LL")
+
+    def test_native_ll_keeps_paper_multipliers_feasible(self):
+        """The whole native flow depends on this: every generated netlist
+        must close timing at 31.25 MHz on the characterised LL flavour."""
+        from repro.core.constraint import chi
+        from repro.core.linearization import paper_fit
+
+        tech = native_technology("LL")
+        fit = paper_fit(tech.alpha)
+        worst_ld = 700.0  # sequential multiplier's native LDeff with margin
+        assert chi(tech, worst_ld, 31.25e6) * fit.a < 1.0

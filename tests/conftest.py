@@ -1,0 +1,41 @@
+"""Shared fixtures: reference technologies, architectures and frequencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ArchitectureParameters, ST_CMOS09_LL
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+
+
+@pytest.fixture
+def tech_ll():
+    """The paper's default technology flavour (ST CMOS09 Low Leakage)."""
+    return ST_CMOS09_LL
+
+
+@pytest.fixture
+def paper_frequency():
+    """The 31.25 MHz data clock every table uses."""
+    return PAPER_FREQUENCY
+
+
+@pytest.fixture
+def wallace_arch():
+    """A Wallace-multiplier-shaped parameter set with plausible C/Io factors.
+
+    Uses the published (N, a, LDeff) with a round capacitance and the
+    cell-complexity factors DESIGN.md derives, so closed-form/numerical
+    behaviour matches the paper's operating regime without depending on
+    the calibration machinery.
+    """
+    row = TABLE1_BY_NAME["Wallace"]
+    return ArchitectureParameters(
+        name="wallace-fixture",
+        n_cells=row.n_cells,
+        activity=row.activity,
+        logical_depth=row.logical_depth,
+        capacitance=70e-15,
+        io_factor=18.0,
+        zeta_factor=0.2,
+    )

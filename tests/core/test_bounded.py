@@ -1,0 +1,124 @@
+"""Tests for the bounded (Vth-ceiling) optimisation extension."""
+
+import pytest
+
+from repro.core.bounded import (
+    bounded_constrained_power,
+    bounded_optimum,
+    vth_ceiling_is_active,
+)
+from repro.core.calibration import calibrate_row
+from repro.core.numerical import numerical_optimum
+from repro.core.technology import ST_CMOS09_LL
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+
+
+@pytest.fixture(scope="module")
+def wallace():
+    return calibrate_row(TABLE1_BY_NAME["Wallace"], ST_CMOS09_LL, PAPER_FREQUENCY)
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return calibrate_row(TABLE1_BY_NAME["Sequential"], ST_CMOS09_LL, PAPER_FREQUENCY)
+
+
+class TestReductionToUnbounded:
+    def test_no_caps_matches_numerical_optimum(self, wallace):
+        unbounded = numerical_optimum(wallace, ST_CMOS09_LL, PAPER_FREQUENCY)
+        bounded = bounded_optimum(wallace, ST_CMOS09_LL, PAPER_FREQUENCY)
+        assert bounded.ptot == pytest.approx(unbounded.ptot, rel=1e-6)
+        assert bounded.point.vdd == pytest.approx(unbounded.point.vdd, abs=1e-4)
+
+    def test_loose_cap_is_inactive(self, wallace):
+        """At 31.25 MHz the Wallace optimum sits at Vth ~ 0.24 V: a 0.45 V
+        ceiling changes nothing."""
+        unbounded = numerical_optimum(wallace, ST_CMOS09_LL, PAPER_FREQUENCY)
+        capped = bounded_optimum(
+            wallace, ST_CMOS09_LL, PAPER_FREQUENCY, vth_max=0.45
+        )
+        assert capped.ptot == pytest.approx(unbounded.ptot, rel=1e-6)
+        assert not vth_ceiling_is_active(
+            wallace, ST_CMOS09_LL, PAPER_FREQUENCY, 0.45
+        )
+
+
+class TestActiveCeiling:
+    LOW_FREQUENCY = 50e3
+
+    def test_ceiling_binds_at_low_frequency(self, wallace):
+        assert vth_ceiling_is_active(
+            wallace, ST_CMOS09_LL, self.LOW_FREQUENCY, 0.45
+        )
+
+    def test_capped_power_exceeds_free_power(self, wallace):
+        free = numerical_optimum(wallace, ST_CMOS09_LL, self.LOW_FREQUENCY)
+        capped = bounded_optimum(
+            wallace, ST_CMOS09_LL, self.LOW_FREQUENCY, vth_max=0.45
+        )
+        assert capped.ptot > free.ptot
+        assert capped.point.vth == pytest.approx(0.45, abs=1e-9)
+
+    def test_sequential_wins_under_ceiling_at_low_frequency(
+        self, wallace, sequential
+    ):
+        """The Section 4 claim the unbounded model cannot show: with a
+        realistic Vth ceiling, leakage scales with cell count and the
+        290-cell sequential multiplier undercuts the 729-cell Wallace at
+        a sufficiently low data rate (the crossover sits near ~500 Hz
+        for a 0.45 V ceiling on LL)."""
+        frequency = 50.0
+        cap = 0.45
+        wallace_power = bounded_optimum(
+            wallace, ST_CMOS09_LL, frequency, vth_max=cap
+        ).ptot
+        sequential_power = bounded_optimum(
+            sequential, ST_CMOS09_LL, frequency, vth_max=cap
+        ).ptot
+        assert sequential_power < wallace_power
+
+    def test_free_vth_never_lets_sequential_win(self, wallace, sequential):
+        """Control: without the ceiling the ordering never flips."""
+        for frequency in (5e3, 50e3, 500e3, 5e6):
+            wallace_power = numerical_optimum(
+                wallace, ST_CMOS09_LL, frequency
+            ).ptot
+            sequential_power = numerical_optimum(
+                sequential, ST_CMOS09_LL, frequency
+            ).ptot
+            assert wallace_power < sequential_power
+
+
+class TestVddBounds:
+    def test_supply_cap_binds(self, sequential):
+        """The sequential multiplier wants Vdd ~ 0.83 V; capping the supply
+        at 0.6 V pins the optimum to the bound."""
+        capped = bounded_optimum(
+            sequential, ST_CMOS09_LL, PAPER_FREQUENCY, vdd_bounds=(0.2, 0.6)
+        )
+        assert capped.point.vdd == pytest.approx(0.6)
+        free = numerical_optimum(sequential, ST_CMOS09_LL, PAPER_FREQUENCY)
+        assert capped.ptot > free.ptot
+
+    def test_invalid_bounds_rejected(self, wallace):
+        with pytest.raises(ValueError, match="vdd_bounds"):
+            bounded_optimum(
+                wallace, ST_CMOS09_LL, PAPER_FREQUENCY, vdd_bounds=(1.0, 0.5)
+            )
+
+
+class TestBoundedCurve:
+    def test_vth_is_clamped_on_curve(self, wallace):
+        import numpy as np
+
+        vdd = np.linspace(0.4, 1.2, 9)
+        vth, _, _, _ = bounded_constrained_power(
+            wallace, ST_CMOS09_LL, 1e5, vdd, vth_max=0.3
+        )
+        assert np.all(vth <= 0.3 + 1e-12)
+
+    def test_power_monotone_in_cap(self, wallace):
+        """A tighter ceiling can only cost power."""
+        loose = bounded_optimum(wallace, ST_CMOS09_LL, 1e5, vth_max=0.5).ptot
+        tight = bounded_optimum(wallace, ST_CMOS09_LL, 1e5, vth_max=0.3).ptot
+        assert tight >= loose

@@ -1,0 +1,146 @@
+"""Unit tests for repro.core.calibration (calibrated reproduction mode)."""
+
+import math
+
+import pytest
+
+from repro import numerical_optimum, ptot_eq13
+from repro.core.calibration import (
+    calibrate_from_total,
+    calibrate_row,
+    recover_capacitance,
+    recover_chi,
+    recover_io,
+    stationarity_ratio,
+    zeta_factor_for_chi,
+)
+from repro.core.constraint import chi, chi_for_architecture
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+
+
+@pytest.fixture
+def rca_row():
+    return TABLE1_BY_NAME["RCA"]
+
+
+class TestRecovery:
+    def test_recovered_capacitance_reproduces_pdyn(self, rca_row, tech_ll):
+        capacitance = recover_capacitance(rca_row, PAPER_FREQUENCY)
+        pdyn = (
+            rca_row.n_cells
+            * rca_row.activity
+            * capacitance
+            * rca_row.vdd**2
+            * PAPER_FREQUENCY
+        )
+        assert pdyn == pytest.approx(rca_row.pdyn, rel=1e-12)
+
+    def test_recovered_io_reproduces_pstat(self, rca_row, tech_ll):
+        io = recover_io(rca_row, tech_ll)
+        pstat = (
+            rca_row.n_cells
+            * rca_row.vdd
+            * io
+            * math.exp(-rca_row.vth / tech_ll.n_ut)
+        )
+        assert pstat == pytest.approx(rca_row.pstat, rel=1e-12)
+
+    def test_recovered_io_reflects_cell_complexity(self, rca_row, tech_ll):
+        """DESIGN.md: a multiplier cell leaks an order of magnitude more
+        than the characterised inverter (FA = 28 transistors)."""
+        io = recover_io(rca_row, tech_ll)
+        assert 5.0 < io / tech_ll.io < 40.0
+
+    def test_recovered_chi_matches_operating_point(self, rca_row, tech_ll):
+        chi_value = recover_chi(rca_row, tech_ll)
+        expected = (rca_row.vdd - rca_row.vth) / rca_row.vdd ** (1 / tech_ll.alpha)
+        assert chi_value == pytest.approx(expected)
+
+    def test_zeta_factor_roundtrip(self, rca_row, tech_ll):
+        chi_target = recover_chi(rca_row, tech_ll)
+        factor = zeta_factor_for_chi(
+            chi_target, tech_ll, rca_row.logical_depth, PAPER_FREQUENCY
+        )
+        reproduced = chi(
+            tech_ll, rca_row.logical_depth, PAPER_FREQUENCY, zeta_factor=factor
+        )
+        assert reproduced == pytest.approx(chi_target, rel=1e-12)
+
+
+class TestCalibratedRow:
+    def test_architecture_carries_published_inputs(self, rca_row, tech_ll):
+        arch = calibrate_row(rca_row, tech_ll, PAPER_FREQUENCY)
+        assert arch.n_cells == rca_row.n_cells
+        assert arch.activity == rca_row.activity
+        assert arch.logical_depth == rca_row.logical_depth
+        assert arch.area == rca_row.area
+
+    def test_solvers_see_calibrated_chi(self, rca_row, tech_ll):
+        arch = calibrate_row(rca_row, tech_ll, PAPER_FREQUENCY)
+        assert chi_for_architecture(arch, tech_ll, PAPER_FREQUENCY) == pytest.approx(
+            recover_chi(rca_row, tech_ll), rel=1e-12
+        )
+
+    def test_calibrated_rca_reproduces_published_powers(self, rca_row, tech_ll):
+        """The end-to-end check DESIGN.md derives by hand: the calibrated
+        RCA must predict both published power columns to < 0.5 %."""
+        arch = calibrate_row(rca_row, tech_ll, PAPER_FREQUENCY)
+        eq13 = ptot_eq13(arch, tech_ll, PAPER_FREQUENCY)
+        numerical = numerical_optimum(arch, tech_ll, PAPER_FREQUENCY)
+        assert eq13 == pytest.approx(rca_row.ptot_eq13, rel=5e-3)
+        assert numerical.ptot == pytest.approx(rca_row.ptot, rel=5e-3)
+
+    def test_calibrated_rca_reproduces_published_voltages(self, rca_row, tech_ll):
+        arch = calibrate_row(rca_row, tech_ll, PAPER_FREQUENCY)
+        numerical = numerical_optimum(arch, tech_ll, PAPER_FREQUENCY)
+        assert numerical.point.vdd == pytest.approx(rca_row.vdd, abs=0.005)
+        assert numerical.point.vth == pytest.approx(rca_row.vth, abs=0.005)
+
+
+class TestStationarityRatio:
+    def test_rca_ratio_close_to_published_split(self, rca_row, tech_ll):
+        chi_value = recover_chi(rca_row, tech_ll)
+        ratio = stationarity_ratio(rca_row.vdd, chi_value, tech_ll.alpha, tech_ll.n_ut)
+        published = rca_row.pstat / rca_row.pdyn
+        assert ratio == pytest.approx(published, rel=0.06)
+
+    def test_rejects_non_stationary_inputs(self, tech_ll):
+        # Tiny Vdd cannot be a stationary optimum.
+        with pytest.raises(ValueError, match="not a stationary optimum"):
+            stationarity_ratio(0.02, 0.4, tech_ll.alpha, tech_ll.n_ut)
+
+
+class TestCalibrateFromTotal:
+    def test_table1_row_roundtrip(self, rca_row, tech_ll):
+        """Feeding only Ptot back through calibrate_from_total must give a
+        parameter set close to the full-information calibration."""
+        full = calibrate_row(rca_row, tech_ll, PAPER_FREQUENCY)
+        from_total = calibrate_from_total(
+            rca_row.name,
+            rca_row.n_cells,
+            rca_row.activity,
+            rca_row.logical_depth,
+            rca_row.vdd,
+            rca_row.vth,
+            rca_row.ptot,
+            tech_ll,
+            PAPER_FREQUENCY,
+        )
+        assert from_total.capacitance == pytest.approx(full.capacitance, rel=0.06)
+        assert from_total.io_factor == pytest.approx(full.io_factor, rel=0.06)
+        assert from_total.zeta_factor == pytest.approx(full.zeta_factor, rel=1e-9)
+
+    def test_predicted_power_insensitive_to_split_recovery(self, rca_row, tech_ll):
+        from_total = calibrate_from_total(
+            rca_row.name,
+            rca_row.n_cells,
+            rca_row.activity,
+            rca_row.logical_depth,
+            rca_row.vdd,
+            rca_row.vth,
+            rca_row.ptot,
+            tech_ll,
+            PAPER_FREQUENCY,
+        )
+        numerical = numerical_optimum(from_total, tech_ll, PAPER_FREQUENCY)
+        assert numerical.ptot == pytest.approx(rca_row.ptot, rel=0.01)

@@ -1,0 +1,169 @@
+"""Unit tests for repro.core.closed_form (Eqs. 9-13)."""
+
+import math
+
+import pytest
+
+from repro import ST_CMOS09_LL
+from repro.core.closed_form import (
+    InfeasibleConstraintError,
+    closed_form_breakdown,
+    closed_form_optimum,
+    optimal_leakage_current,
+    optimal_vdd,
+    optimal_vth,
+    ptot_eq13,
+)
+from repro.core.constraint import chi_for_architecture
+from repro.core.linearization import paper_fit
+from repro.core.power_model import power_breakdown
+
+
+class TestDerivationIdentities:
+    """The algebraic identities that link Eqs. 8, 9, 10 and 13."""
+
+    def test_vth_via_eq8_equals_vth_via_eq9(self, tech_ll, wallace_arch, paper_frequency):
+        breakdown = closed_form_breakdown(wallace_arch, tech_ll, paper_frequency)
+        io = wallace_arch.effective_io(tech_ll)
+        vth_from_leakage = optimal_vth(io, breakdown.leakage_current, tech_ll.n_ut)
+        assert breakdown.vth == pytest.approx(vth_from_leakage, rel=1e-12)
+
+    def test_eq13_equals_eq12_at_eq10_vdd(self, tech_ll, wallace_arch, paper_frequency):
+        breakdown = closed_form_breakdown(wallace_arch, tech_ll, paper_frequency)
+        assert breakdown.ptot_eq13 == pytest.approx(breakdown.ptot_eq12, rel=1e-12)
+
+    def test_eq11_slightly_below_eq12(self, tech_ll, wallace_arch, paper_frequency):
+        """Eq. 12 completes the square, adding the (nUt/(1-chi A))^2 term."""
+        breakdown = closed_form_breakdown(wallace_arch, tech_ll, paper_frequency)
+        assert breakdown.ptot_eq11 < breakdown.ptot_eq12
+        # The gap is the square-completion term times NaCf.
+        arch = wallace_arch
+        gap_expected = (
+            arch.n_cells
+            * arch.activity
+            * arch.capacitance
+            * paper_frequency
+            * (tech_ll.n_ut / breakdown.one_minus_chi_a) ** 2
+        )
+        assert breakdown.ptot_eq12 - breakdown.ptot_eq11 == pytest.approx(
+            gap_expected, rel=1e-9
+        )
+
+    def test_leakage_current_formula(self, tech_ll, wallace_arch, paper_frequency):
+        fit = paper_fit(tech_ll.alpha)
+        chi_value = chi_for_architecture(wallace_arch, tech_ll, paper_frequency)
+        leakage = optimal_leakage_current(
+            wallace_arch.activity,
+            wallace_arch.capacitance,
+            paper_frequency,
+            tech_ll.n_ut,
+            chi_value,
+            fit,
+        )
+        expected = (
+            2.0
+            * wallace_arch.activity
+            * wallace_arch.capacitance
+            * paper_frequency
+            * tech_ll.n_ut
+            / (1.0 - chi_value * fit.a)
+        )
+        assert leakage == pytest.approx(expected)
+
+    def test_point_lies_on_linearized_constraint(
+        self, tech_ll, wallace_arch, paper_frequency
+    ):
+        breakdown = closed_form_breakdown(wallace_arch, tech_ll, paper_frequency)
+        fit = breakdown.fit
+        expected_vth = breakdown.vdd * (1 - breakdown.chi * fit.a) - breakdown.chi * fit.b
+        assert breakdown.vth == pytest.approx(expected_vth, rel=1e-12)
+
+
+class TestEq13Structure:
+    def test_eq13_hand_computation(self, tech_ll, paper_frequency):
+        """Independent re-evaluation of Eq. 13 term by term."""
+        from repro import ArchitectureParameters
+
+        arch = ArchitectureParameters(
+            name="hand", n_cells=600, activity=0.5, logical_depth=60,
+            capacitance=70e-15, io_factor=18.0, zeta_factor=0.2,
+        )
+        fit = paper_fit(tech_ll.alpha)
+        chi_value = chi_for_architecture(arch, tech_ll, paper_frequency)
+        margin = 1.0 - chi_value * fit.a
+        n_ut = tech_ll.n_ut
+        acf = arch.activity * arch.capacitance * paper_frequency
+        io = arch.io_factor * tech_ll.io
+        bracket = n_ut * (math.log(io * margin / (2 * acf * n_ut)) + 1) + chi_value * fit.b
+        expected = arch.n_cells * acf / margin**2 * bracket**2
+        assert ptot_eq13(arch, tech_ll, paper_frequency) == pytest.approx(expected)
+
+    def test_power_scales_linearly_with_cells(self, tech_ll, wallace_arch, paper_frequency):
+        doubled = wallace_arch.with_updates(n_cells=2 * wallace_arch.n_cells)
+        assert ptot_eq13(doubled, tech_ll, paper_frequency) == pytest.approx(
+            2.0 * ptot_eq13(wallace_arch, tech_ll, paper_frequency)
+        )
+
+    def test_higher_activity_costs_power(self, tech_ll, wallace_arch, paper_frequency):
+        busier = wallace_arch.with_updates(activity=1.5 * wallace_arch.activity)
+        assert ptot_eq13(busier, tech_ll, paper_frequency) > ptot_eq13(
+            wallace_arch, tech_ll, paper_frequency
+        )
+
+    def test_longer_logical_depth_costs_power(self, tech_ll, wallace_arch, paper_frequency):
+        slower = wallace_arch.with_updates(logical_depth=2 * wallace_arch.logical_depth)
+        assert ptot_eq13(slower, tech_ll, paper_frequency) > ptot_eq13(
+            wallace_arch, tech_ll, paper_frequency
+        )
+
+    def test_custom_chi_value_overrides_eq6(self, tech_ll, wallace_arch, paper_frequency):
+        default = ptot_eq13(wallace_arch, tech_ll, paper_frequency)
+        overridden = ptot_eq13(wallace_arch, tech_ll, paper_frequency, chi_value=0.1)
+        assert overridden != pytest.approx(default)
+
+
+class TestInfeasibility:
+    def test_deep_circuit_at_high_frequency_raises(self, tech_ll, wallace_arch):
+        with pytest.raises(InfeasibleConstraintError, match="cannot meet timing"):
+            ptot_eq13(
+                wallace_arch.with_updates(logical_depth=5000, zeta_factor=1.0),
+                tech_ll,
+                500e6,
+            )
+
+    def test_error_message_names_architecture(self, tech_ll, wallace_arch):
+        with pytest.raises(InfeasibleConstraintError, match="wallace-fixture"):
+            ptot_eq13(
+                wallace_arch.with_updates(logical_depth=5000, zeta_factor=1.0),
+                tech_ll,
+                500e6,
+            )
+
+
+class TestClosedFormOptimum:
+    def test_result_point_breakdown_consistent(self, tech_ll, wallace_arch, paper_frequency):
+        result = closed_form_optimum(wallace_arch, tech_ll, paper_frequency)
+        scaled = tech_ll.scaled(io_factor=wallace_arch.io_factor, name=tech_ll.name)
+        pdyn, pstat, ptot = power_breakdown(
+            wallace_arch.n_cells,
+            wallace_arch.activity,
+            wallace_arch.capacitance,
+            result.point.vdd,
+            result.point.vth,
+            paper_frequency,
+            scaled,
+        )
+        assert result.point.pdyn == pytest.approx(float(pdyn))
+        assert result.point.pstat == pytest.approx(float(pstat))
+        assert result.ptot == pytest.approx(float(ptot))
+
+    def test_close_to_eq13_value(self, tech_ll, wallace_arch, paper_frequency):
+        """Evaluating Eq. 1 at the Eq. 10/8 point differs from Eq. 13 only
+        by the high-supply approximation -- a few percent at most."""
+        result = closed_form_optimum(wallace_arch, tech_ll, paper_frequency)
+        eq13 = ptot_eq13(wallace_arch, tech_ll, paper_frequency)
+        assert result.ptot == pytest.approx(eq13, rel=0.05)
+
+    def test_method_tag(self, tech_ll, wallace_arch, paper_frequency):
+        result = closed_form_optimum(wallace_arch, tech_ll, paper_frequency)
+        assert result.point.method == "closed-form"

@@ -1,0 +1,32 @@
+"""Unit tests for repro.core.constants."""
+
+import math
+
+import pytest
+
+from repro.core import constants
+
+
+def test_thermal_voltage_at_300k():
+    assert constants.thermal_voltage(300.0) == pytest.approx(0.025852, abs=1e-5)
+
+
+def test_thermal_voltage_scales_linearly_with_temperature():
+    assert constants.thermal_voltage(600.0) == pytest.approx(
+        2.0 * constants.thermal_voltage(300.0)
+    )
+
+
+def test_thermal_voltage_rejects_non_positive_temperature():
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(-10.0)
+
+
+def test_ut_300k_constant_matches_function():
+    assert constants.UT_300K == constants.thermal_voltage(300.0)
+
+
+def test_euler_constant_is_e():
+    assert constants.EULER == pytest.approx(math.e)

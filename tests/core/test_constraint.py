@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.constraint (Eqs. 5, 6, 8)."""
+
+import numpy as np
+import pytest
+
+from repro import ST_CMOS09_LL, ArchitectureParameters
+from repro.core.constraint import (
+    chi,
+    chi_for_architecture,
+    chi_from_operating_point,
+    is_feasible_linearized,
+    operating_point_consistency,
+    vdd_for_positive_vth,
+    vth_exact,
+    vth_linearized,
+)
+from repro.core.linearization import paper_fit
+from repro.core.power_model import critical_path_delay
+
+
+@pytest.fixture
+def arch():
+    return ArchitectureParameters(
+        name="unit", n_cells=100, activity=0.3, logical_depth=20,
+        capacitance=10e-15,
+    )
+
+
+class TestChi:
+    def test_chi_scaling_with_frequency(self, tech_ll):
+        """chi ~ f^(1/alpha) (Eq. 6)."""
+        c1 = chi(tech_ll, 20, 10e6)
+        c2 = chi(tech_ll, 20, 20e6)
+        assert c2 / c1 == pytest.approx(2.0 ** (1.0 / tech_ll.alpha))
+
+    def test_chi_scaling_with_logical_depth(self, tech_ll):
+        c1 = chi(tech_ll, 10, 10e6)
+        c2 = chi(tech_ll, 40, 10e6)
+        assert c2 / c1 == pytest.approx(4.0 ** (1.0 / tech_ll.alpha))
+
+    def test_chi_decreases_with_io(self, tech_ll):
+        strong = tech_ll.scaled(io_factor=4.0)
+        assert chi(strong, 20, 10e6) < chi(tech_ll, 20, 10e6)
+
+    def test_zeta_factor_equivalent_to_scaled_zeta(self, tech_ll):
+        direct = chi(tech_ll, 20, 10e6, zeta_factor=0.25)
+        scaled = chi(tech_ll.scaled(zeta_factor=0.25), 20, 10e6)
+        assert direct == pytest.approx(scaled)
+
+    def test_chi_for_architecture_honours_zeta_factor(self, tech_ll, arch):
+        plain = chi_for_architecture(arch, tech_ll, 10e6)
+        corrected = chi_for_architecture(
+            arch.with_updates(zeta_factor=0.5), tech_ll, 10e6
+        )
+        assert corrected < plain
+
+    def test_rejects_non_positive_inputs(self, tech_ll):
+        with pytest.raises(ValueError):
+            chi(tech_ll, 0, 10e6)
+        with pytest.raises(ValueError):
+            chi(tech_ll, 20, -1.0)
+
+
+class TestConstraintInversion:
+    def test_vth_exact_roundtrip_through_chi_recovery(self):
+        """chi_from_operating_point inverts vth_exact."""
+        alpha = 1.86
+        chi_value = 0.42
+        vdd = 0.55
+        vth = float(vth_exact(vdd, chi_value, alpha))
+        assert chi_from_operating_point(vdd, vth, alpha) == pytest.approx(chi_value)
+
+    def test_constraint_point_closes_timing_exactly(self, tech_ll, arch):
+        """A (Vdd, Vth) pair from Eq. 5 must make LD*t_gate == 1/f."""
+        frequency = 10e6
+        chi_value = chi_for_architecture(arch, tech_ll, frequency)
+        vdd = 0.8
+        vth = float(vth_exact(vdd, chi_value, tech_ll.alpha))
+        delay = critical_path_delay(tech_ll, arch.logical_depth, vdd, vth)
+        assert delay * frequency == pytest.approx(1.0, rel=1e-9)
+
+    def test_operating_point_consistency_zero_on_constraint(self, tech_ll, arch):
+        frequency = 10e6
+        chi_value = chi_for_architecture(arch, tech_ll, frequency)
+        vdd = 0.7
+        vth = float(vth_exact(vdd, chi_value, tech_ll.alpha))
+        slack = operating_point_consistency(arch, tech_ll, frequency, vdd, vth)
+        assert slack == pytest.approx(0.0, abs=1e-9)
+
+    def test_operating_point_consistency_sign(self, tech_ll, arch):
+        frequency = 10e6
+        chi_value = chi_for_architecture(arch, tech_ll, frequency)
+        vdd = 0.7
+        vth = float(vth_exact(vdd, chi_value, tech_ll.alpha))
+        # Lower Vth -> faster -> positive slack; higher Vth -> negative.
+        assert operating_point_consistency(arch, tech_ll, frequency, vdd, vth - 0.05) > 0
+        assert operating_point_consistency(arch, tech_ll, frequency, vdd, vth + 0.05) < 0
+
+    def test_chi_recovery_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chi_from_operating_point(-0.5, 0.2, 1.86)
+        with pytest.raises(ValueError):
+            chi_from_operating_point(0.5, 0.6, 1.86)
+
+
+class TestLinearizedConstraint:
+    def test_linearized_close_to_exact_in_fit_range(self):
+        fit = paper_fit(1.86)
+        chi_value = 0.4
+        vdd = np.linspace(0.3, 1.0, 15)
+        exact = vth_exact(vdd, chi_value, 1.86)
+        approx = vth_linearized(vdd, chi_value, fit)
+        assert np.max(np.abs(exact - approx)) < chi_value * fit.max_abs_error + 1e-12
+
+    def test_feasibility_threshold(self):
+        fit = paper_fit(1.86)
+        assert is_feasible_linearized(0.99 / fit.a, fit)
+        assert not is_feasible_linearized(1.01 / fit.a, fit)
+
+    def test_vdd_for_positive_vth(self):
+        alpha = 1.86
+        chi_value = 0.5
+        boundary = vdd_for_positive_vth(chi_value, alpha)
+        assert float(vth_exact(boundary, chi_value, alpha)) == pytest.approx(0.0, abs=1e-12)
+        assert float(vth_exact(boundary * 1.2, chi_value, alpha)) > 0
+        assert float(vth_exact(boundary * 0.8, chi_value, alpha)) < 0
+
+    def test_vdd_for_positive_vth_alpha_one(self):
+        assert vdd_for_positive_vth(0.5, 1.0) == 0.0

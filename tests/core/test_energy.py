@@ -1,0 +1,93 @@
+"""Tests for energy-per-operation analysis and the minimum-energy point."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate_row
+from repro.core.energy import energy_point, energy_sweep, minimum_energy_point
+from repro.core.technology import ST_CMOS09_LL
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+
+VTH_CAP = 0.45
+
+
+@pytest.fixture(scope="module")
+def wallace():
+    return calibrate_row(TABLE1_BY_NAME["Wallace"], ST_CMOS09_LL, PAPER_FREQUENCY)
+
+
+class TestEnergyPoint:
+    def test_energy_is_power_over_frequency(self, wallace):
+        point = energy_point(wallace, ST_CMOS09_LL, PAPER_FREQUENCY)
+        assert point.energy_per_op == pytest.approx(
+            point.result.ptot / PAPER_FREQUENCY
+        )
+        assert point.energy_per_op == pytest.approx(
+            point.dynamic_energy_per_op + point.leakage_energy_per_op
+        )
+
+    def test_wallace_energy_scale(self, wallace):
+        """Sanity: a 16x16 multiply at the optimal point costs ~2 pJ."""
+        point = energy_point(wallace, ST_CMOS09_LL, PAPER_FREQUENCY)
+        assert 0.5e-12 < point.energy_per_op < 10e-12
+
+    def test_describe(self, wallace):
+        assert "pJ/op" in energy_point(wallace, ST_CMOS09_LL, 1e6).describe()
+
+
+class TestEnergyFrequencyShape:
+    def test_free_vth_has_interior_minimum(self, wallace):
+        """Even with ideal threshold control, energy/op is U-shaped: the
+        optimal Vdd climbs like n*Ut*ln(1/f) at low frequency (Eq. 10),
+        so very slow operation costs *more* dynamic energy per op."""
+        slow = energy_point(wallace, ST_CMOS09_LL, 50.0)
+        mid = energy_point(wallace, ST_CMOS09_LL, 5e6)
+        fast = energy_point(wallace, ST_CMOS09_LL, PAPER_FREQUENCY)
+        assert slow.energy_per_op > mid.energy_per_op
+        assert fast.energy_per_op > mid.energy_per_op
+        # The low-frequency rise is a dynamic-energy effect here: the
+        # optimal Vdd at 50 Hz exceeds the 5 MHz one.
+        assert slow.result.point.vdd > mid.result.point.vdd
+
+    def test_vth_ceiling_makes_upturn_catastrophic(self, wallace):
+        """With the ceiling the low-frequency side is leakage-dominated
+        and orders of magnitude steeper than the free-Vth logarithm."""
+        free = energy_point(wallace, ST_CMOS09_LL, 50.0)
+        capped = energy_point(wallace, ST_CMOS09_LL, 50.0, vth_max=VTH_CAP)
+        assert capped.energy_per_op > 10 * free.energy_per_op
+        assert capped.leakage_energy_per_op > 0.9 * capped.energy_per_op
+        # The free-Vth point keeps leakage a bounded fraction (Eq. 9).
+        assert free.leakage_energy_per_op < 0.25 * free.energy_per_op
+
+    def test_leakage_share_grows_as_frequency_falls(self, wallace):
+        points = energy_sweep(
+            wallace, ST_CMOS09_LL, [100.0, 1e4, 1e6], vth_max=VTH_CAP
+        )
+        shares = [
+            point.leakage_energy_per_op / point.energy_per_op for point in points
+        ]
+        assert shares[0] > shares[1] > shares[2]
+
+
+class TestMinimumEnergyPoint:
+    def test_interior_mep_found(self, wallace):
+        mep = minimum_energy_point(
+            wallace, ST_CMOS09_LL, 10.0, PAPER_FREQUENCY, vth_max=VTH_CAP
+        )
+        assert 10.0 < mep.frequency < PAPER_FREQUENCY
+        # The MEP is a true minimum: neighbours cost more energy.
+        for factor in (0.25, 4.0):
+            neighbour = energy_point(
+                wallace, ST_CMOS09_LL, mep.frequency * factor, vth_max=VTH_CAP
+            )
+            assert neighbour.energy_per_op >= mep.energy_per_op
+
+    def test_narrow_window_rejected(self, wallace):
+        with pytest.raises(ValueError, match="boundary"):
+            minimum_energy_point(
+                wallace, ST_CMOS09_LL, 20e6, 31e6, vth_max=VTH_CAP
+            )
+
+    def test_invalid_window_rejected(self, wallace):
+        with pytest.raises(ValueError, match="f_low"):
+            minimum_energy_point(wallace, ST_CMOS09_LL, 1e6, 1e3, vth_max=VTH_CAP)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.numerical (the paper's reference baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraint import chi_for_architecture, vth_exact
+from repro.core.numerical import (
+    constrained_total_power,
+    grid_optimum,
+    numerical_optimum,
+    numerical_optimum_linearized,
+)
+from repro.core.optimum import OperatingPoint
+
+
+class TestConstrainedCurve:
+    def test_curve_matches_pointwise_evaluation(self, tech_ll, wallace_arch, paper_frequency):
+        vdd = np.linspace(0.3, 0.9, 7)
+        vth, pdyn, pstat, ptot = constrained_total_power(
+            wallace_arch, tech_ll, paper_frequency, vdd
+        )
+        chi_value = chi_for_architecture(wallace_arch, tech_ll, paper_frequency)
+        assert np.allclose(vth, vth_exact(vdd, chi_value, tech_ll.alpha))
+        assert np.allclose(ptot, pdyn + pstat)
+
+    def test_curve_is_u_shaped(self, tech_ll, wallace_arch, paper_frequency):
+        """Low Vdd explodes leakage (Vth goes negative), high Vdd explodes
+        dynamic power; the constrained curve must dip in between."""
+        vdd = np.linspace(0.15, 1.2, 200)
+        _, _, _, ptot = constrained_total_power(
+            wallace_arch, tech_ll, paper_frequency, vdd
+        )
+        minimum_index = int(np.argmin(ptot))
+        assert 0 < minimum_index < len(vdd) - 1
+        assert ptot[0] > ptot[minimum_index]
+        assert ptot[-1] > ptot[minimum_index]
+
+
+class TestNumericalOptimum:
+    def test_interior_stationary_point(self, tech_ll, wallace_arch, paper_frequency):
+        result = numerical_optimum(wallace_arch, tech_ll, paper_frequency)
+        vdd = result.point.vdd
+        for offset in (-0.01, 0.01):
+            _, _, _, perturbed = constrained_total_power(
+                wallace_arch, tech_ll, paper_frequency, vdd + offset
+            )
+            assert perturbed >= result.ptot
+
+    def test_point_sits_on_constraint(self, tech_ll, wallace_arch, paper_frequency):
+        result = numerical_optimum(wallace_arch, tech_ll, paper_frequency)
+        chi_value = chi_for_architecture(wallace_arch, tech_ll, paper_frequency)
+        expected_vth = float(vth_exact(result.point.vdd, chi_value, tech_ll.alpha))
+        assert result.point.vth == pytest.approx(expected_vth, rel=1e-9)
+
+    def test_custom_chi_changes_answer(self, tech_ll, wallace_arch, paper_frequency):
+        default = numerical_optimum(wallace_arch, tech_ll, paper_frequency)
+        custom = numerical_optimum(wallace_arch, tech_ll, paper_frequency, chi_value=0.1)
+        assert custom.point.vdd < default.point.vdd
+
+    def test_boundary_pinned_problem_raises(self, tech_ll, wallace_arch):
+        """An absurd frequency pushes the optimum to the search edge."""
+        with pytest.raises(ValueError, match="boundary"):
+            numerical_optimum(
+                wallace_arch.with_updates(logical_depth=2000, zeta_factor=1.0),
+                tech_ll,
+                1e9,
+            )
+
+    def test_method_tag(self, tech_ll, wallace_arch, paper_frequency):
+        result = numerical_optimum(wallace_arch, tech_ll, paper_frequency)
+        assert result.point.method == "numerical-1d"
+
+
+class TestLinearizedNumericalOptimum:
+    def test_close_to_exact_numerical(self, tech_ll, wallace_arch, paper_frequency):
+        exact = numerical_optimum(wallace_arch, tech_ll, paper_frequency)
+        linearized = numerical_optimum_linearized(wallace_arch, tech_ll, paper_frequency)
+        assert linearized.ptot == pytest.approx(exact.ptot, rel=0.03)
+
+    def test_method_tag(self, tech_ll, wallace_arch, paper_frequency):
+        result = numerical_optimum_linearized(wallace_arch, tech_ll, paper_frequency)
+        assert result.point.method == "numerical-1d-linearized"
+
+
+class TestGridOptimum:
+    def test_grid_agrees_with_1d_reduction(self, tech_ll, wallace_arch, paper_frequency):
+        """The paper's literal 2-D sweep must converge to the 1-D optimum."""
+        reference = numerical_optimum(wallace_arch, tech_ll, paper_frequency)
+        grid = grid_optimum(
+            wallace_arch, tech_ll, paper_frequency, vdd_points=301, vth_points=301
+        )
+        assert grid.result.ptot == pytest.approx(reference.ptot, rel=0.02)
+        assert grid.result.point.vdd == pytest.approx(reference.point.vdd, abs=0.02)
+
+    def test_grid_optimum_is_feasible(self, tech_ll, wallace_arch, paper_frequency):
+        grid = grid_optimum(wallace_arch, tech_ll, paper_frequency, 101, 101)
+        point = grid.result.point
+        # The winning couple must satisfy the timing constraint.
+        from repro.core.power_model import critical_path_delay
+
+        circuit_tech = tech_ll.scaled(
+            io_factor=wallace_arch.io_factor, zeta_factor=wallace_arch.zeta_factor
+        )
+        delay = critical_path_delay(
+            circuit_tech, wallace_arch.logical_depth, point.vdd, point.vth
+        )
+        assert delay <= 1.0 / paper_frequency
+
+    def test_grid_shapes(self, tech_ll, wallace_arch, paper_frequency):
+        grid = grid_optimum(wallace_arch, tech_ll, paper_frequency, 41, 31)
+        assert grid.ptot.shape == (41, 31)
+        assert grid.feasible.shape == (41, 31)
+        assert np.isnan(grid.ptot[~grid.feasible]).all()
+
+    def test_no_feasible_window_raises(self, tech_ll, wallace_arch):
+        with pytest.raises(ValueError, match="no feasible"):
+            grid_optimum(
+                wallace_arch.with_updates(logical_depth=5000, zeta_factor=1.0),
+                tech_ll,
+                1e9,
+                41,
+                41,
+            )
+
+
+class TestOperatingPoint:
+    def test_derived_properties(self):
+        point = OperatingPoint(vdd=0.5, vth=0.2, pdyn=8e-6, pstat=2e-6)
+        assert point.ptot == pytest.approx(10e-6)
+        assert point.dynamic_static_ratio == pytest.approx(4.0)
+        assert point.static_fraction == pytest.approx(0.2)
+
+    def test_describe_uses_microwatts(self):
+        point = OperatingPoint(vdd=0.5, vth=0.2, pdyn=8e-6, pstat=2e-6)
+        assert "10.00 uW" in point.describe()

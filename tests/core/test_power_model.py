@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.power_model (Eqs. 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro import ST_CMOS09_LL
+from repro.core.constants import EULER
+from repro.core.power_model import (
+    critical_path_delay,
+    dynamic_power,
+    gate_delay,
+    max_frequency,
+    on_current,
+    power_breakdown,
+    static_power,
+    total_power,
+)
+
+
+class TestDynamicPower:
+    def test_matches_hand_computation(self):
+        # N a C Vdd^2 f = 1000 * 0.5 * 10fF * 1.44 * 100MHz = 0.72 mW
+        assert dynamic_power(1000, 0.5, 10e-15, 1.2, 100e6) == pytest.approx(0.72e-3)
+
+    def test_quadratic_in_vdd(self):
+        p1 = dynamic_power(100, 0.3, 5e-15, 0.6, 50e6)
+        p2 = dynamic_power(100, 0.3, 5e-15, 1.2, 50e6)
+        assert p2 == pytest.approx(4.0 * p1)
+
+    def test_linear_in_each_scalar_factor(self):
+        base = dynamic_power(100, 0.3, 5e-15, 1.0, 50e6)
+        assert dynamic_power(200, 0.3, 5e-15, 1.0, 50e6) == pytest.approx(2 * base)
+        assert dynamic_power(100, 0.6, 5e-15, 1.0, 50e6) == pytest.approx(2 * base)
+        assert dynamic_power(100, 0.3, 10e-15, 1.0, 50e6) == pytest.approx(2 * base)
+        assert dynamic_power(100, 0.3, 5e-15, 1.0, 100e6) == pytest.approx(2 * base)
+
+    def test_vectorised_over_vdd(self):
+        vdd = np.array([0.5, 1.0, 2.0])
+        result = dynamic_power(10, 0.1, 1e-15, vdd, 1e6)
+        assert result.shape == (3,)
+        assert result[2] == pytest.approx(16 * result[0])
+
+
+class TestStaticPower:
+    def test_exponential_in_vth(self):
+        tech = ST_CMOS09_LL
+        p_low = static_power(100, tech.io, 1.0, 0.2, tech.n, tech.ut)
+        p_high = static_power(100, tech.io, 1.0, 0.2 + tech.n_ut, tech.n, tech.ut)
+        assert p_low / p_high == pytest.approx(np.e, rel=1e-9)
+
+    def test_at_zero_vth_leakage_is_full_io(self):
+        assert static_power(1, 1e-6, 1.0, 0.0, 1.33, 0.02585) == pytest.approx(1e-6)
+
+    def test_linear_in_vdd_and_cells(self):
+        base = static_power(50, 2e-6, 0.6, 0.3, 1.33, 0.02585)
+        assert static_power(100, 2e-6, 0.6, 0.3, 1.33, 0.02585) == pytest.approx(2 * base)
+        assert static_power(50, 2e-6, 1.2, 0.3, 1.33, 0.02585) == pytest.approx(2 * base)
+
+
+class TestOnCurrent:
+    def test_alpha_power_scaling_of_overdrive(self):
+        tech = ST_CMOS09_LL
+        i1 = on_current(tech.io, tech.alpha, tech.n, tech.ut, 1.0, 0.5)
+        i2 = on_current(tech.io, tech.alpha, tech.n, tech.ut, 1.5, 0.5)
+        assert i2 / i1 == pytest.approx(2.0**tech.alpha)
+
+    def test_continuity_anchor_at_subthreshold_boundary(self):
+        """Eq. 2 anchors Ion = Io at overdrive = n*Ut/e, stitching the
+        alpha-power law onto the sub-threshold current."""
+        tech = ST_CMOS09_LL
+        overdrive = tech.n_ut / EULER
+        current = on_current(tech.io, tech.alpha, tech.n, tech.ut, overdrive, 0.0)
+        assert current == pytest.approx(tech.io, rel=1e-12)
+
+    def test_rejects_non_positive_overdrive_scalar(self):
+        tech = ST_CMOS09_LL
+        with pytest.raises(ValueError, match="overdrive"):
+            on_current(tech.io, tech.alpha, tech.n, tech.ut, 0.3, 0.3)
+
+    def test_array_overdrive_yields_nan_not_error(self):
+        tech = ST_CMOS09_LL
+        vdd = np.array([1.0, 0.2])
+        result = on_current(tech.io, tech.alpha, tech.n, tech.ut, vdd, 0.3)
+        assert np.isfinite(result[0])
+        assert np.isnan(result[1])
+
+
+class TestDelayAndFrequency:
+    def test_gate_delay_decreases_with_overdrive(self):
+        tech = ST_CMOS09_LL
+        assert gate_delay(tech, 1.2, 0.3) < gate_delay(tech, 0.6, 0.3)
+
+    def test_critical_path_is_ld_times_gate(self):
+        tech = ST_CMOS09_LL
+        single = gate_delay(tech, 1.0, 0.3)
+        assert critical_path_delay(tech, 25, 1.0, 0.3) == pytest.approx(25 * single)
+
+    def test_max_frequency_inverts_delay(self):
+        tech = ST_CMOS09_LL
+        f = max_frequency(tech, 40, 1.1, 0.35)
+        assert critical_path_delay(tech, 40, 1.1, 0.35) == pytest.approx(1.0 / f)
+
+    def test_lower_vth_is_faster(self):
+        tech = ST_CMOS09_LL
+        assert max_frequency(tech, 30, 1.0, 0.2) > max_frequency(tech, 30, 1.0, 0.4)
+
+
+class TestTotalsAndBreakdown:
+    def test_total_is_sum_of_parts(self):
+        tech = ST_CMOS09_LL
+        pdyn, pstat, ptot = power_breakdown(500, 0.4, 20e-15, 0.9, 0.3, 50e6, tech)
+        assert ptot == pytest.approx(pdyn + pstat)
+        assert total_power(500, 0.4, 20e-15, 0.9, 0.3, 50e6, tech) == pytest.approx(ptot)
+
+    def test_breakdown_components_positive(self):
+        tech = ST_CMOS09_LL
+        pdyn, pstat, ptot = power_breakdown(500, 0.4, 20e-15, 0.9, 0.3, 50e6, tech)
+        assert pdyn > 0 and pstat > 0

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.selection (Sections 4-5 methodology)."""
+
+import pytest
+
+from repro import (
+    ArchitectureParameters,
+    ST_CMOS09_HS,
+    ST_CMOS09_LL,
+    ST_CMOS09_ULL,
+    best_architecture,
+    best_technology,
+    rank_architectures,
+    rank_technologies,
+    selection_matrix,
+)
+from repro.core.calibration import calibrate_row
+from repro.experiments.paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME
+
+
+@pytest.fixture
+def multipliers():
+    rows = [TABLE1_BY_NAME["RCA"], TABLE1_BY_NAME["Wallace"], TABLE1_BY_NAME["Sequential"]]
+    return [calibrate_row(row, ST_CMOS09_LL, PAPER_FREQUENCY) for row in rows]
+
+
+class TestArchitectureRanking:
+    def test_wallace_wins_on_ll(self, multipliers):
+        winner = best_architecture(multipliers, ST_CMOS09_LL, PAPER_FREQUENCY)
+        assert winner.architecture.name == "Wallace"
+
+    def test_rank_order_matches_table1(self, multipliers):
+        ranked = rank_architectures(multipliers, ST_CMOS09_LL, PAPER_FREQUENCY)
+        names = [candidate.architecture.name for candidate in ranked]
+        assert names == ["Wallace", "RCA", "Sequential"]
+
+    def test_infeasible_candidates_sorted_last(self, multipliers):
+        impossible = ArchitectureParameters(
+            name="impossible", n_cells=100, activity=0.1,
+            logical_depth=100000, capacitance=10e-15,
+        )
+        ranked = rank_architectures(
+            multipliers + [impossible], ST_CMOS09_LL, PAPER_FREQUENCY
+        )
+        assert ranked[-1].architecture.name == "impossible"
+        assert not ranked[-1].feasible
+        assert ranked[-1].ptot == float("inf")
+        assert ranked[-1].reason != ""
+
+    def test_all_infeasible_raises_with_reasons(self):
+        impossible = ArchitectureParameters(
+            name="impossible", n_cells=100, activity=0.1,
+            logical_depth=100000, capacitance=10e-15,
+        )
+        with pytest.raises(ValueError, match="no architecture is feasible"):
+            best_architecture([impossible], ST_CMOS09_LL, PAPER_FREQUENCY)
+
+
+class TestTechnologyRanking:
+    def test_ll_wins_for_wallace(self):
+        """Section 5's conclusion: the moderate flavour beats both extremes
+        for the Wallace multiplier at 31.25 MHz."""
+        arch = calibrate_row(TABLE1_BY_NAME["Wallace"], ST_CMOS09_LL, PAPER_FREQUENCY)
+        winner = best_technology(
+            arch, [ST_CMOS09_ULL, ST_CMOS09_LL, ST_CMOS09_HS], PAPER_FREQUENCY
+        )
+        assert winner.technology.name == "ST-CMOS09-LL"
+
+    def test_rank_technologies_returns_all(self):
+        arch = calibrate_row(TABLE1_BY_NAME["Wallace"], ST_CMOS09_LL, PAPER_FREQUENCY)
+        ranked = rank_technologies(
+            arch, [ST_CMOS09_ULL, ST_CMOS09_LL, ST_CMOS09_HS], PAPER_FREQUENCY
+        )
+        assert len(ranked) == 3
+        assert all(candidate.feasible for candidate in ranked)
+
+
+class TestSelectionMatrix:
+    def test_matrix_covers_product(self, multipliers):
+        matrix = selection_matrix(
+            multipliers, [ST_CMOS09_LL, ST_CMOS09_HS], PAPER_FREQUENCY
+        )
+        assert len(matrix) == len(multipliers) * 2
+        assert ("Wallace", "ST-CMOS09-LL") in matrix
+
+    def test_matrix_entries_carry_results(self, multipliers):
+        matrix = selection_matrix(multipliers, [ST_CMOS09_LL], PAPER_FREQUENCY)
+        candidate = matrix[("RCA", "ST-CMOS09-LL")]
+        assert candidate.feasible
+        assert candidate.ptot > 0

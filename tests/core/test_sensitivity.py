@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureParameters, ST_CMOS09_LL
+from repro.core.sensitivity import (
+    crossover_frequency,
+    elasticities,
+    elasticity,
+    frequency_sweep,
+    sweep,
+)
+
+
+@pytest.fixture
+def arch():
+    return ArchitectureParameters(
+        name="sens", n_cells=700, activity=0.3, logical_depth=17,
+        capacitance=70e-15, io_factor=18.0, zeta_factor=0.2,
+    )
+
+
+class TestElasticity:
+    def test_cell_count_elasticity_is_one(self, arch, tech_ll, paper_frequency):
+        """Eq. 13 is exactly linear in N."""
+        value = elasticity(arch, tech_ll, paper_frequency, "n_cells")
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_activity_elasticity_slightly_below_one(self, arch, tech_ll, paper_frequency):
+        """a multiplies the prefactor but also shrinks the ln() bracket."""
+        value = elasticity(arch, tech_ll, paper_frequency, "activity")
+        assert 0.7 < value < 1.0
+
+    def test_logical_depth_elasticity_positive(self, arch, tech_ll, paper_frequency):
+        assert elasticity(arch, tech_ll, paper_frequency, "logical_depth") > 0.0
+
+    def test_io_elasticity_small(self, arch, tech_ll, paper_frequency):
+        """Eq. 9: the optimal leakage is set by the architecture, so the
+        technology's Io only enters logarithmically and through chi."""
+        value = elasticity(arch, tech_ll, paper_frequency, "io")
+        assert abs(value) < 0.5
+
+    def test_numerical_solver_agrees_with_closed_form(self, arch, tech_ll, paper_frequency):
+        closed = elasticity(arch, tech_ll, paper_frequency, "activity")
+        numerical = elasticity(
+            arch, tech_ll, paper_frequency, "activity",
+            relative_step=1e-3, solver="numerical",
+        )
+        assert numerical == pytest.approx(closed, abs=0.05)
+
+    def test_unknown_field_rejected(self, arch, tech_ll, paper_frequency):
+        with pytest.raises(ValueError, match="unknown field"):
+            elasticity(arch, tech_ll, paper_frequency, "speed")
+
+    def test_unknown_solver_rejected(self, arch, tech_ll, paper_frequency):
+        with pytest.raises(ValueError, match="unknown solver"):
+            elasticity(arch, tech_ll, paper_frequency, "activity", solver="magic")
+
+    def test_elasticities_returns_all_requested_fields(self, arch, tech_ll, paper_frequency):
+        table = elasticities(arch, tech_ll, paper_frequency, fields=("n_cells", "io"))
+        assert set(table) == {"n_cells", "io"}
+
+
+class TestSweep:
+    def test_sweep_shapes_and_monotonicity(self, arch, tech_ll, paper_frequency):
+        result = sweep(
+            arch, tech_ll, paper_frequency, "activity", np.linspace(0.1, 0.9, 9)
+        )
+        assert result["values"].shape == result["ptot"].shape == (9,)
+        assert np.all(np.diff(result["ptot"]) > 0)
+
+    def test_sweep_marks_infeasible_with_nan(self, arch, tech_ll):
+        """Sweeping logical depth into infeasibility yields NaN tail."""
+        result = sweep(
+            arch, tech_ll, 200e6, "logical_depth", [5, 10, 1000, 5000]
+        )
+        assert np.isfinite(result["ptot"][0])
+        assert np.isnan(result["ptot"][-1])
+
+
+class TestFrequencySweep:
+    def test_columns_per_architecture(self, arch, tech_ll):
+        fast = arch.with_updates(name="fast", logical_depth=5)
+        table = frequency_sweep([arch, fast], tech_ll, [1e6, 10e6, 50e6])
+        assert set(table) == {"frequency", "sens", "fast"}
+        assert table["fast"].shape == (3,)
+
+    def test_power_grows_with_frequency(self, arch, tech_ll):
+        table = frequency_sweep([arch], tech_ll, np.linspace(1e6, 60e6, 6))
+        assert np.all(np.diff(table["sens"]) > 0)
+
+
+class TestCrossover:
+    def test_basic_vs_parallel_crossover_exists(self, tech_ll):
+        """Section 4's trade-off in its purest form: parallelisation buys a
+        shorter LDeff at the price of more cells.  At low frequency the
+        relaxed-timing benefit is worthless and the smaller basic circuit
+        wins; at Table 1's 31.25 MHz the parallel version wins.  A
+        crossover must therefore exist in between."""
+        rca_like = ArchitectureParameters(
+            name="rca-like", n_cells=608, activity=0.5056, logical_depth=61,
+            capacitance=70e-15, io_factor=18.0, zeta_factor=0.2,
+        )
+        par4_like = ArchitectureParameters(
+            name="par4-like", n_cells=2455, activity=0.1344, logical_depth=15.75,
+            capacitance=70e-15, io_factor=18.0, zeta_factor=0.2,
+        )
+        crossover = crossover_frequency(rca_like, par4_like, tech_ll, 1e5, 31.25e6)
+        assert crossover is not None
+        assert 1e5 < crossover < 31.25e6
+
+    def test_no_crossover_returns_none(self, tech_ll):
+        cheap = ArchitectureParameters(
+            name="cheap", n_cells=100, activity=0.1, logical_depth=10,
+            capacitance=10e-15, io_factor=18.0, zeta_factor=0.2,
+        )
+        expensive = cheap.with_updates(name="expensive", n_cells=1000)
+        assert crossover_frequency(cheap, expensive, tech_ll, 1e6, 30e6) is None

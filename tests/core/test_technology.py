@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.technology."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    ST_CMOS09_FLAVOURS,
+    ST_CMOS09_HS,
+    ST_CMOS09_LL,
+    ST_CMOS09_ULL,
+    Technology,
+    flavour,
+)
+from repro.experiments.paper_data import TABLE2
+
+
+class TestPublishedFlavours:
+    def test_table2_values_transcribed_exactly(self):
+        for label, published in TABLE2.items():
+            tech = flavour(label)
+            assert tech.io == published["io"]
+            assert tech.zeta == published["zeta"]
+            assert tech.alpha == published["alpha"]
+            assert tech.vdd_nominal == published["vdd_nominal"]
+            assert tech.vth0_nominal == published["vth0_nominal"]
+
+    def test_flavour_lookup_is_case_insensitive(self):
+        assert flavour("ll") is ST_CMOS09_LL
+        assert flavour("Hs") is ST_CMOS09_HS
+
+    def test_flavour_lookup_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown technology"):
+            flavour("XYZ")
+
+    def test_leakage_ordering_matches_names(self):
+        assert ST_CMOS09_ULL.io < ST_CMOS09_LL.io < ST_CMOS09_HS.io
+
+    def test_alpha_ordering_matches_speed(self):
+        # Faster (more velocity-saturated) flavours have lower alpha.
+        assert ST_CMOS09_HS.alpha < ST_CMOS09_LL.alpha < ST_CMOS09_ULL.alpha
+
+    def test_flavours_mapping_complete(self):
+        assert set(ST_CMOS09_FLAVOURS) == {"ULL", "LL", "HS"}
+
+
+class TestTechnologyValidation:
+    def test_rejects_non_positive_io(self):
+        with pytest.raises(ValueError, match="io"):
+            dataclasses.replace(ST_CMOS09_LL, io=0.0)
+
+    def test_rejects_negative_eta(self):
+        with pytest.raises(ValueError, match="eta"):
+            dataclasses.replace(ST_CMOS09_LL, eta=-0.1)
+
+    def test_rejects_alpha_out_of_device_range(self):
+        with pytest.raises(ValueError, match="alpha"):
+            dataclasses.replace(ST_CMOS09_LL, alpha=2.5)
+        with pytest.raises(ValueError, match="alpha"):
+            dataclasses.replace(ST_CMOS09_LL, alpha=0.8)
+
+    def test_instances_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ST_CMOS09_LL.io = 1.0  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_n_ut_is_n_times_ut(self):
+        assert ST_CMOS09_LL.n_ut == pytest.approx(1.33 * ST_CMOS09_LL.ut)
+
+    def test_effective_vth_applies_dibl(self):
+        tech = dataclasses.replace(ST_CMOS09_LL, eta=0.1)
+        assert tech.effective_vth(0.4, vdd=1.0) == pytest.approx(0.3)
+
+    def test_zero_bias_vth_inverts_effective_vth(self):
+        tech = dataclasses.replace(ST_CMOS09_LL, eta=0.08)
+        vth0 = 0.42
+        effective = tech.effective_vth(vth0, vdd=0.9)
+        assert tech.zero_bias_vth(effective, vdd=0.9) == pytest.approx(vth0)
+
+    def test_scaled_multiplies_io_and_zeta(self):
+        derived = ST_CMOS09_LL.scaled(io_factor=2.0, zeta_factor=0.5)
+        assert derived.io == pytest.approx(2.0 * ST_CMOS09_LL.io)
+        assert derived.zeta == pytest.approx(0.5 * ST_CMOS09_LL.zeta)
+        assert derived.name.endswith("-scaled")
+
+    def test_scaled_shifts_alpha_and_vth0(self):
+        derived = ST_CMOS09_LL.scaled(alpha_shift=0.1, vth0_shift=-0.05)
+        assert derived.alpha == pytest.approx(1.96)
+        assert derived.vth0_nominal == pytest.approx(0.304)
+
+    def test_describe_mentions_name_and_io(self):
+        text = ST_CMOS09_LL.describe()
+        assert "ST-CMOS09-LL" in text
+        assert "3.34" in text

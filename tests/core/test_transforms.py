@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.transforms (Section 4 parameter algebra)."""
+
+import pytest
+
+from repro import (
+    ArchitectureParameters,
+    ST_CMOS09_LL,
+    numerical_optimum,
+    parallelize,
+    pipeline,
+    sequentialize,
+)
+from repro.core.transforms import (
+    DIAGONAL_PIPELINE,
+    HORIZONTAL_PIPELINE,
+    ParallelizationModel,
+    PipelineModel,
+    SequentializationModel,
+)
+from repro.experiments.paper_data import TABLE1_BY_NAME
+
+
+@pytest.fixture
+def rca():
+    """The basic RCA multiplier with published (N, a, LD)."""
+    row = TABLE1_BY_NAME["RCA"]
+    return ArchitectureParameters(
+        name="RCA",
+        n_cells=row.n_cells,
+        activity=row.activity,
+        logical_depth=row.logical_depth,
+        capacitance=70e-15,
+        io_factor=18.0,
+        zeta_factor=0.2,
+    )
+
+
+class TestParallelize:
+    def test_reproduces_table1_rca_parallel_shape(self, rca):
+        par2 = parallelize(rca, 2)
+        published = TABLE1_BY_NAME["RCA parallel"]
+        assert par2.n_cells == pytest.approx(published.n_cells, rel=0.05)
+        assert par2.activity == pytest.approx(published.activity, rel=0.08)
+        assert par2.logical_depth == pytest.approx(published.logical_depth, rel=0.05)
+
+    def test_reproduces_table1_rca_parallel4_shape(self, rca):
+        par4 = parallelize(rca, 4)
+        published = TABLE1_BY_NAME["RCA parallel4"]
+        assert par4.n_cells == pytest.approx(published.n_cells, rel=0.05)
+        assert par4.activity == pytest.approx(published.activity, rel=0.08)
+        assert par4.logical_depth == pytest.approx(published.logical_depth, rel=0.05)
+
+    def test_name_records_factor(self, rca):
+        assert parallelize(rca, 2).name == "RCA par2"
+
+    def test_rejects_factor_below_two(self, rca):
+        with pytest.raises(ValueError):
+            parallelize(rca, 1)
+
+    def test_custom_model_overhead(self, rca):
+        heavy = ParallelizationModel(mux_cells_per_output=10.0, control_cells=100.0)
+        light = ParallelizationModel(mux_cells_per_output=0.5)
+        assert heavy.apply(rca, 2).n_cells > light.apply(rca, 2).n_cells
+
+
+class TestPipeline:
+    def test_horizontal_matches_table1_depths(self, rca):
+        hp2 = pipeline(rca, 2, style="horizontal")
+        hp4 = pipeline(rca, 4, style="horizontal")
+        assert hp2.logical_depth == pytest.approx(40.0, rel=0.05)
+        assert hp4.logical_depth == pytest.approx(28.0, rel=0.08)
+
+    def test_diagonal_matches_table1_depths(self, rca):
+        dp2 = pipeline(rca, 2, style="diagonal")
+        dp4 = pipeline(rca, 4, style="diagonal")
+        assert dp2.logical_depth == pytest.approx(26.0, rel=0.15)
+        assert dp4.logical_depth == pytest.approx(14.0, rel=0.15)
+
+    def test_diagonal_keeps_higher_activity_than_horizontal(self, rca):
+        """The glitch effect: diagonal cuts spread path delays more."""
+        hp2 = pipeline(rca, 2, style="horizontal")
+        dp2 = pipeline(rca, 2, style="diagonal")
+        assert dp2.activity > hp2.activity
+
+    def test_registers_grow_cell_count(self, rca):
+        hp2 = pipeline(rca, 2)
+        hp4 = pipeline(rca, 4)
+        assert rca.n_cells < hp2.n_cells < hp4.n_cells
+
+    def test_unknown_style_rejected(self, rca):
+        with pytest.raises(ValueError, match="unknown pipeline style"):
+            pipeline(rca, 2, style="zigzag")
+
+    def test_rejects_single_stage(self, rca):
+        with pytest.raises(ValueError):
+            pipeline(rca, 1)
+
+    def test_model_constants_are_distinct(self):
+        assert HORIZONTAL_PIPELINE.depth_efficiency < DIAGONAL_PIPELINE.depth_efficiency
+
+
+class TestSequentialize:
+    def test_matches_table1_sequential_shape(self, rca):
+        seq = sequentialize(rca, 16)
+        published = TABLE1_BY_NAME["Sequential"]
+        assert seq.logical_depth == pytest.approx(published.logical_depth, rel=0.01)
+        assert seq.activity == pytest.approx(published.activity, rel=0.05)
+        assert seq.n_cells == pytest.approx(published.n_cells, rel=0.05)
+
+    def test_activity_exceeds_one_for_throughput_reference(self, rca):
+        """Section 4: sequential activity 'can be very high and even
+        bigger than 1' when referenced to the data clock."""
+        assert sequentialize(rca, 16).activity > 1.0
+
+    def test_rejects_single_cycle(self, rca):
+        with pytest.raises(ValueError):
+            sequentialize(rca, 1)
+
+    def test_custom_model(self, rca):
+        lean = SequentializationModel(hardware_fraction=0.2, per_cycle_depth=10.0)
+        seq = lean.apply(rca, 8)
+        assert seq.logical_depth == pytest.approx(80.0)
+        assert seq.n_cells == pytest.approx(0.2 * rca.n_cells)
+
+
+class TestTransformPowerConsequences:
+    """End-to-end: the transforms must reproduce Section 4's conclusions."""
+
+    def test_parallelization_lowers_rca_power(self, rca):
+        base = numerical_optimum(rca, ST_CMOS09_LL, 31.25e6).ptot
+        par2 = numerical_optimum(parallelize(rca, 2), ST_CMOS09_LL, 31.25e6).ptot
+        assert par2 < base
+
+    def test_sequentialization_explodes_power_at_this_frequency(self, rca):
+        base = numerical_optimum(rca, ST_CMOS09_LL, 31.25e6).ptot
+        seq = numerical_optimum(sequentialize(rca, 16), ST_CMOS09_LL, 31.25e6).ptot
+        assert seq > 4.0 * base
+
+    def test_pipelining_lowers_rca_power(self, rca):
+        base = numerical_optimum(rca, ST_CMOS09_LL, 31.25e6).ptot
+        hp2 = numerical_optimum(pipeline(rca, 2), ST_CMOS09_LL, 31.25e6).ptot
+        assert hp2 < base

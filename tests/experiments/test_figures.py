@@ -1,0 +1,110 @@
+"""Integration tests: the regenerated figures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figures3_4 import run_figures34
+from repro.experiments.report import ascii_plot, microwatts, render_table
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1(vdd_points=60)
+
+
+@pytest.fixture(scope="module")
+def figures34():
+    return run_figures34(width=8, n_vectors=60)
+
+
+class TestFigure1:
+    def test_three_curves(self, figure1):
+        assert [curve.activity for curve in figure1.curves] == [1.0, 0.1, 0.01]
+
+    def test_curves_are_u_shaped_around_marked_optimum(self, figure1):
+        for curve in figure1.curves:
+            minimum_index = int(np.argmin(curve.ptot))
+            assert 0 < minimum_index < len(curve.vdd) - 1
+            assert curve.ptot[minimum_index] <= curve.optimum.ptot * 1.01
+
+    def test_lower_activity_lowers_power(self, figure1):
+        powers = [curve.optimum.ptot for curve in figure1.curves]
+        assert powers[0] > powers[1] > powers[2]
+
+    def test_lower_activity_raises_optimal_voltages(self, figure1):
+        """The counter-intuitive trend Figure 1 illustrates."""
+        vdd = [curve.optimum.vdd for curve in figure1.curves]
+        vth = [curve.optimum.vth for curve in figure1.curves]
+        assert vdd[0] < vdd[1] < vdd[2]
+        assert vth[0] < vth[1] < vth[2]
+
+    def test_dynamic_static_ratio_reported(self, figure1):
+        for curve in figure1.curves:
+            assert curve.dynamic_static_ratio > 1.0
+
+    def test_render_includes_chart_and_marks(self, figure1):
+        text = figure1.render()
+        assert "Figure 1" in text and "optimal working points" in text
+
+
+class TestFigure2:
+    def test_linear_approximation_tracks_exact(self):
+        result = run_figure2()
+        assert np.max(np.abs(result.linear - result.exact)) < 0.02
+
+    def test_paper_alpha_and_range(self):
+        result = run_figure2()
+        assert result.alpha == 1.5
+        assert result.vdd[0] == pytest.approx(0.3)
+        assert result.vdd[-1] == pytest.approx(0.9)
+
+    def test_render(self):
+        assert "Figure 2" in run_figure2().render()
+
+
+class TestFigures34:
+    def test_all_variants_present(self, figures34):
+        names = [variant.name for variant in figures34.variants]
+        assert len(names) == 5
+        assert any("hori" in name for name in names)
+        assert any("diag" in name for name in names)
+
+    def test_pipelining_adds_registers(self, figures34):
+        base = figures34.variants[0]
+        for variant in figures34.variants[1:]:
+            assert variant.registers_added > 0
+            assert variant.n_registers > base.n_registers
+
+    def test_cuts_shorten_critical_path(self, figures34):
+        base = figures34.variants[0]
+        for variant in figures34.variants[1:]:
+            assert variant.critical_path < base.critical_path
+
+    def test_diagonal_glitches_more_than_horizontal(self, figures34):
+        horizontal2 = figures34.variant("rca8-horipipe2")
+        diagonal2 = figures34.variant("rca8-diagpipe2")
+        assert diagonal2.glitch_ratio > horizontal2.glitch_ratio
+
+    def test_render(self, figures34):
+        assert "Figures 3/4" in figures34.render()
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+    def test_microwatts(self):
+        assert microwatts(1.5e-6) == "1.50"
+
+    def test_ascii_plot_smoke(self):
+        x = np.linspace(0, 1, 20)
+        text = ascii_plot({"line": (x, x**2)}, width=30, height=8)
+        assert "|" in text and "line" in text
+
+    def test_ascii_plot_rejects_empty(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            ascii_plot({"bad": (np.array([np.nan]), np.array([np.nan]))})

@@ -1,0 +1,123 @@
+"""Unit tests for the adder generators (exhaustive small + random large)."""
+
+import random
+
+import pytest
+
+from repro.netlist import Builder, Netlist
+from repro.generators.adders import (
+    carry_save_row,
+    kogge_stone_adder,
+    ripple_carry_adder,
+    sklansky_adder,
+)
+
+
+def _evaluate_adder(adder, width, operands):
+    """Build a width-bit adder, return f(a, b) -> integer sum."""
+    netlist = Netlist("adder")
+    builder = Builder(netlist)
+    bus_a = netlist.add_input_bus("a", width)
+    bus_b = netlist.add_input_bus("b", width)
+    sums, carry_out = adder(builder, bus_a, bus_b)
+    netlist.set_outputs(sums + [carry_out])
+    netlist.freeze()
+
+    results = []
+    for a, b in operands:
+        inputs = {net: (a >> bit) & 1 for bit, net in enumerate(bus_a)}
+        inputs.update({net: (b >> bit) & 1 for bit, net in enumerate(bus_b)})
+        values, _ = netlist.evaluate_cycle(inputs, {})
+        total = sum(values[net] << bit for bit, net in enumerate(sums))
+        total |= values[carry_out] << width
+        results.append(total)
+    return results
+
+
+ADDERS = [ripple_carry_adder, sklansky_adder, kogge_stone_adder]
+ADDER_IDS = ["ripple", "sklansky", "kogge-stone"]
+
+
+@pytest.mark.parametrize("adder", ADDERS, ids=ADDER_IDS)
+def test_exhaustive_4bit(adder):
+    operands = [(a, b) for a in range(16) for b in range(16)]
+    results = _evaluate_adder(adder, 4, operands)
+    assert results == [a + b for a, b in operands]
+
+
+@pytest.mark.parametrize("adder", ADDERS, ids=ADDER_IDS)
+@pytest.mark.parametrize("width", [8, 16, 32])
+def test_random_wide(adder, width):
+    rng = random.Random(width)
+    top = (1 << width) - 1
+    operands = [(rng.randint(0, top), rng.randint(0, top)) for _ in range(64)]
+    operands += [(top, top), (top, 1), (0, 0)]
+    results = _evaluate_adder(adder, width, operands)
+    assert results == [a + b for a, b in operands]
+
+
+@pytest.mark.parametrize("adder", ADDERS, ids=ADDER_IDS)
+def test_width_mismatch_rejected(adder):
+    netlist = Netlist("bad")
+    builder = Builder(netlist)
+    bus_a = netlist.add_input_bus("a", 4)
+    bus_b = netlist.add_input_bus("b", 3)
+    with pytest.raises(ValueError, match="mismatch"):
+        adder(builder, bus_a, bus_b)
+
+
+def test_ripple_with_carry_in():
+    netlist = Netlist("cin")
+    builder = Builder(netlist)
+    bus_a = netlist.add_input_bus("a", 4)
+    bus_b = netlist.add_input_bus("b", 4)
+    cin = netlist.add_input("cin")
+    sums, cout = ripple_carry_adder(builder, bus_a, bus_b, carry_in=cin)
+    netlist.set_outputs(sums + [cout])
+    netlist.freeze()
+    inputs = {net: 1 for net in bus_a}      # a = 15
+    inputs.update({net: 0 for net in bus_b})  # b = 0
+    inputs[cin] = 1
+    values, _ = netlist.evaluate_cycle(inputs, {})
+    total = sum(values[net] << bit for bit, net in enumerate(sums + [cout]))
+    assert total == 16
+
+
+def test_prefix_adders_are_shallower_than_ripple():
+    """The structural reason the Wallace multiplier is fast."""
+    from repro.sta import critical_path_length
+
+    def depth(adder):
+        netlist = Netlist("depth")
+        builder = Builder(netlist)
+        bus_a = netlist.add_input_bus("a", 32)
+        bus_b = netlist.add_input_bus("b", 32)
+        sums, carry = adder(builder, bus_a, bus_b)
+        netlist.set_outputs(sums + [carry])
+        netlist.freeze()
+        return critical_path_length(netlist)
+
+    assert depth(sklansky_adder) < 0.5 * depth(ripple_carry_adder)
+    assert depth(kogge_stone_adder) < 0.5 * depth(ripple_carry_adder)
+
+
+def test_carry_save_row_preserves_sum():
+    netlist = Netlist("csa")
+    builder = Builder(netlist)
+    bus_a = netlist.add_input_bus("a", 6)
+    bus_b = netlist.add_input_bus("b", 6)
+    bus_c = netlist.add_input_bus("c", 6)
+    sums, carries = carry_save_row(builder, bus_a, bus_b, bus_c)
+    netlist.set_outputs(sums + carries)
+    netlist.freeze()
+
+    rng = random.Random(6)
+    for _ in range(32):
+        a, b, c = (rng.randint(0, 63) for _ in range(3))
+        inputs = {net: (a >> bit) & 1 for bit, net in enumerate(bus_a)}
+        inputs.update({net: (b >> bit) & 1 for bit, net in enumerate(bus_b)})
+        inputs.update({net: (c >> bit) & 1 for bit, net in enumerate(bus_c)})
+        values, _ = netlist.evaluate_cycle(inputs, {})
+        sum_word = sum(values[net] << bit for bit, net in enumerate(sums))
+        carry_word = sum(values[net] << (bit + 1) for bit, net in enumerate(carries))
+        assert sum_word + carry_word == a + b + c

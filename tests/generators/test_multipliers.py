@@ -1,0 +1,131 @@
+"""Functional verification of all thirteen paper multipliers.
+
+These are the substrate's most important tests: every architecture in the
+registry must compute exact integer products, and the structural shape
+claims the paper makes about them (cell counts, register overheads,
+sequencing) must hold on the generated netlists.
+"""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1_BY_NAME
+from repro.generators import (
+    MULTIPLIER_NAMES,
+    build_all_multipliers,
+    build_array_multiplier,
+    build_multiplier,
+    build_sequential_multiplier,
+    build_wallace_multiplier,
+)
+from repro.netlist.verify import VerificationError, verify_multiplier
+
+
+@pytest.fixture(scope="module")
+def all_multipliers():
+    return build_all_multipliers()
+
+
+@pytest.mark.parametrize("name", MULTIPLIER_NAMES)
+def test_functional_correctness(name, all_multipliers):
+    """Each architecture must match integer multiplication exactly."""
+    report = verify_multiplier(all_multipliers[name], n_vectors=30)
+    assert report.n_vectors >= 30
+
+
+@pytest.mark.parametrize("name", MULTIPLIER_NAMES)
+def test_cell_count_tracks_table1(name, all_multipliers):
+    """Generated cell counts land near the published synthesis results.
+
+    The ST library and Design Compiler mapping differ from our in-house
+    cells, so counts cannot match exactly — but each architecture must
+    land in the right regime (within ~50% of the published N, much
+    tighter for the array family).
+    """
+    generated = all_multipliers[name].n_cells
+    published = TABLE1_BY_NAME[name].n_cells
+    assert 0.5 < generated / published < 1.6
+
+
+class TestStructuralShape:
+    def test_pipeline_register_overhead(self, all_multipliers):
+        """Pipelining only adds registers (Table 1: +64 cells for 2 stages)."""
+        base = all_multipliers["RCA"].netlist.cell_counts()
+        pipe2 = all_multipliers["RCA hor.pipe2"].netlist.cell_counts()
+        assert pipe2["FA"] == base["FA"]
+        assert pipe2["AND2"] == base["AND2"]
+        assert pipe2["DFF"] > base["DFF"]
+
+    def test_deeper_pipeline_more_registers(self, all_multipliers):
+        dff2 = all_multipliers["RCA hor.pipe2"].netlist.cell_counts()["DFF"]
+        dff4 = all_multipliers["RCA hor.pipe4"].netlist.cell_counts()["DFF"]
+        assert dff4 > dff2
+
+    def test_parallel_replication_factor(self, all_multipliers):
+        base = all_multipliers["RCA"].n_cells
+        par2 = all_multipliers["RCA parallel"].n_cells
+        par4 = all_multipliers["RCA parallel4"].n_cells
+        assert 1.9 * base < par2 < 2.3 * base
+        assert 3.8 * base < par4 < 4.5 * base
+
+    def test_sequential_is_smallest(self, all_multipliers):
+        sequential = all_multipliers["Sequential"].n_cells
+        assert sequential == min(impl.n_cells for impl in all_multipliers.values())
+
+    def test_sequencing_metadata(self, all_multipliers):
+        assert all_multipliers["Sequential"].cycles_per_result == 16
+        assert all_multipliers["Seq4_16"].cycles_per_result == 4
+        assert all_multipliers["Seq parallel"].cycles_per_result == 16
+        assert all_multipliers["Seq parallel"].ld_divisor == 2.0
+        assert all_multipliers["RCA parallel4"].ld_divisor == 4.0
+        assert all_multipliers["Wallace"].cycles_per_result == 1
+
+    def test_area_tracks_cell_weight(self, all_multipliers):
+        """Area ordering must follow Table 1: Seq < RCA < Wallace par4."""
+        areas = {
+            name: impl.netlist.area_um2 for name, impl in all_multipliers.items()
+        }
+        assert areas["Sequential"] < areas["RCA"] < areas["Wallace par4"]
+
+
+class TestGeneratorsParametrically:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_array_multiplier_widths(self, width):
+        impl = build_array_multiplier(width)
+        verify_multiplier(impl, n_vectors=20)
+
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_wallace_multiplier_widths(self, width):
+        impl = build_wallace_multiplier(width)
+        verify_multiplier(impl, n_vectors=20)
+
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_sequential_multiplier_widths(self, width):
+        impl = build_sequential_multiplier(width)
+        verify_multiplier(impl, n_vectors=15)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_array_multiplier(1)
+        with pytest.raises(ValueError):
+            build_sequential_multiplier(12)  # not a power of two
+
+    def test_pipelined_array_requires_style(self):
+        with pytest.raises(ValueError, match="style"):
+            build_array_multiplier(8, n_stages=2, style=None)
+
+    def test_unknown_registry_name(self):
+        with pytest.raises(KeyError, match="unknown multiplier"):
+            build_multiplier("Booth")
+
+
+class TestVerifierItself:
+    def test_detects_a_broken_netlist(self):
+        """Swap two product bits: the verifier must notice."""
+        impl = build_array_multiplier(4)
+        broken_bus = list(impl.product_bus)
+        broken_bus[0], broken_bus[5] = broken_bus[5], broken_bus[0]
+        from dataclasses import replace
+
+        broken = replace(impl, product_bus=tuple(broken_bus))
+        with pytest.raises(VerificationError):
+            verify_multiplier(broken, n_vectors=10)

@@ -1,0 +1,90 @@
+"""Unit tests for the standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.netlist.cells import (
+    AREA_PER_TRANSISTOR,
+    CAP_PER_UNIT,
+    CellType,
+    LIBRARY,
+    cell,
+)
+
+
+class TestLibraryShape:
+    def test_expected_cells_present(self):
+        for name in ("INV", "NAND2", "XOR2", "MUX2", "HA", "FA", "DFF", "DFFE",
+                     "TIELO", "TIEHI", "AND2", "OR2"):
+            assert name in LIBRARY
+
+    def test_lookup_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown cell"):
+            cell("NAND9")
+
+    def test_delay_tuple_matches_outputs(self):
+        for library_cell in LIBRARY.values():
+            assert len(library_cell.delay_units) == library_cell.n_outputs
+
+    def test_mismatched_delay_tuple_rejected(self):
+        with pytest.raises(ValueError, match="delay entries"):
+            CellType("BAD", 2, 2, 4, (1.0,), lambda p: (0, 0))
+
+
+class TestElectricalFigures:
+    def test_inverter_is_the_unit(self):
+        inv = cell("INV")
+        assert inv.leak_units == 1.0
+        assert inv.cap_units == 1.0
+        assert inv.capacitance == CAP_PER_UNIT
+        assert inv.area_um2 == pytest.approx(2 * AREA_PER_TRANSISTOR)
+
+    def test_fa_is_an_order_heavier_than_inverter(self):
+        fa = cell("FA")
+        assert fa.leak_units == 14.0
+        assert fa.transistors == 28
+
+    def test_fa_carry_faster_than_sum(self):
+        """The mirror adder's carry output leads — this asymmetry shapes
+        the array multiplier's critical path."""
+        fa = cell("FA")
+        sum_delay, carry_delay = fa.delay_units
+        assert carry_delay < sum_delay
+
+
+class TestLogicFunctions:
+    @pytest.mark.parametrize("name,table", [
+        ("INV", {(0,): (1,), (1,): (0,)}),
+        ("NAND2", {(0, 0): (1,), (1, 1): (0,), (0, 1): (1,)}),
+        ("XOR2", {(0, 1): (1,), (1, 1): (0,)}),
+        ("MUX2", {(0, 1, 0): (0,), (0, 1, 1): (1,)}),
+    ])
+    def test_truth_tables(self, name, table):
+        library_cell = cell(name)
+        for inputs, outputs in table.items():
+            assert library_cell.evaluate(inputs) == outputs
+
+    def test_full_adder_exhaustive(self):
+        fa = cell("FA")
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            s, carry = fa.evaluate((a, b, c))
+            assert 2 * carry + s == a + b + c
+
+    def test_half_adder_exhaustive(self):
+        ha = cell("HA")
+        for a, b in itertools.product((0, 1), repeat=2):
+            s, carry = ha.evaluate((a, b))
+            assert 2 * carry + s == a + b
+
+    def test_tie_cells(self):
+        assert cell("TIELO").evaluate(()) == (0,)
+        assert cell("TIEHI").evaluate(()) == (1,)
+
+    def test_sequential_cells_refuse_evaluation(self):
+        with pytest.raises(ValueError, match="sequential"):
+            cell("DFF").evaluate((0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects"):
+            cell("NAND2").evaluate((0,))

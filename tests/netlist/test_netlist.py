@@ -1,0 +1,168 @@
+"""Unit tests for the netlist graph: construction, validation, evaluation."""
+
+import pytest
+
+from repro.netlist import Builder, Netlist, NetlistError
+
+
+@pytest.fixture
+def empty():
+    return Netlist("unit")
+
+
+class TestConstruction:
+    def test_inputs_and_cells(self, empty):
+        a = empty.add_input("a")
+        b = empty.add_input("b")
+        out = empty.add_cell("NAND2", [a, b])
+        assert len(out) == 1
+        empty.set_outputs(out)
+        empty.freeze()
+        assert empty.n_cells == 1
+        assert empty.cell_counts() == {"NAND2": 1}
+
+    def test_input_bus_naming(self, empty):
+        bus = empty.add_input_bus("a", 3)
+        assert [empty.nets[n].name for n in bus] == ["a[0]", "a[1]", "a[2]"]
+
+    def test_multi_output_cell(self, empty):
+        a, b, c = (empty.add_input(n) for n in "abc")
+        outputs = empty.add_cell("FA", [a, b, c])
+        assert len(outputs) == 2
+
+    def test_wrong_arity_rejected(self, empty):
+        a = empty.add_input("a")
+        with pytest.raises(NetlistError, match="expects"):
+            empty.add_cell("NAND2", [a])
+
+    def test_frozen_netlist_is_immutable(self, empty):
+        a = empty.add_input("a")
+        empty.set_outputs([empty.add_cell("INV", [a])[0]])
+        empty.freeze()
+        with pytest.raises(NetlistError, match="frozen"):
+            empty.add_input("late")
+
+
+class TestValidation:
+    def test_no_outputs_rejected(self, empty):
+        empty.add_input("a")
+        with pytest.raises(NetlistError, match="no primary outputs"):
+            empty.validate()
+
+    def test_combinational_cycle_detected(self, empty):
+        a = empty.add_input("a")
+        loop = empty.add_placeholder("loop")
+        stage1 = empty.add_cell("NAND2", [a, loop])[0]
+        stage2 = empty.add_cell("INV", [stage1])[0]
+        empty.rewire(loop, stage2)
+        empty.set_outputs([stage2])
+        with pytest.raises(NetlistError, match="combinational cycle"):
+            empty.validate()
+
+    def test_dff_breaks_cycles(self, empty):
+        a = empty.add_input("a")
+        loop = empty.add_placeholder("loop")
+        combinational = empty.add_cell("NAND2", [a, loop])[0]
+        q = empty.add_cell("DFF", [combinational])[0]
+        empty.rewire(loop, q)
+        empty.set_outputs([q])
+        empty.validate()  # must not raise
+
+    def test_unresolved_placeholder_rejected(self, empty):
+        a = empty.add_input("a")
+        dangling = empty.add_placeholder("dangling")
+        out = empty.add_cell("NAND2", [a, dangling])[0]
+        empty.set_outputs([out])
+        with pytest.raises(NetlistError, match="never"):
+            empty.validate()
+
+    def test_placeholder_as_output_rejected(self, empty):
+        empty.add_input("a")
+        dangling = empty.add_placeholder("dangling")
+        empty.set_outputs([dangling])
+        with pytest.raises(NetlistError):
+            empty.validate()
+
+    def test_rewire_non_placeholder_rejected(self, empty):
+        a = empty.add_input("a")
+        b = empty.add_input("b")
+        with pytest.raises(NetlistError, match="not a placeholder"):
+            empty.rewire(a, b)
+
+
+class TestEvaluation:
+    def test_combinational_evaluation(self, empty):
+        a = empty.add_input("a")
+        b = empty.add_input("b")
+        out = empty.add_cell("XOR2", [a, b])
+        empty.set_outputs(out)
+        empty.freeze()
+        values, _ = empty.evaluate_cycle({a: 1, b: 0}, {})
+        assert values[out[0]] == 1
+        values, _ = empty.evaluate_cycle({a: 1, b: 1}, {})
+        assert values[out[0]] == 0
+
+    def test_dff_delays_by_one_cycle(self, empty):
+        a = empty.add_input("a")
+        q = empty.add_cell("DFF", [a])
+        empty.set_outputs(q)
+        empty.freeze()
+        state = empty.initial_state()
+        values, state = empty.evaluate_cycle({a: 1}, state)
+        assert values[q[0]] == 0  # powers up at 0
+        values, state = empty.evaluate_cycle({a: 0}, state)
+        assert values[q[0]] == 1  # captured last cycle's 1
+
+    def test_dffe_holds_when_disabled(self, empty):
+        d = empty.add_input("d")
+        enable = empty.add_input("en")
+        q = empty.add_cell("DFFE", [d, enable])
+        empty.set_outputs(q)
+        empty.freeze()
+        state = empty.initial_state()
+        _, state = empty.evaluate_cycle({d: 1, enable: 1}, state)  # capture 1
+        _, state = empty.evaluate_cycle({d: 0, enable: 0}, state)  # hold
+        values, _ = empty.evaluate_cycle({d: 0, enable: 0}, state)
+        assert values[q[0]] == 1
+
+    def test_missing_input_rejected(self, empty):
+        a = empty.add_input("a")
+        out = empty.add_cell("INV", [a])
+        empty.set_outputs(out)
+        empty.freeze()
+        with pytest.raises(NetlistError, match="missing value"):
+            empty.evaluate_cycle({}, {})
+
+    def test_counter_via_placeholder_feedback(self, empty):
+        """A 1-bit toggle counter: the canonical placeholder use-case."""
+        builder = Builder(empty)
+        state = empty.add_placeholder("t")
+        inverted = builder.invert(state)
+        q = builder.register(inverted)
+        empty.rewire(state, q)
+        empty.set_outputs([q])
+        empty.freeze()
+        observed = []
+        dff_state = empty.initial_state()
+        for _ in range(4):
+            values, dff_state = empty.evaluate_cycle({}, dff_state)
+            observed.append(values[q])
+        assert observed == [0, 1, 0, 1]
+
+
+class TestStatistics:
+    def test_leak_and_area_aggregation(self, empty):
+        a = empty.add_input("a")
+        b = empty.add_input("b")
+        out = empty.add_cell("FA", [a, b, a])
+        empty.add_cell("INV", [out[0]])
+        empty.set_outputs([out[0]])
+        # FA = 14 leak units, INV = 1.
+        assert empty.total_leak_units == pytest.approx(15.0)
+        assert empty.average_leak_units == pytest.approx(7.5)
+        assert empty.area_um2 == pytest.approx((28 + 2) * 1.05)
+
+    def test_describe_mentions_counts(self, empty):
+        a = empty.add_input("a")
+        empty.set_outputs([empty.add_cell("INV", [a])[0]])
+        assert "INV:1" in empty.describe()

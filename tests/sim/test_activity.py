@@ -1,0 +1,109 @@
+"""Tests for activity measurement — the paper's Section 4 activity claims."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1_BY_NAME
+from repro.generators import build_multiplier
+from repro.sim import (
+    correlated_pairs,
+    measure_activity,
+    sparse_pairs,
+    uniform_pairs,
+)
+
+VECTORS = 40  # enough for stable ordering comparisons in unit tests
+
+
+@pytest.fixture(scope="module")
+def reports():
+    names = [
+        "RCA", "RCA hor.pipe2", "RCA diagpipe2", "Wallace", "Sequential",
+    ]
+    return {
+        name: measure_activity(build_multiplier(name), n_vectors=VECTORS)
+        for name in names
+    }
+
+
+class TestActivityShape:
+    def test_activities_in_paper_band(self, reports):
+        """Measured activity within ~40% of the published annotation."""
+        for name, report in reports.items():
+            published = TABLE1_BY_NAME[name].activity
+            assert 0.6 < report.activity / published < 1.45, name
+
+    def test_diagonal_pipeline_glitches_more_than_horizontal(self, reports):
+        """Section 4's key observation, reproduced structurally."""
+        assert (
+            reports["RCA diagpipe2"].activity > reports["RCA hor.pipe2"].activity
+        )
+        assert (
+            reports["RCA diagpipe2"].glitch_ratio
+            > reports["RCA hor.pipe2"].glitch_ratio
+        )
+
+    def test_pipelining_reduces_activity(self, reports):
+        assert reports["RCA hor.pipe2"].activity < reports["RCA"].activity
+
+    def test_wallace_less_glitchy_than_array(self, reports):
+        """Balanced tree paths glitch less than rippling array paths."""
+        assert reports["Wallace"].glitch_ratio < reports["RCA"].glitch_ratio
+
+    def test_sequential_activity_exceeds_one(self, reports):
+        assert reports["Sequential"].activity > 1.0
+
+    def test_glitch_ratio_at_least_one(self, reports):
+        for report in reports.values():
+            assert report.glitch_ratio >= 1.0
+
+    def test_effective_capacitance_positive_and_sane(self, reports):
+        for report in reports.values():
+            assert 1e-14 < report.effective_capacitance < 3e-13
+
+
+class TestStimulusDependence:
+    def test_correlated_data_lowers_activity(self):
+        impl = build_multiplier("Wallace")
+        uniform = measure_activity(
+            impl, operand_pairs=uniform_pairs(16, VECTORS)
+        )
+        correlated = measure_activity(
+            impl, operand_pairs=correlated_pairs(16, VECTORS, flip_probability=0.05)
+        )
+        assert correlated.activity < uniform.activity
+
+    def test_sparse_data_lowers_activity(self):
+        impl = build_multiplier("RCA")
+        uniform = measure_activity(impl, operand_pairs=uniform_pairs(16, VECTORS))
+        sparse = measure_activity(
+            impl, operand_pairs=sparse_pairs(16, VECTORS, active_bits=4)
+        )
+        assert sparse.activity < 0.5 * uniform.activity
+
+    def test_deterministic_given_seed(self):
+        impl = build_multiplier("Wallace")
+        first = measure_activity(impl, n_vectors=VECTORS, seed=7)
+        second = measure_activity(impl, n_vectors=VECTORS, seed=7)
+        assert first.activity == second.activity
+
+    def test_too_few_vectors_rejected(self):
+        impl = build_multiplier("Wallace")
+        with pytest.raises(ValueError, match="operand pairs"):
+            measure_activity(impl, n_vectors=3, warmup_vectors=4)
+
+
+class TestVectorGenerators:
+    def test_uniform_reproducible(self):
+        assert uniform_pairs(8, 5, seed=1) == uniform_pairs(8, 5, seed=1)
+
+    def test_correlated_validates_probability(self):
+        with pytest.raises(ValueError):
+            correlated_pairs(8, 5, flip_probability=1.5)
+
+    def test_sparse_respects_bit_budget(self):
+        for a, b in sparse_pairs(16, 50, active_bits=3):
+            assert a < 8 and b < 8
+
+    def test_sparse_validates_active_bits(self):
+        with pytest.raises(ValueError):
+            sparse_pairs(8, 5, active_bits=9)

@@ -1,0 +1,129 @@
+"""Tests for the probabilistic (static) activity estimator."""
+
+import pytest
+
+from repro.generators import build_multiplier
+from repro.netlist import Builder, Netlist
+from repro.netlist.cells import cell
+from repro.sim import measure_activity
+from repro.sim.probabilistic import (
+    _cell_output_stats,
+    _cell_settled_toggle,
+    estimate_activity,
+    propagate,
+)
+
+
+class TestCellLevelExactness:
+    def test_and_probability(self):
+        (p, _), = _cell_output_stats(cell("AND2"), [0.5, 0.5], [0.5, 0.5])
+        assert p == pytest.approx(0.25)
+
+    def test_xor_probability_with_bias(self):
+        (p, _), = _cell_output_stats(cell("XOR2"), [0.3, 0.8], [0.5, 0.5])
+        assert p == pytest.approx(0.3 * 0.2 + 0.7 * 0.8)
+
+    def test_inverter_passes_density(self):
+        (p, d), = _cell_output_stats(cell("INV"), [0.25], [0.4])
+        assert p == pytest.approx(0.75)
+        assert d == pytest.approx(0.4)
+
+    def test_xor_najm_density_counts_both_inputs(self):
+        """The XOR is always sensitised to both inputs: Najm density is
+        the *sum* of input densities (non-simultaneous transitions)."""
+        (_, d), = _cell_output_stats(cell("XOR2"), [0.5, 0.5], [0.5, 0.5])
+        assert d == pytest.approx(1.0)
+
+    def test_xor_settled_toggle_cancels_simultaneous(self):
+        """Synchronously, two uniform inputs flip the XOR only when an odd
+        number of them toggles: probability 1/2, not 1."""
+        (toggle,) = _cell_settled_toggle(cell("XOR2"), [0.5, 0.5], [0.5, 0.5])
+        assert toggle == pytest.approx(0.5)
+
+    def test_and_settled_toggle_independent_cycles(self):
+        """At density 1/2 with p = 1/2 the previous and next input words
+        are independent uniforms, so out_prev and out_next are independent
+        Bernoulli(1/4): toggle probability 2 * 1/4 * 3/4 = 3/8."""
+        (toggle,) = _cell_settled_toggle(cell("AND2"), [0.5, 0.5], [0.5, 0.5])
+        assert toggle == pytest.approx(0.375)
+
+    def test_and_settled_toggle_anticorrelated_cycles(self):
+        """At density 1 every input flips each cycle (perfect
+        anticorrelation): the AND toggles exactly when leaving or entering
+        the all-ones minterm, probability 1/2."""
+        (toggle,) = _cell_settled_toggle(cell("AND2"), [0.5, 0.5], [1.0, 1.0])
+        assert toggle == pytest.approx(0.5)
+
+    def test_constant_inputs_are_handled(self):
+        (p, d), = _cell_output_stats(cell("AND2"), [1.0, 0.5], [0.0, 0.5])
+        assert p == pytest.approx(0.5)
+        assert d == pytest.approx(0.5)
+
+    def test_tie_cells(self):
+        stats = _cell_output_stats(cell("TIEHI"), [], [])
+        assert stats == [(1.0, 0.0)]
+
+
+class TestPropagation:
+    def test_tree_probabilities_exact(self):
+        """On a fanout-free tree the independence assumption is exact."""
+        netlist = Netlist("tree")
+        builder = Builder(netlist)
+        a, b, c, d = (netlist.add_input(x) for x in "abcd")
+        left = builder.gate("AND2", a, b)     # p = 1/4
+        right = builder.gate("OR2", c, d)     # p = 3/4
+        out = builder.gate("XOR2", left, right)
+        netlist.set_outputs([out])
+        netlist.freeze()
+        probabilities, _, _ = propagate(netlist)
+        assert probabilities[left] == pytest.approx(0.25)
+        assert probabilities[right] == pytest.approx(0.75)
+        assert probabilities[out] == pytest.approx(0.25 * 0.25 + 0.75 * 0.75)
+
+    def test_flip_flops_reset_statistics(self):
+        netlist = Netlist("reg")
+        builder = Builder(netlist)
+        a = netlist.add_input("a")
+        and_out = builder.gate("AND2", a, a)  # correlated, but tree-wise 1/4
+        q = builder.register(and_out)
+        netlist.set_outputs([q])
+        netlist.freeze()
+        probabilities, densities, _ = propagate(netlist)
+        assert probabilities[q] == pytest.approx(0.5)
+        assert densities[q] == pytest.approx(0.5)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("name", ["Wallace", "RCA", "RCA hor.pipe2"])
+    def test_settled_estimate_matches_simulation(self, name):
+        """The synchronous pairwise estimate lands within a few percent of
+        the measured settled activity on the real multipliers, despite
+        reconvergent fanout."""
+        impl = build_multiplier(name)
+        estimate = estimate_activity(impl)
+        simulated = measure_activity(impl, n_vectors=60)
+        assert estimate.settled_activity == pytest.approx(
+            simulated.settled_activity, rel=0.08
+        )
+
+    @pytest.mark.parametrize("name", ["Wallace", "RCA", "RCA diagpipe2"])
+    def test_estimates_bracket_inertial_measurement(self, name):
+        """settled (zero-delay) <= inertial simulation <= Najm density."""
+        impl = build_multiplier(name)
+        estimate = estimate_activity(impl)
+        simulated = measure_activity(impl, n_vectors=60)
+        assert estimate.settled_activity <= simulated.activity * 1.05
+        assert simulated.activity <= estimate.activity
+
+    def test_najm_density_explodes_on_carry_chains(self):
+        """Without inertial filtering, the array multiplier's glitch
+        amplification potential is enormous — the structural reason the
+        simulator needs the inertial model (see DESIGN.md)."""
+        impl = build_multiplier("RCA")
+        estimate = estimate_activity(impl)
+        assert estimate.activity > 10 * estimate.settled_activity
+
+    def test_describe(self):
+        impl = build_multiplier("Wallace")
+        text = estimate_activity(impl).describe()
+        assert "static activity" in text

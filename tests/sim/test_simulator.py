@@ -1,0 +1,157 @@
+"""Unit tests for the event-driven timing simulator."""
+
+import pytest
+
+from repro.netlist import Builder, Netlist
+from repro.sim.simulator import EventDrivenSimulator
+
+
+def _xor_chain(length: int):
+    """a -> chain of XORs with b; returns (netlist, a, b, out)."""
+    netlist = Netlist("chain")
+    builder = Builder(netlist)
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    node = a
+    for _ in range(length):
+        node = builder.gate("XOR2", node, b)
+    netlist.set_outputs([node])
+    netlist.freeze()
+    return netlist, a, b, node
+
+
+class TestBasicPropagation:
+    def test_single_gate_transition_counted(self):
+        netlist, a, b, out = _xor_chain(1)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({a: 1, b: 0})
+        assert simulator.values[out] == 1
+        assert simulator.stats.total_transitions == 1
+
+    def test_no_input_change_no_transitions(self):
+        netlist, a, b, _ = _xor_chain(3)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({a: 0, b: 0})
+        assert simulator.stats.total_transitions == 0
+
+    def test_chain_propagates_fully(self):
+        netlist, a, b, out = _xor_chain(5)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({a: 1, b: 0})
+        assert simulator.values[out] == 1
+        # one transition per chain stage
+        assert simulator.stats.total_transitions == 5
+
+    def test_counting_flag_suppresses_statistics(self):
+        netlist, a, b, _ = _xor_chain(4)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.counting = False
+        simulator.run_cycle({a: 1, b: 0})
+        assert simulator.stats.total_transitions == 0
+        assert simulator.stats.cycles == 0
+
+
+class TestGlitchBehaviour:
+    def _imbalanced_and(self, slow_stages: int):
+        """AND of a signal with a delayed copy of its complement.
+
+        Driving the input 0->1 creates a pulse at the AND output whose
+        width equals the inverter-chain delay: the canonical glitch.
+        """
+        netlist = Netlist("glitch")
+        builder = Builder(netlist)
+        a = netlist.add_input("a")
+        slow = a
+        for _ in range(slow_stages):
+            slow = builder.invert(slow)
+        # For even stage counts `slow` follows a with a delay.
+        fast_inverted = builder.invert(a)
+        out = builder.gate("AND2", fast_inverted, slow)
+        netlist.set_outputs([out])
+        netlist.freeze()
+        return netlist, a, out
+
+    def test_wide_pulse_produces_glitch(self):
+        """A 1->0 input: the fast inverter raises one AND input while the
+        slow path still holds the old high — a pulse wider than the AND
+        delay appears and must be counted (2 transitions on the AND)."""
+        netlist, a, out = self._imbalanced_and(slow_stages=6)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({a: 1})
+        before = simulator.stats.transitions_per_cell[:]
+        simulator.run_cycle({a: 0})
+        and_cell = netlist.cells[-1].index
+        delta = simulator.stats.transitions_per_cell[and_cell] - before[and_cell]
+        assert delta == 2  # up and back down: a real glitch
+        assert simulator.values[out] == 0  # settled value is glitch-free
+
+    def test_narrow_pulse_is_inertially_filtered(self):
+        """With a 2-stage (fast) reconvergence the pulse is narrower than
+        the AND gate delay and must be swallowed."""
+        netlist, a, out = self._imbalanced_and(slow_stages=2)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({a: 1})
+        before = simulator.stats.transitions_per_cell[:]
+        simulator.run_cycle({a: 0})
+        and_cell = netlist.cells[-1].index
+        delta = simulator.stats.transitions_per_cell[and_cell] - before[and_cell]
+        assert delta == 0
+        assert simulator.values[out] == 0
+
+    def test_settled_counters_ignore_glitches(self):
+        netlist, a, _ = self._imbalanced_and(slow_stages=6)
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({a: 1})
+        simulator.run_cycle({a: 0})
+        stats = simulator.stats
+        assert stats.total_transitions > stats.settled_transitions
+
+
+class TestSequentialBehaviour:
+    def test_dff_pipeline_moves_one_stage_per_cycle(self):
+        netlist = Netlist("pipe")
+        builder = Builder(netlist)
+        a = netlist.add_input("a")
+        q1 = builder.register(a)
+        q2 = builder.register(q1)
+        netlist.set_outputs([q2])
+        netlist.freeze()
+        simulator = EventDrivenSimulator(netlist)
+        observed = []
+        for value in (1, 0, 0, 0):
+            simulator.run_cycle({a: value})
+            observed.append(simulator.values[q2])
+        assert observed == [0, 0, 1, 0]
+
+    def test_dffe_gates_capture(self):
+        netlist = Netlist("enable")
+        builder = Builder(netlist)
+        d = netlist.add_input("d")
+        enable = netlist.add_input("en")
+        q = builder.register(d, enable=enable)
+        netlist.set_outputs([q])
+        netlist.freeze()
+        simulator = EventDrivenSimulator(netlist)
+        simulator.run_cycle({d: 1, enable: 0})
+        simulator.run_cycle({d: 0, enable: 0})
+        assert simulator.values[q] == 0  # the 1 was never captured
+        simulator.run_cycle({d: 1, enable: 1})
+        simulator.run_cycle({d: 0, enable: 0})
+        assert simulator.values[q] == 1  # captured while enabled, now held
+
+    def test_functional_agreement_with_zero_delay_model(self):
+        """Settled timed values must equal the zero-delay evaluation —
+        the timed simulator computes the same function, just with timing."""
+        from repro.generators import build_array_multiplier
+
+        impl = build_array_multiplier(4)
+        simulator = EventDrivenSimulator(impl.netlist)
+        state = impl.netlist.initial_state()
+        for a, b in [(3, 5), (15, 15), (7, 9), (0, 12)]:
+            assignment = impl.operand_cycles(a, b)[0]
+            simulator.run_cycle(assignment)
+            values, state = impl.netlist.evaluate_cycle(assignment, state)
+            for net in range(len(impl.netlist.nets)):
+                if impl.netlist.nets[net].is_placeholder:
+                    continue
+                assert simulator.values[net] == values[net], impl.netlist.nets[net].name

@@ -1,0 +1,112 @@
+"""Tests for static timing analysis and effective logical depth."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1_BY_NAME
+from repro.generators import build_multiplier
+from repro.netlist import Builder, Netlist
+from repro.sta import (
+    analyze_timing,
+    critical_path_length,
+    effective_logical_depth,
+    stage_depths,
+)
+
+
+class TestOnSmallCircuits:
+    def test_inverter_chain_depth(self):
+        netlist = Netlist("chain")
+        builder = Builder(netlist)
+        node = netlist.add_input("a")
+        for _ in range(10):
+            node = builder.invert(node)
+        netlist.set_outputs([node])
+        netlist.freeze()
+        assert critical_path_length(netlist) == pytest.approx(10.0)
+
+    def test_registered_path_includes_clock_to_q(self):
+        netlist = Netlist("reg")
+        builder = Builder(netlist)
+        a = netlist.add_input("a")
+        q = builder.register(a)          # clk-to-q = 2.0
+        out = builder.invert(q)          # + 1.0
+        end = builder.register(out)      # endpoint at D
+        netlist.set_outputs([end])
+        netlist.freeze()
+        assert critical_path_length(netlist) == pytest.approx(3.0)
+
+    def test_parallel_paths_take_max(self):
+        netlist = Netlist("max")
+        builder = Builder(netlist)
+        a = netlist.add_input("a")
+        slow = a
+        for _ in range(5):
+            slow = builder.invert(slow)
+        fast = builder.invert(a)
+        out = builder.gate("AND2", slow, fast)
+        netlist.set_outputs([out])
+        netlist.freeze()
+        report = analyze_timing(netlist)
+        assert report.critical_path_length == pytest.approx(5.0 + 1.8)
+        # The AND sees arrivals 5.0 and 1.0: spread 4.0.
+        assert report.max_arrival_spread == pytest.approx(4.0)
+
+    def test_critical_endpoint_named(self):
+        netlist = Netlist("name")
+        builder = Builder(netlist)
+        a = netlist.add_input("a")
+        netlist.set_outputs([builder.invert(a)])
+        netlist.freeze()
+        report = analyze_timing(netlist)
+        assert report.critical_endpoint != "(none)"
+
+
+class TestOnMultipliers:
+    @pytest.fixture(scope="class")
+    def depths(self):
+        names = [
+            "RCA", "RCA hor.pipe2", "RCA hor.pipe4", "RCA diagpipe2",
+            "RCA diagpipe4", "RCA parallel", "Wallace", "Sequential",
+        ]
+        return {
+            name: effective_logical_depth(build_multiplier(name))
+            for name in names
+        }
+
+    def test_ld_ordering_matches_table1(self, depths):
+        """Every pairwise LDeff ordering of Table 1 must hold natively."""
+        assert depths["Wallace"] < depths["RCA parallel"] < depths["RCA"]
+        assert depths["RCA hor.pipe4"] < depths["RCA hor.pipe2"] < depths["RCA"]
+        assert depths["RCA diagpipe4"] < depths["RCA diagpipe2"] < depths["RCA"]
+        assert depths["RCA"] < depths["Sequential"]
+
+    def test_diagonal_cuts_deeper_than_horizontal(self, depths):
+        """Diagonal register planes shorten the worst path more (Figure 4)."""
+        assert depths["RCA diagpipe2"] < depths["RCA hor.pipe2"]
+        assert depths["RCA diagpipe4"] < depths["RCA hor.pipe4"]
+
+    def test_ld_magnitude_tracks_table1(self, depths):
+        """Within a global scale factor (delay-unit convention), the native
+        LDeff column must track the published one."""
+        for name, native in depths.items():
+            published = TABLE1_BY_NAME[name].logical_depth
+            ratio = native / published
+            assert 1.0 < ratio < 3.2, (name, ratio)
+
+    def test_sequential_ld_is_cycles_times_path(self, depths):
+        impl = build_multiplier("Sequential")
+        assert effective_logical_depth(impl) == pytest.approx(
+            16 * critical_path_length(impl.netlist)
+        )
+
+    def test_parallel_ld_divides_by_k(self):
+        impl = build_multiplier("RCA parallel")
+        assert effective_logical_depth(impl) == pytest.approx(
+            critical_path_length(impl.netlist) / 2.0
+        )
+
+    def test_stage_depths_sorted_and_bounded(self):
+        impl = build_multiplier("RCA hor.pipe2")
+        depths = stage_depths(impl.netlist)
+        assert depths == sorted(depths, reverse=True)
+        assert depths[0] == pytest.approx(critical_path_length(impl.netlist))

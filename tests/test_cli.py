@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestOptimize:
+    def test_prints_optimum(self, capsys):
+        code = main([
+            "optimize", "--n-cells", "729", "--activity", "0.2976",
+            "--logical-depth", "17",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "numerical optimum" in captured
+        assert "Eq. 13" in captured
+
+    def test_technology_choice(self, capsys):
+        code = main([
+            "optimize", "--n-cells", "729", "--activity", "0.3",
+            "--logical-depth", "17", "--tech", "HS",
+        ])
+        assert code == 0
+        assert "HS" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Wallace" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "our fit" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("number", ["3", "4"])
+    def test_wallace_tables(self, number, capsys):
+        assert main(["table", number]) == 0
+        assert "Wallace" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_figure2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "optimal working points" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_single_architecture(self, capsys):
+        assert main(["verify", "Wallace", "--vectors", "10"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestExportVerilog:
+    def test_to_stdout(self, capsys):
+        assert main(["export-verilog", "Sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "module seq16 (" in out
+
+    def test_to_file(self, tmp_path, capsys):
+        target = tmp_path / "wallace.v"
+        assert main(["export-verilog", "Wallace", "-o", str(target)]) == 0
+        assert "module wallace16 (" in target.read_text()
+
+
+class TestMisc:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "LL"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "zeta" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "RCA" in out and "Seq parallel" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "Numerical optimum" in out
+    assert "approximation error" in out
+
+
+def test_architecture_exploration():
+    out = _run("architecture_exploration.py")
+    assert "Design space" in out
+    assert "crossover" in out.lower() or "MHz" in out
+
+
+def test_technology_selection():
+    out = _run("technology_selection.py")
+    assert "Best flavour" in out
+    assert "valley" in out
+
+
+def test_netlist_flow_default():
+    out = _run("netlist_flow.py")
+    assert "[6/6] optimal working point" in out
+    assert "vectors OK" in out
+
+
+def test_netlist_flow_rejects_unknown():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "netlist_flow.py"), "Booth"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0
+
+
+@pytest.mark.slow
+def test_glitch_study():
+    out = _run("glitch_study.py")
+    assert "diagonal" in out
+    assert "glitch" in out

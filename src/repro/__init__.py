@@ -24,6 +24,10 @@ Sub-packages
 ``repro.core``
     The paper's analytical model (Eqs. 1–13), numerical reference
     optimiser, architecture transforms, selection and sensitivity tools.
+``repro.explore``
+    Design-space exploration engine: declarative scenarios, vectorized
+    Eq. 13 batch evaluation, parallel exact-numerical fallback, result
+    caching and Pareto analysis.
 ``repro.netlist`` / ``repro.generators``
     Standard-cell library, netlist graphs and structural generators for
     the paper's thirteen 16-bit multipliers.

@@ -3,6 +3,7 @@
 Commands
 --------
 ``optimize``        optimal working point for explicit parameters
+``explore``         batch design-space exploration (scenario JSON or demo)
 ``table``           regenerate a paper table (1-4; 1 also in native mode)
 ``figure``          regenerate a paper figure (1, 2 or 34)
 ``verify``          functionally verify generated multipliers
@@ -44,6 +45,61 @@ def _cmd_optimize(args) -> int:
         f"(error {approximation_error_percent(result.ptot, eq13):+.2f} %, "
         f"A/B fit on {fit.vdd_min:.2f}-{fit.vdd_max:.2f} V)"
     )
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from .explore.analysis import report
+    from .explore.engine import explore
+    from .explore.scenario import Scenario, demo_scenario
+
+    if args.scenario:
+        try:
+            with open(args.scenario, "r", encoding="utf-8") as handle:
+                scenario = Scenario.from_json(handle.read())
+        except OSError as error:
+            print(f"cannot read scenario: {error}", file=sys.stderr)
+            return 2
+        except (KeyError, TypeError, ValueError) as error:
+            print(
+                f"invalid scenario file {args.scenario}: {error!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        scenario = demo_scenario(frequency_points=args.frequency_points)
+
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    if args.save_scenario:
+        try:
+            with open(args.save_scenario, "w", encoding="utf-8") as handle:
+                handle.write(scenario.to_json() + "\n")
+        except OSError as error:
+            print(f"cannot write scenario: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote scenario {scenario.name!r} to {args.save_scenario}")
+
+    if args.dry_run:
+        print(scenario.describe())
+        print(f"content hash: {scenario.content_hash()}")
+        return 0
+
+    result = explore(
+        scenario,
+        method=args.method,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    print(result.describe())
+    if not args.no_cache and result.cache_path is not None:
+        state = "hit" if result.cache_hit else "stored"
+        print(f"  cache {state}: {result.cache_path}")
+    print()
+    print(report(result.points, top=args.top))
     return 0
 
 
@@ -179,6 +235,45 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--tech", default="LL", choices=["LL", "HS", "ULL"])
     optimize.add_argument("--frequency", type=float, default=31.25e6)
     optimize.set_defaults(handler=_cmd_optimize)
+
+    explore = commands.add_parser(
+        "explore", help="batch design-space exploration over a scenario"
+    )
+    explore.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario JSON file; omit to run the built-in demo sweep",
+    )
+    explore.add_argument(
+        "--method", default="auto", choices=["auto", "closed-form", "numerical"],
+        help="auto = vectorized Eq. 13 with exact-numerical fallback",
+    )
+    explore.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for exact-numerical points (default: CPUs)",
+    )
+    explore.add_argument(
+        "--top", type=int, default=15, help="ranking rows to print"
+    )
+    explore.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: ~/.cache/repro/explore)",
+    )
+    explore.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    explore.add_argument(
+        "--frequency-points", type=int, default=42, dest="frequency_points",
+        help="frequency grid size of the demo scenario",
+    )
+    explore.add_argument(
+        "--save-scenario", default=None,
+        help="write the (demo or loaded) scenario JSON to this path",
+    )
+    explore.add_argument(
+        "--dry-run", action="store_true",
+        help="print the candidate count and content hash without evaluating",
+    )
+    explore.set_defaults(handler=_cmd_explore)
 
     table = commands.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=[1, 2, 3, 4])

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .architecture import ArchitectureParameters
-from .closed_form import InfeasibleConstraintError
-from .numerical import numerical_optimum
 from .optimum import OptimizationResult
 from .technology import Technology
 
@@ -47,32 +45,38 @@ def evaluate_candidates(
     architectures: list[ArchitectureParameters],
     technologies: list[Technology],
     frequency: float,
+    jobs: int | None = 1,
 ) -> list[Candidate]:
     """Numerically evaluate every (architecture, technology) pair.
 
     The numerical solver is used (not Eq. 13) because selection is the
     end-user operation and should rest on the reference model; Eq. 13
     agreement is separately validated by the Table 1 experiments.
+
+    The O(A×T) loop is delegated to the design-space exploration engine
+    (:mod:`repro.explore.engine`), which chunks the scalar solves over a
+    ``multiprocessing`` pool; pass ``jobs`` to parallelise (``None``
+    uses every CPU, the default 1 keeps the historical serial path).
     """
-    candidates = []
-    for tech in technologies:
-        for arch in architectures:
-            try:
-                result = numerical_optimum(arch, tech, frequency)
-            except (InfeasibleConstraintError, ValueError) as error:
-                candidates.append(
-                    Candidate(
-                        architecture=arch,
-                        technology=tech,
-                        result=None,
-                        reason=str(error),
-                    )
-                )
-            else:
-                candidates.append(
-                    Candidate(architecture=arch, technology=tech, result=result)
-                )
-    return candidates
+    # Imported lazily: repro.explore depends on repro.core, so a
+    # module-level import here would be circular.
+    from ..explore.engine import evaluate_points
+    from ..explore.scenario import DesignPoint
+
+    points = [
+        DesignPoint(architecture=arch, technology=tech, frequency=frequency)
+        for tech in technologies
+        for arch in architectures
+    ]
+    return [
+        Candidate(
+            architecture=outcome.point.architecture,
+            technology=outcome.point.technology,
+            result=outcome.result,
+            reason=outcome.reason,
+        )
+        for outcome in evaluate_points(points, method="numerical", jobs=jobs)
+    ]
 
 
 def rank_architectures(
@@ -136,9 +140,10 @@ def selection_matrix(
     architectures: list[ArchitectureParameters],
     technologies: list[Technology],
     frequency: float,
+    jobs: int | None = 1,
 ) -> dict[tuple[str, str], Candidate]:
     """Full (architecture × technology) map keyed by ``(arch, tech)`` names."""
-    candidates = evaluate_candidates(architectures, technologies, frequency)
+    candidates = evaluate_candidates(architectures, technologies, frequency, jobs=jobs)
     return {
         (candidate.architecture.name, candidate.technology.name): candidate
         for candidate in candidates

@@ -1,0 +1,76 @@
+"""Design-space exploration engine (ROADMAP: batching, caching, scale).
+
+The paper's Sections 4–5 methodology — evaluate the Eq. 13 closed-form
+optimum for every (architecture, technology, frequency) candidate and
+pick the minimum — is a *batch* problem, but :mod:`repro.core.selection`
+evaluates it one scipy call at a time.  This package turns the
+one-at-a-time optimizer into a batch service:
+
+``scenario``
+    Declarative :class:`Scenario` sweep specification (architectures ×
+    transform chains × technologies × frequency grid) with dict/JSON
+    round-trip and a stable content hash.
+``vectorized``
+    Numpy kernel evaluating the Eq. 9–13 closed-form chain over whole
+    candidate grids at once — no per-point scipy calls.
+``executor``
+    ``multiprocessing``-based parallel runner for the exact-numerical
+    fallback points (near the feasibility boundary the closed form is
+    not trustworthy).
+``cache``
+    Content-hash → JSON-on-disk result cache; repeated sweeps are free.
+``engine``
+    Orchestration: expand, vectorize, fall back, cache.
+``analysis``
+    Pareto frontier over (power, frequency, area-proxy), ranking and a
+    tabular report.
+"""
+
+from .analysis import pareto_frontier, rank_points, report
+from .cache import ResultCache, content_hash
+from .engine import (
+    EvaluationStats,
+    ExplorationResult,
+    PointOutcome,
+    PointResult,
+    evaluate_points,
+    explore,
+)
+from .executor import run_numerical
+from .scenario import (
+    DesignPoint,
+    FrequencyGrid,
+    Scenario,
+    TransformStep,
+    demo_scenario,
+    parallelize_step,
+    pipeline_step,
+    sequentialize_step,
+)
+from .vectorized import BatchResult, chi_batch, closed_form_batch
+
+__all__ = [
+    "BatchResult",
+    "DesignPoint",
+    "EvaluationStats",
+    "ExplorationResult",
+    "FrequencyGrid",
+    "PointOutcome",
+    "PointResult",
+    "ResultCache",
+    "Scenario",
+    "TransformStep",
+    "chi_batch",
+    "closed_form_batch",
+    "content_hash",
+    "demo_scenario",
+    "evaluate_points",
+    "explore",
+    "parallelize_step",
+    "pareto_frontier",
+    "pipeline_step",
+    "rank_points",
+    "report",
+    "run_numerical",
+    "sequentialize_step",
+]

@@ -1,0 +1,144 @@
+"""Analysis of evaluated design spaces: ranking, Pareto front, report.
+
+The paper's selection answer is a single argmin (cheapest feasible
+candidate at the target frequency); a swept design space supports a
+richer one.  :func:`pareto_frontier` keeps every candidate not dominated
+on (optimal power ↓, frequency ↑, area-proxy ↓) — the set a designer
+actually chooses from when the clock target or the floorplan is still
+negotiable — and :func:`report` renders the ranking as the kind of
+fixed-width table the rest of this repository uses for paper artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .engine import PointResult
+
+#: Default objectives: (attribute, sense).  ``min`` is cheaper-is-better,
+#: ``max`` is more-is-better.
+DEFAULT_OBJECTIVES: tuple[tuple[str, str], ...] = (
+    ("ptot_or_inf", "min"),
+    ("frequency", "max"),
+    ("area_proxy", "min"),
+)
+
+
+def rank_points(
+    points: Sequence[PointResult],
+    key: Callable[[PointResult], float] | None = None,
+) -> list[PointResult]:
+    """Candidates sorted cheapest-first; infeasible ones last.
+
+    Mirrors :func:`repro.core.selection.rank_architectures`' convention
+    (+inf power sorts infeasible candidates to the tail) at design-space
+    scale.
+    """
+    if key is None:
+        key = lambda p: p.ptot_or_inf  # noqa: E731
+    return sorted(points, key=key)
+
+
+def _objective_matrix(
+    points: Sequence[PointResult],
+    objectives: Sequence[tuple[str, str]],
+) -> np.ndarray:
+    """(n_points × n_objectives) matrix with every column minimised."""
+    columns = []
+    for attribute, sense in objectives:
+        if sense not in ("min", "max"):
+            raise ValueError(f"objective sense must be min/max, got {sense!r}")
+        values = np.array(
+            [float(getattr(p, attribute)) for p in points], dtype=float
+        )
+        columns.append(values if sense == "min" else -values)
+    return np.column_stack(columns)
+
+
+def pareto_mask(
+    points: Sequence[PointResult],
+    objectives: Sequence[tuple[str, str]] = DEFAULT_OBJECTIVES,
+) -> np.ndarray:
+    """Boolean mask of non-dominated feasible points, aligned with input.
+
+    A point dominates another when it is no worse on every objective and
+    strictly better on at least one.  Infeasible points never make the
+    front (and never dominate anything).
+    """
+    mask = np.zeros(len(points), dtype=bool)
+    feasible_indices = [i for i, p in enumerate(points) if p.feasible]
+    if not feasible_indices:
+        return mask
+    values = _objective_matrix(
+        [points[i] for i in feasible_indices], objectives
+    )
+    efficient = np.ones(len(feasible_indices), dtype=bool)
+    for row in range(len(feasible_indices)):
+        if not efficient[row]:
+            continue
+        dominated = np.all(values >= values[row], axis=1) & np.any(
+            values > values[row], axis=1
+        )
+        efficient &= ~dominated
+    for position, index in enumerate(feasible_indices):
+        mask[index] = efficient[position]
+    return mask
+
+
+def pareto_frontier(
+    points: Sequence[PointResult],
+    objectives: Sequence[tuple[str, str]] = DEFAULT_OBJECTIVES,
+) -> list[PointResult]:
+    """The non-dominated feasible candidates, cheapest-first."""
+    mask = pareto_mask(points, objectives)
+    return rank_points([p for p, keep in zip(points, mask) if keep])
+
+
+def report(
+    points: Sequence[PointResult],
+    top: int = 15,
+    objectives: Sequence[tuple[str, str]] = DEFAULT_OBJECTIVES,
+) -> str:
+    """Fixed-width ranking table with Pareto membership marks.
+
+    Shows the ``top`` cheapest candidates plus a one-line summary of the
+    frontier and of the infeasible tail.
+    """
+    mask = pareto_mask(points, objectives)
+    on_front = {id(p) for p, keep in zip(points, mask) if keep}
+    ranked = rank_points(points)
+    n_feasible = sum(1 for p in points if p.feasible)
+
+    header = (
+        f"{'#':>3} {'P':1} {'architecture':<24} {'technology':<14} "
+        f"{'f [MHz]':>8} {'Vdd [V]':>8} {'Vth [V]':>8} {'Ptot [uW]':>10} "
+        f"{'method':<22}"
+    )
+    lines = [header, "-" * len(header)]
+    for position, point in enumerate(ranked[:top], start=1):
+        marker = "*" if id(point) in on_front else " "
+        if point.feasible:
+            lines.append(
+                f"{position:>3} {marker:1} {point.architecture:<24.24} "
+                f"{point.technology:<14.14} {point.frequency / 1e6:>8.2f} "
+                f"{point.vdd:>8.3f} {point.vth:>8.3f} "
+                f"{point.ptot * 1e6:>10.2f} {point.method:<22}"
+            )
+        else:
+            lines.append(
+                f"{position:>3} {marker:1} {point.architecture:<24.24} "
+                f"{point.technology:<14.14} {point.frequency / 1e6:>8.2f} "
+                f"{'—':>8} {'—':>8} {'inf':>10} infeasible"
+            )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{len(points)} candidates: {n_feasible} feasible, "
+        f"{len(points) - n_feasible} infeasible, "
+        f"{len(on_front)} on the Pareto frontier "
+        f"(P column, objectives: "
+        + ", ".join(f"{attr} {sense}" for attr, sense in objectives)
+        + ")"
+    )
+    return "\n".join(lines)

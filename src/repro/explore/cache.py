@@ -1,0 +1,104 @@
+"""Content-addressed on-disk result cache for exploration sweeps.
+
+A sweep is keyed by the SHA-256 of its canonical-JSON payload (scenario
+definition + evaluation method + cache schema version), so re-running
+the same scenario is a single file read and *any* change to the sweep —
+one frequency, one transform parameter — moves to a fresh key.  Entries
+are plain JSON files: inspectable, diffable, and safe to delete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: Bump whenever cached *results* could change — payload layout, model
+#: equations, fallback thresholds — so old entries miss instead of
+#: silently serving stale numbers.  The engine additionally folds the
+#: package version and the kernel's fallback constants into the key.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_EXPLORE_CACHE"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_EXPLORE_CACHE`` or ``~/.cache/repro/explore``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "explore"
+
+
+class ResultCache:
+    """JSON-file-per-entry cache keyed by content hash."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload, or None on miss / unreadable entry."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path.
+
+        Write-to-temp-then-rename so a crashed run never leaves a
+        half-written (and therefore poisoned) entry behind.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> list[Path]:
+        """Paths of every stored entry (empty when the dir is absent)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

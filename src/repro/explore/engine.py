@@ -1,0 +1,488 @@
+"""Orchestration: expand a scenario, vectorize, fall back, cache.
+
+:func:`evaluate_points` is the batch core — it groups a candidate list
+by technology, runs the vectorized Eq. 9–13 kernel per group, and sends
+only the points the kernel distrusts (plus every closed-form-infeasible
+point, so the reported reason comes from the reference solver) through
+the parallel exact-numerical executor.  A parity check compares sampled
+vectorized results against the scalar closed form on every run, so a
+drift between the two implementations cannot pass silently.
+
+:func:`explore` wraps that core with the scenario spec and the on-disk
+result cache: hash the sweep definition, return the stored result on a
+hit, evaluate and store on a miss.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.closed_form import closed_form_optimum
+from ..core.optimum import OperatingPoint, OptimizationResult
+from ..core.technology import Technology
+from . import executor as executor_module
+from .cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
+from .scenario import DesignPoint, Scenario
+from .vectorized import batch_arrays_for_points, closed_form_batch
+
+#: Method tag on vectorized operating points.
+VECTORIZED_METHOD = "vectorized-closed-form"
+
+#: Relative tolerance of the engine's built-in vectorized-vs-scalar
+#: parity check (the arithmetic is identical, so real agreement is at
+#: machine precision; 1e-9 leaves room for operation-order noise only).
+PARITY_RTOL = 1e-9
+
+#: How many vectorized points each run spot-checks against the scalar
+#: closed form.
+PARITY_SAMPLES = 3
+
+EVALUATION_METHODS = ("auto", "closed-form", "numerical")
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Evaluation outcome for one design point.
+
+    ``result`` is None when the point is infeasible; ``reason`` then
+    explains why (same contract as :class:`repro.core.selection.
+    Candidate`).  ``method`` records which path produced the value.
+    """
+
+    point: DesignPoint
+    result: OptimizationResult | None
+    reason: str = ""
+    method: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Flat, JSON-serialisable record of one evaluated candidate.
+
+    This is what the cache stores and the analysis helpers consume: the
+    architecture summary is inlined (names plus the Eq. 13 inputs and
+    the area proxy) so a cached sweep is self-contained.
+    """
+
+    architecture: str
+    technology: str
+    frequency: float
+    n_cells: float
+    activity: float
+    logical_depth: float
+    capacitance: float
+    area: float
+    feasible: bool
+    method: str
+    vdd: float | None = None
+    vth: float | None = None
+    pdyn: float | None = None
+    pstat: float | None = None
+    ptot: float | None = None
+    reason: str = ""
+
+    @property
+    def ptot_or_inf(self) -> float:
+        """Total power, with +inf standing in for infeasible points."""
+        return self.ptot if self.ptot is not None else float("inf")
+
+    @property
+    def area_proxy(self) -> float:
+        """Layout area when known, otherwise the cell count.
+
+        The paper's Table 1 reports area per architecture; parameter-only
+        sweeps may not have it, and ``N`` tracks it closely (Table 1's
+        area/cell spread across the thirteen multipliers is ~20 %).
+        """
+        return self.area if self.area > 0.0 else self.n_cells
+
+    @classmethod
+    def from_outcome(cls, outcome: PointOutcome) -> "PointResult":
+        point = outcome.point
+        arch = point.architecture
+        common = dict(
+            architecture=arch.name,
+            technology=point.technology.name,
+            frequency=point.frequency,
+            n_cells=arch.n_cells,
+            activity=arch.activity,
+            logical_depth=arch.logical_depth,
+            capacitance=arch.capacitance,
+            area=arch.area,
+            method=outcome.method,
+            reason=outcome.reason,
+        )
+        if outcome.result is None:
+            return cls(feasible=False, **common)
+        op = outcome.result.point
+        return cls(
+            feasible=True,
+            vdd=op.vdd,
+            vth=op.vth,
+            pdyn=op.pdyn,
+            pstat=op.pstat,
+            ptot=op.ptot,
+            **common,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PointResult":
+        from dataclasses import fields
+
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def describe(self) -> str:
+        if not self.feasible:
+            return (
+                f"{self.architecture} on {self.technology} "
+                f"@ {self.frequency / 1e6:g} MHz: infeasible ({self.reason})"
+            )
+        return (
+            f"{self.architecture} on {self.technology} "
+            f"@ {self.frequency / 1e6:g} MHz: Ptot={self.ptot * 1e6:.2f} uW "
+            f"(Vdd={self.vdd:.3f} V, Vth={self.vth:.3f} V)"
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationStats:
+    """Where the work went in one sweep."""
+
+    n_candidates: int
+    n_feasible: int
+    n_vectorized: int
+    n_fallback: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationStats":
+        return cls(**payload)
+
+    def describe(self) -> str:
+        rate = self.n_candidates / self.elapsed_seconds if self.elapsed_seconds else float("inf")
+        return (
+            f"{self.n_candidates} candidates ({self.n_feasible} feasible) in "
+            f"{self.elapsed_seconds:.3f} s ({rate:,.0f}/s; "
+            f"{self.n_vectorized} vectorized, {self.n_fallback} exact-numerical)"
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """A fully evaluated scenario plus provenance."""
+
+    scenario: Scenario
+    method: str
+    points: list[PointResult]
+    stats: EvaluationStats
+    cache_hit: bool = False
+    cache_key: str = ""
+    cache_path: Path | None = None
+    parity_checked: bool = False
+
+    @property
+    def feasible_points(self) -> list[PointResult]:
+        return [p for p in self.points if p.feasible]
+
+    @property
+    def best(self) -> PointResult | None:
+        """Cheapest feasible candidate, or None when nothing closes timing."""
+        feasible = self.feasible_points
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.ptot_or_inf)
+
+    def describe(self) -> str:
+        source = "cache hit" if self.cache_hit else "evaluated"
+        lines = [
+            f"scenario {self.scenario.name!r} [{self.method}] — {source}",
+            f"  {self.stats.describe()}",
+        ]
+        best = self.best
+        if best is not None:
+            lines.append(f"  best: {best.describe()}")
+        return "\n".join(lines)
+
+
+def _group_indices_by_technology(
+    points: Sequence[DesignPoint],
+) -> dict[Technology, list[int]]:
+    groups: dict[Technology, list[int]] = {}
+    for index, point in enumerate(points):
+        groups.setdefault(point.technology, []).append(index)
+    return groups
+
+
+def _vectorized_outcome(point: DesignPoint, batch, position: int) -> PointOutcome:
+    operating_point = OperatingPoint(
+        vdd=float(batch.vdd[position]),
+        vth=float(batch.vth[position]),
+        pdyn=float(batch.pdyn[position]),
+        pstat=float(batch.pstat[position]),
+        method=VECTORIZED_METHOD,
+    )
+    result = OptimizationResult(
+        architecture=point.architecture,
+        technology=point.technology,
+        frequency=point.frequency,
+        point=operating_point,
+    )
+    return PointOutcome(
+        point=point, result=result, method=VECTORIZED_METHOD
+    )
+
+
+def _closed_form_reason(point: DesignPoint, batch, position: int) -> str:
+    """Reason string mirroring the scalar chain's exception messages."""
+    name = point.architecture.name
+    margin = float(batch.margin[position])
+    if margin <= 0.0:
+        chi_a = 1.0 - margin
+        return (
+            f"{name}: chi*A = {chi_a:.3f} >= 1 — the architecture cannot "
+            f"meet timing in this technology at this frequency"
+        )
+    return (
+        f"{name}: ln argument {float(batch.log_argument[position]):.3e} <= 1 "
+        f"implies a non-positive optimal threshold"
+    )
+
+
+def _check_parity(
+    points: Sequence[DesignPoint],
+    batch,
+    positions: Sequence[int],
+    indices: Sequence[int],
+) -> None:
+    """Spot-check vectorized values against the scalar closed form.
+
+    ``positions`` index into the batch arrays, ``indices`` into the
+    original point list; both are aligned.  Raises ``RuntimeError`` on
+    drift — this is an internal-consistency invariant, not user error.
+    """
+    if not positions:
+        return
+    picks = sorted({0, len(positions) // 2, len(positions) - 1})
+    for pick in picks[:PARITY_SAMPLES]:
+        position, index = positions[pick], indices[pick]
+        point = points[index]
+        scalar = closed_form_optimum(
+            point.architecture, point.technology, point.frequency
+        )
+        vector_ptot = float(batch.ptot[position])
+        drift = abs(vector_ptot - scalar.ptot) / scalar.ptot
+        if not np.isfinite(vector_ptot) or drift > PARITY_RTOL:
+            raise RuntimeError(
+                f"vectorized/scalar parity violation at {point.describe()}: "
+                f"batch Ptot={vector_ptot!r} vs closed form {scalar.ptot!r} "
+                f"(rel. drift {drift:.3e} > {PARITY_RTOL:g})"
+            )
+
+
+def evaluate_points(
+    points: Sequence[DesignPoint],
+    method: str = "auto",
+    jobs: int | None = None,
+    parity_check: bool = True,
+) -> list[PointOutcome]:
+    """Evaluate every design point; outcomes align with ``points``.
+
+    Methods
+    -------
+    ``"auto"``
+        Vectorized closed form for the trusted interior; exact numerical
+        solve (parallel, chunked) for flagged and infeasible points.
+    ``"closed-form"``
+        Vectorized closed form everywhere it is defined; no scipy calls.
+    ``"numerical"``
+        The reference solver for every point — the historical
+        ``evaluate_candidates`` behaviour, now parallel.
+    """
+    if method not in EVALUATION_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {EVALUATION_METHODS}"
+        )
+    points = list(points)
+    outcomes: list[PointOutcome | None] = [None] * len(points)
+
+    if method == "numerical":
+        for index, (result, reason) in enumerate(
+            executor_module.run_numerical(points, jobs=jobs)
+        ):
+            outcomes[index] = PointOutcome(
+                point=points[index],
+                result=result,
+                reason=reason,
+                method="numerical",
+            )
+        return outcomes  # type: ignore[return-value]
+
+    fallback_indices: list[int] = []
+    for tech, indices in _group_indices_by_technology(points).items():
+        group = [points[i] for i in indices]
+        batch = closed_form_batch(tech, **batch_arrays_for_points(group))
+        vectorized_positions: list[int] = []
+        vectorized_indices: list[int] = []
+        for position, index in enumerate(indices):
+            trusted = bool(batch.feasible[position]) and not bool(
+                batch.needs_fallback[position]
+            )
+            if trusted or (method == "closed-form" and batch.feasible[position]):
+                outcomes[index] = _vectorized_outcome(
+                    points[index], batch, position
+                )
+                if trusted:
+                    vectorized_positions.append(position)
+                    vectorized_indices.append(index)
+            elif method == "closed-form":
+                outcomes[index] = PointOutcome(
+                    point=points[index],
+                    result=None,
+                    reason=_closed_form_reason(points[index], batch, position),
+                    method=VECTORIZED_METHOD,
+                )
+            else:
+                fallback_indices.append(index)
+        if parity_check:
+            _check_parity(points, batch, vectorized_positions, vectorized_indices)
+
+    if fallback_indices:
+        fallback_points = [points[i] for i in fallback_indices]
+        for index, (result, reason) in zip(
+            fallback_indices,
+            executor_module.run_numerical(fallback_points, jobs=jobs),
+        ):
+            outcomes[index] = PointOutcome(
+                point=points[index],
+                result=result,
+                reason=reason,
+                method="numerical-fallback",
+            )
+    return outcomes  # type: ignore[return-value]
+
+
+def _cache_key(scenario: Scenario, method: str) -> str:
+    from .. import __version__
+    from .vectorized import FALLBACK_MARGIN, FIT_RANGE_TOLERANCE, VTH_FLOOR_NUT
+
+    # The key covers everything the stored numbers depend on: the sweep
+    # itself, the evaluation method, the payload schema, the package
+    # version (a proxy for model-equation changes) and the kernel's
+    # fallback thresholds — so a release that moves any of them misses
+    # the old entries instead of serving stale results.
+    return content_hash(
+        {
+            "scenario": scenario.to_dict(),
+            "method": method,
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "fallback": [FALLBACK_MARGIN, FIT_RANGE_TOLERANCE, VTH_FLOOR_NUT],
+        }
+    )
+
+
+def explore(
+    scenario: Scenario,
+    method: str = "auto",
+    jobs: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+    use_cache: bool = True,
+    parity_check: bool = True,
+) -> ExplorationResult:
+    """Evaluate a scenario end to end, through the result cache.
+
+    Parameters
+    ----------
+    scenario:
+        The sweep definition.
+    method:
+        ``"auto"`` (default), ``"closed-form"`` or ``"numerical"``.
+    jobs:
+        Worker processes for the exact-numerical points.
+    cache:
+        A :class:`ResultCache`, a directory for one, or None for the
+        default location.
+    use_cache:
+        When False, neither reads nor writes the cache.
+    parity_check:
+        Forwarded to :func:`evaluate_points`.
+    """
+    if not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    key = _cache_key(scenario, method)
+
+    if use_cache:
+        stored = cache.get(key)
+        if stored is not None:
+            return ExplorationResult(
+                scenario=scenario,
+                method=method,
+                points=[PointResult.from_dict(p) for p in stored["points"]],
+                stats=EvaluationStats.from_dict(stored["stats"]),
+                cache_hit=True,
+                cache_key=key,
+                cache_path=cache.path_for(key),
+                parity_checked=bool(stored.get("parity_checked", False)),
+            )
+
+    started = time.perf_counter()
+    outcomes = evaluate_points(
+        scenario.expand(), method=method, jobs=jobs, parity_check=parity_check
+    )
+    elapsed = time.perf_counter() - started
+
+    point_results = [PointResult.from_outcome(o) for o in outcomes]
+    stats = EvaluationStats(
+        n_candidates=len(outcomes),
+        n_feasible=sum(1 for o in outcomes if o.feasible),
+        n_vectorized=sum(
+            1 for o in outcomes if o.method == VECTORIZED_METHOD
+        ),
+        n_fallback=sum(
+            1 for o in outcomes if o.method in ("numerical-fallback", "numerical")
+        ),
+        elapsed_seconds=elapsed,
+    )
+    cache_path = None
+    if use_cache:
+        cache_path = cache.put(
+            key,
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "method": method,
+                "scenario": scenario.to_dict(),
+                "stats": stats.to_dict(),
+                "parity_checked": parity_check and method != "numerical",
+                "points": [p.to_dict() for p in point_results],
+            },
+        )
+    return ExplorationResult(
+        scenario=scenario,
+        method=method,
+        points=point_results,
+        stats=stats,
+        cache_hit=False,
+        cache_key=key,
+        cache_path=cache_path,
+        parity_checked=parity_check and method != "numerical",
+    )

@@ -1,0 +1,341 @@
+"""Declarative sweep specifications for the exploration engine.
+
+A :class:`Scenario` names a *design space*: base architectures, the
+transform chains (Section 4 parallelize/pipeline/sequentialize moves)
+applied to each of them, the technology flavours and the frequency grid.
+``Scenario.expand()`` materialises the full cartesian product as
+:class:`DesignPoint` instances, and ``to_dict``/``from_dict`` give an
+exact JSON round-trip so scenarios can live in files, travel over the
+wire, and key the on-disk result cache by content hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.architecture import ArchitectureParameters
+from ..core.technology import Technology, flavour
+from ..core.transforms import parallelize, pipeline, sequentialize
+
+
+@dataclass(frozen=True)
+class TransformStep:
+    """One Section 4 architecture move in a transform chain.
+
+    ``op`` is one of ``"parallelize"``, ``"pipeline"`` or
+    ``"sequentialize"``; ``args`` holds the keyword arguments of the
+    matching :mod:`repro.core.transforms` function as a sorted tuple of
+    items (tuples keep the dataclass hashable, which keeps scenarios
+    usable as dict keys and content-hashable).
+    """
+
+    op: str
+    args: tuple[tuple[str, Any], ...] = ()
+
+    _APPLIERS = {
+        "parallelize": parallelize,
+        "pipeline": pipeline,
+        "sequentialize": sequentialize,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._APPLIERS:
+            known = ", ".join(sorted(self._APPLIERS))
+            raise ValueError(f"unknown transform op {self.op!r}; known: {known}")
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """The step's keyword arguments as a plain dict."""
+        return dict(self.args)
+
+    def apply(self, arch: ArchitectureParameters) -> ArchitectureParameters:
+        """Apply this step to an architecture summary."""
+        return self._APPLIERS[self.op](arch, **self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op, **self.params}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TransformStep":
+        params = {key: value for key, value in payload.items() if key != "op"}
+        return cls(op=payload["op"], args=tuple(sorted(params.items())))
+
+
+def parallelize_step(k: int, n_outputs: int = 32) -> TransformStep:
+    """k-way parallelisation step with the Table-1-fitted overheads."""
+    return TransformStep("parallelize", (("k", k), ("n_outputs", n_outputs)))
+
+
+def pipeline_step(stages: int, style: str = "horizontal") -> TransformStep:
+    """s-stage pipelining step, ``style`` in {'horizontal', 'diagonal'}."""
+    return TransformStep("pipeline", (("stages", stages), ("style", style)))
+
+
+def sequentialize_step(cycles: int) -> TransformStep:
+    """cycles-per-result sequentialisation step."""
+    return TransformStep("sequentialize", (("cycles", cycles),))
+
+
+@dataclass(frozen=True)
+class FrequencyGrid:
+    """An explicit tuple of target frequencies [Hz].
+
+    Stored as literal values (not start/stop/points) so the JSON
+    round-trip is bit-exact and the content hash is stable; the
+    :meth:`linear`/:meth:`logspace` constructors cover the common grids.
+    """
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("frequency grid must contain at least one point")
+        if any(value <= 0.0 for value in self.values):
+            raise ValueError("frequencies must be positive")
+
+    @classmethod
+    def linear(cls, start: float, stop: float, points: int) -> "FrequencyGrid":
+        return cls(tuple(float(f) for f in np.linspace(start, stop, points)))
+
+    @classmethod
+    def logspace(cls, start: float, stop: float, points: int) -> "FrequencyGrid":
+        return cls(
+            tuple(float(f) for f in np.geomspace(start, stop, points))
+        )
+
+    @classmethod
+    def single(cls, frequency: float) -> "FrequencyGrid":
+        return cls((float(frequency),))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FrequencyGrid":
+        if "values" in payload:
+            return cls(tuple(float(f) for f in payload["values"]))
+        spacing = payload.get("spacing", "log")
+        maker = cls.logspace if spacing == "log" else cls.linear
+        return maker(payload["start"], payload["stop"], payload["points"])
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully specified candidate: (architecture, technology, frequency)."""
+
+    architecture: ArchitectureParameters
+    technology: Technology
+    frequency: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.architecture.name} on {self.technology.name} "
+            f"@ {self.frequency / 1e6:g} MHz"
+        )
+
+
+def _architecture_to_dict(arch: ArchitectureParameters) -> dict[str, Any]:
+    return asdict(arch)
+
+
+def _architecture_from_dict(payload: Mapping[str, Any]) -> ArchitectureParameters:
+    known = {f.name for f in fields(ArchitectureParameters)}
+    return ArchitectureParameters(
+        **{key: value for key, value in payload.items() if key in known}
+    )
+
+
+def _technology_to_dict(tech: Technology) -> dict[str, Any]:
+    return asdict(tech)
+
+
+def _technology_from_spec(spec: Any) -> Technology:
+    if isinstance(spec, Technology):
+        return spec
+    if isinstance(spec, str):
+        return flavour(spec)
+    known = {f.name for f in fields(Technology)}
+    return Technology(**{key: value for key, value in spec.items() if key in known})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative design-space sweep.
+
+    The candidate set is the cartesian product
+
+        architectures × transform_chains × technologies × frequencies
+
+    where each transform chain (possibly empty — the identity) is applied
+    to each base architecture before evaluation.
+    """
+
+    name: str
+    architectures: tuple[ArchitectureParameters, ...]
+    technologies: tuple[Technology, ...]
+    frequencies: FrequencyGrid
+    transform_chains: tuple[tuple[TransformStep, ...], ...] = ((),)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.architectures:
+            raise ValueError("scenario needs at least one architecture")
+        if not self.technologies:
+            raise ValueError("scenario needs at least one technology")
+        if not self.transform_chains:
+            raise ValueError(
+                "scenario needs at least one transform chain (use ((),) for identity)"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of candidates the scenario expands to."""
+        return (
+            len(self.architectures)
+            * len(self.transform_chains)
+            * len(self.technologies)
+            * len(self.frequencies)
+        )
+
+    def derived_architectures(self) -> list[ArchitectureParameters]:
+        """Every base architecture with every transform chain applied."""
+        derived = []
+        for arch in self.architectures:
+            for chain in self.transform_chains:
+                transformed = arch
+                for step in chain:
+                    transformed = step.apply(transformed)
+                derived.append(transformed)
+        return derived
+
+    def expand(self) -> list[DesignPoint]:
+        """Materialise the full candidate grid, in deterministic order."""
+        return [
+            DesignPoint(architecture=arch, technology=tech, frequency=freq)
+            for arch in self.derived_architectures()
+            for tech in self.technologies
+            for freq in self.frequencies
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "architectures": [
+                _architecture_to_dict(arch) for arch in self.architectures
+            ],
+            "technologies": [
+                _technology_to_dict(tech) for tech in self.technologies
+            ],
+            "frequencies": self.frequencies.to_dict(),
+            "transform_chains": [
+                [step.to_dict() for step in chain]
+                for chain in self.transform_chains
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            name=payload["name"],
+            description=payload.get("description", ""),
+            architectures=tuple(
+                _architecture_from_dict(spec) for spec in payload["architectures"]
+            ),
+            technologies=tuple(
+                _technology_from_spec(spec) for spec in payload["technologies"]
+            ),
+            frequencies=FrequencyGrid.from_dict(payload["frequencies"]),
+            transform_chains=tuple(
+                tuple(TransformStep.from_dict(step) for step in chain)
+                for chain in payload.get("transform_chains", [[]])
+            ),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    def content_hash(self) -> str:
+        """Stable content hash of the sweep definition (cache key base)."""
+        from .cache import content_hash
+
+        return content_hash(self.to_dict())
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.architectures)} arch × "
+            f"{len(self.transform_chains)} chains × "
+            f"{len(self.technologies)} tech × "
+            f"{len(self.frequencies)} freq = {self.size} candidates"
+        )
+
+
+#: The demo base architectures: the published RCA and Wallace rows with
+#: the plausible per-cell factors DESIGN.md derives (same numbers as the
+#: test-suite's wallace fixture), so the demo needs no calibration
+#: machinery.
+_DEMO_ARCHITECTURES = (
+    ArchitectureParameters(
+        name="RCA16",
+        n_cells=608,
+        activity=0.5056,
+        logical_depth=61.0,
+        capacitance=70e-15,
+        area=11038.0,
+        io_factor=18.0,
+        zeta_factor=0.2,
+    ),
+    ArchitectureParameters(
+        name="Wallace16",
+        n_cells=729,
+        activity=0.2976,
+        logical_depth=17.0,
+        capacitance=70e-15,
+        area=11928.0,
+        io_factor=18.0,
+        zeta_factor=0.2,
+    ),
+)
+
+
+def demo_scenario(frequency_points: int = 42) -> Scenario:
+    """A ready-made ≥1,000-candidate sweep for the CLI and examples.
+
+    2 architectures × 4 transform chains × 3 flavours × 42 frequencies
+    = 1,008 candidates with the default grid.
+    """
+    chains: tuple[tuple[TransformStep, ...], ...] = (
+        (),
+        (pipeline_step(2),),
+        (parallelize_step(2),),
+        (sequentialize_step(16),),
+    )
+    return Scenario(
+        name="demo-multiplier-space",
+        description=(
+            "16-bit multiplier design space: RCA/Wallace bases under the "
+            "Section 4 transforms, across the three ST CMOS09 flavours "
+            "and a log frequency grid."
+        ),
+        architectures=_DEMO_ARCHITECTURES,
+        technologies=(flavour("ULL"), flavour("LL"), flavour("HS")),
+        frequencies=FrequencyGrid.logspace(2e6, 64e6, frequency_points),
+        transform_chains=chains,
+    )

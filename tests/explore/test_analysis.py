@@ -1,0 +1,102 @@
+"""Pareto frontier, ranking and report on hand-built candidate sets."""
+
+import pytest
+
+from repro.explore.analysis import (
+    pareto_frontier,
+    pareto_mask,
+    rank_points,
+    report,
+)
+from repro.explore.engine import PointResult
+
+
+def _point(name, ptot, frequency, area, feasible=True, tech="LL"):
+    return PointResult(
+        architecture=name,
+        technology=tech,
+        frequency=frequency,
+        n_cells=500.0,
+        activity=0.3,
+        logical_depth=20.0,
+        capacitance=70e-15,
+        area=area,
+        feasible=feasible,
+        method="hand-built",
+        vdd=0.4 if feasible else None,
+        vth=0.2 if feasible else None,
+        pdyn=0.8 * ptot if feasible else None,
+        pstat=0.2 * ptot if feasible else None,
+        ptot=ptot if feasible else None,
+        reason="" if feasible else "cannot close timing",
+    )
+
+
+@pytest.fixture
+def candidates():
+    return [
+        # A: dominated by B (more power, less frequency, more area).
+        _point("A", ptot=2e-4, frequency=10e6, area=200.0),
+        # B: dominates A outright.
+        _point("B", ptot=1e-4, frequency=20e6, area=100.0),
+        # C: cheaper but slower than B — non-dominated trade-off.
+        _point("C", ptot=0.5e-4, frequency=5e6, area=300.0),
+        # D: fastest of all — non-dominated despite being priciest.
+        _point("D", ptot=4e-4, frequency=50e6, area=400.0),
+        # E: infeasible — never on the front, never dominates.
+        _point("E", ptot=None, frequency=100e6, area=50.0, feasible=False),
+    ]
+
+
+class TestParetoFrontier:
+    def test_hand_built_front(self, candidates):
+        front = pareto_frontier(candidates)
+        assert [p.architecture for p in front] == ["C", "B", "D"]
+
+    def test_mask_aligns_with_input(self, candidates):
+        mask = pareto_mask(candidates)
+        assert list(mask) == [False, True, True, True, False]
+
+    def test_duplicate_points_both_kept(self):
+        twins = [
+            _point("twin1", ptot=1e-4, frequency=10e6, area=100.0),
+            _point("twin2", ptot=1e-4, frequency=10e6, area=100.0),
+        ]
+        # Equal points do not dominate each other (no strict improvement).
+        assert len(pareto_frontier(twins)) == 2
+
+    def test_all_infeasible_gives_empty_front(self):
+        points = [
+            _point("x", ptot=None, frequency=1e6, area=1.0, feasible=False)
+        ]
+        assert pareto_frontier(points) == []
+
+    def test_single_objective_reduces_to_argmin(self, candidates):
+        front = pareto_frontier(candidates, objectives=(("ptot_or_inf", "min"),))
+        assert [p.architecture for p in front] == ["C"]
+
+    def test_bad_sense_rejected(self, candidates):
+        with pytest.raises(ValueError, match="min/max"):
+            pareto_frontier(candidates, objectives=(("ptot_or_inf", "best"),))
+
+
+class TestRanking:
+    def test_cheapest_first_infeasible_last(self, candidates):
+        ranked = rank_points(candidates)
+        assert [p.architecture for p in ranked] == ["C", "B", "A", "D", "E"]
+
+
+class TestReport:
+    def test_report_contents(self, candidates):
+        text = report(candidates, top=3)
+        assert "Pareto frontier" in text
+        assert "C" in text and "infeasible" in text.lower()
+        # The frontier members shown in the top-3 carry the mark.
+        marked = [
+            line for line in text.splitlines() if line.lstrip().startswith(("1 *", "2 *"))
+        ]
+        assert marked, text
+
+    def test_report_counts(self, candidates):
+        text = report(candidates, top=10)
+        assert "5 candidates: 4 feasible, 1 infeasible" in text

@@ -1,0 +1,68 @@
+"""Parallel executor: serial/parallel parity and chunking behaviour."""
+
+import pytest
+
+from repro import ArchitectureParameters
+from repro.explore.executor import resolve_jobs, run_numerical, solve_point
+from repro.explore.scenario import DesignPoint
+
+
+@pytest.fixture
+def mixed_points(wallace_arch, tech_ll):
+    """Feasible interior points plus one that cannot close timing."""
+    impossible = ArchitectureParameters(
+        name="impossible", n_cells=100, activity=0.1,
+        logical_depth=100000, capacitance=10e-15,
+    )
+    frequencies = [8e6, 16e6, 31.25e6, 62.5e6]
+    points = [DesignPoint(wallace_arch, tech_ll, f) for f in frequencies]
+    points.append(DesignPoint(impossible, tech_ll, 31.25e6))
+    return points
+
+
+class TestResolveJobs:
+    def test_defaults_to_cpu_count(self):
+        assert resolve_jobs(None, 100) >= 1
+
+    def test_capped_by_task_count(self):
+        assert resolve_jobs(8, 3) == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0, 5)
+
+
+class TestSolvePoint:
+    def test_feasible_returns_result(self, wallace_arch, tech_ll):
+        result, reason = solve_point((wallace_arch, tech_ll, 31.25e6))
+        assert result is not None and reason == ""
+        assert result.ptot > 0
+
+    def test_infeasible_returns_reason(self, tech_ll):
+        impossible = ArchitectureParameters(
+            name="impossible", n_cells=100, activity=0.1,
+            logical_depth=100000, capacitance=10e-15,
+        )
+        result, reason = solve_point((impossible, tech_ll, 31.25e6))
+        assert result is None and reason != ""
+
+
+class TestRunNumerical:
+    def test_serial_preserves_order(self, mixed_points):
+        outcomes = run_numerical(mixed_points, jobs=1)
+        assert len(outcomes) == len(mixed_points)
+        feasible = [result is not None for result, _ in outcomes]
+        assert feasible == [True, True, True, True, False]
+
+    def test_parallel_matches_serial(self, mixed_points):
+        # Repeat the point list so the batch crosses PARALLEL_THRESHOLD
+        # and actually exercises the pool.
+        points = mixed_points * 5
+        serial = run_numerical(points, jobs=1)
+        parallel = run_numerical(points, jobs=2, chunk_size=3)
+        assert len(parallel) == len(serial)
+        for (s_result, s_reason), (p_result, p_reason) in zip(serial, parallel):
+            assert (s_result is None) == (p_result is None)
+            assert s_reason == p_reason
+            if s_result is not None:
+                assert p_result.ptot == pytest.approx(s_result.ptot, rel=1e-12)

@@ -1,0 +1,128 @@
+"""Scenario spec: expansion, JSON round-trip, content hashing."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.technology import ST_CMOS09_LL, Technology
+from repro.explore.scenario import (
+    FrequencyGrid,
+    Scenario,
+    TransformStep,
+    demo_scenario,
+    parallelize_step,
+    pipeline_step,
+    sequentialize_step,
+)
+
+
+class TestTransformStep:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown transform op"):
+            TransformStep("fold")
+
+    def test_pipeline_step_applies(self, wallace_arch):
+        step = pipeline_step(2)
+        transformed = step.apply(wallace_arch)
+        assert "pipe2" in transformed.name
+        assert transformed.logical_depth < wallace_arch.logical_depth
+
+    def test_round_trip(self):
+        for step in (
+            pipeline_step(4, style="diagonal"),
+            parallelize_step(2, n_outputs=16),
+            sequentialize_step(16),
+        ):
+            assert TransformStep.from_dict(step.to_dict()) == step
+
+
+class TestFrequencyGrid:
+    def test_constructors(self):
+        assert len(FrequencyGrid.linear(1e6, 9e6, 9)) == 9
+        assert len(FrequencyGrid.logspace(1e6, 64e6, 7)) == 7
+        assert list(FrequencyGrid.single(31.25e6)) == [31.25e6]
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            FrequencyGrid(())
+        with pytest.raises(ValueError):
+            FrequencyGrid((1e6, -2e6))
+
+    def test_from_dict_spec_form(self):
+        grid = FrequencyGrid.from_dict(
+            {"start": 1e6, "stop": 4e6, "points": 4, "spacing": "linear"}
+        )
+        assert grid.values == (1e6, 2e6, 3e6, 4e6)
+
+    def test_round_trip_is_bit_exact(self):
+        grid = FrequencyGrid.logspace(2e6, 64e6, 13)
+        assert FrequencyGrid.from_dict(grid.to_dict()) == grid
+
+
+class TestScenario:
+    def test_size_and_expand_agree(self):
+        scenario = demo_scenario(frequency_points=5)
+        points = scenario.expand()
+        assert len(points) == scenario.size == 2 * 4 * 3 * 5
+
+    def test_expansion_applies_chains(self, wallace_arch, tech_ll):
+        scenario = Scenario(
+            name="chained",
+            architectures=(wallace_arch,),
+            technologies=(tech_ll,),
+            frequencies=FrequencyGrid.single(31.25e6),
+            transform_chains=((), (pipeline_step(2), parallelize_step(2))),
+        )
+        names = [p.architecture.name for p in scenario.expand()]
+        assert names[0] == wallace_arch.name
+        assert "pipe2" in names[1] and "par2" in names[1]
+
+    def test_json_round_trip_exact(self):
+        scenario = demo_scenario(frequency_points=7)
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        assert restored.content_hash() == scenario.content_hash()
+
+    def test_from_dict_accepts_flavour_labels(self, wallace_arch):
+        payload = Scenario(
+            name="labels",
+            architectures=(wallace_arch,),
+            technologies=(ST_CMOS09_LL,),
+            frequencies=FrequencyGrid.single(31.25e6),
+        ).to_dict()
+        payload["technologies"] = ["LL"]
+        restored = Scenario.from_dict(payload)
+        assert restored.technologies == (ST_CMOS09_LL,)
+
+    def test_content_hash_tracks_every_field(self):
+        base = demo_scenario(frequency_points=5)
+        variants = [
+            dataclasses.replace(base, name="renamed"),
+            dataclasses.replace(
+                base, frequencies=FrequencyGrid.logspace(2e6, 64e6, 6)
+            ),
+            dataclasses.replace(base, transform_chains=((),)),
+            dataclasses.replace(
+                base,
+                technologies=(
+                    Technology(
+                        name="custom", io=1e-6, zeta=6e-12, alpha=1.7,
+                        n=1.3, vdd_nominal=1.1, vth0_nominal=0.3,
+                    ),
+                ),
+            ),
+        ]
+        hashes = {base.content_hash()} | {v.content_hash() for v in variants}
+        assert len(hashes) == 1 + len(variants)
+
+    def test_empty_axes_rejected(self, wallace_arch, tech_ll):
+        grid = FrequencyGrid.single(31.25e6)
+        with pytest.raises(ValueError):
+            Scenario("s", (), (tech_ll,), grid)
+        with pytest.raises(ValueError):
+            Scenario("s", (wallace_arch,), (), grid)
+        with pytest.raises(ValueError):
+            Scenario("s", (wallace_arch,), (tech_ll,), grid, transform_chains=())
+
+    def test_demo_scenario_is_large_enough(self):
+        assert demo_scenario().size >= 1000

@@ -1,0 +1,143 @@
+"""Vectorized-vs-scalar parity of the Eq. 9–13 batch kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.closed_form import (
+    InfeasibleConstraintError,
+    closed_form_breakdown,
+    closed_form_optimum,
+    ptot_eq13,
+)
+from repro.core.constraint import chi_for_architecture
+from repro.explore.vectorized import (
+    FALLBACK_MARGIN,
+    chi_batch,
+    closed_form_batch,
+)
+
+#: A frequency grid wide enough to span every regime: deep interior,
+#: the Eq. 7 fit-range overshoot at low f, the fallback band and the
+#: infeasible region at high f.
+FREQUENCIES = np.geomspace(0.5e6, 2e9, 60)
+
+
+@pytest.fixture
+def batch(wallace_arch, tech_ll):
+    arch = wallace_arch
+    return arch, closed_form_batch(
+        tech_ll,
+        n_cells=arch.n_cells,
+        activity=arch.activity,
+        logical_depth=arch.logical_depth,
+        capacitance=arch.capacitance,
+        frequency=FREQUENCIES,
+        io_factor=arch.io_factor,
+        zeta_factor=arch.zeta_factor,
+    )
+
+
+class TestChiBatch:
+    def test_matches_scalar_chi(self, wallace_arch, tech_ll):
+        values = chi_batch(
+            tech_ll,
+            wallace_arch.logical_depth,
+            FREQUENCIES,
+            wallace_arch.zeta_factor,
+        )
+        for frequency, value in zip(FREQUENCIES, values):
+            scalar = chi_for_architecture(wallace_arch, tech_ll, frequency)
+            assert value == pytest.approx(scalar, rel=1e-12)
+
+    def test_broadcasts_frequency_against_depth(self, tech_ll):
+        grid = chi_batch(
+            tech_ll,
+            np.array([[17.0], [61.0]]),
+            FREQUENCIES[np.newaxis, :],
+        )
+        assert grid.shape == (2, len(FREQUENCIES))
+        # χ grows with both depth and frequency.
+        assert np.all(np.diff(grid, axis=1) > 0)
+        assert np.all(grid[1] > grid[0])
+
+
+class TestRegimeClassification:
+    def test_grid_spans_all_regimes(self, batch):
+        _, result = batch
+        assert result.n_feasible > 0
+        assert result.n_fallback > 0
+        assert result.n_feasible < result.size  # some infeasible points
+
+    def test_infeasible_matches_scalar_exceptions(self, batch, tech_ll):
+        arch, result = batch
+        for index, frequency in enumerate(FREQUENCIES):
+            if result.feasible[index]:
+                closed_form_breakdown(arch, tech_ll, frequency)
+            else:
+                with pytest.raises(InfeasibleConstraintError):
+                    closed_form_breakdown(arch, tech_ll, frequency)
+                assert np.isnan(result.ptot[index])
+
+    def test_near_boundary_points_are_flagged(self, batch):
+        _, result = batch
+        near_boundary = result.feasible & (result.margin < FALLBACK_MARGIN)
+        assert np.all(result.needs_fallback[near_boundary])
+
+
+class TestClosedFormParity:
+    def test_operating_point_parity(self, batch, tech_ll):
+        """Vdd*, Vth*, Pdyn, Pstat, Ptot agree with closed_form_optimum
+        to 1e-9 relative on every feasible point (interior and flagged:
+        the scalar chain uses the same fixed Eq. 7 fit)."""
+        arch, result = batch
+        checked = 0
+        for index, frequency in enumerate(FREQUENCIES):
+            if not result.feasible[index]:
+                continue
+            scalar = closed_form_optimum(arch, tech_ll, frequency)
+            assert result.vdd[index] == pytest.approx(scalar.point.vdd, rel=1e-9)
+            assert result.vth[index] == pytest.approx(scalar.point.vth, rel=1e-9)
+            assert result.pdyn[index] == pytest.approx(scalar.point.pdyn, rel=1e-9)
+            assert result.pstat[index] == pytest.approx(scalar.point.pstat, rel=1e-9)
+            assert result.ptot[index] == pytest.approx(scalar.ptot, rel=1e-9)
+            checked += 1
+        assert checked >= 10
+
+    def test_eq13_column_parity(self, batch, tech_ll):
+        arch, result = batch
+        for index, frequency in enumerate(FREQUENCIES):
+            if result.feasible[index]:
+                scalar = ptot_eq13(arch, tech_ll, frequency)
+                assert result.ptot_eq13[index] == pytest.approx(scalar, rel=1e-9)
+
+    def test_parity_across_architecture_axis(self, tech_ll, paper_frequency):
+        """Broadcast over an (N, a, LD) grid at fixed frequency."""
+        from repro import ArchitectureParameters
+
+        n_cells = np.array([290.0, 608.0, 729.0, 2939.0])
+        activity = np.array([2.9152, 0.5056, 0.2976, 0.0832])
+        depth = np.array([224.0, 61.0, 17.0, 4.75])
+        result = closed_form_batch(
+            tech_ll,
+            n_cells=n_cells,
+            activity=activity,
+            logical_depth=depth,
+            capacitance=70e-15,
+            frequency=paper_frequency,
+            io_factor=18.0,
+            zeta_factor=0.2,
+        )
+        for index in range(len(n_cells)):
+            arch = ArchitectureParameters(
+                name=f"row{index}",
+                n_cells=n_cells[index],
+                activity=activity[index],
+                logical_depth=depth[index],
+                capacitance=70e-15,
+                io_factor=18.0,
+                zeta_factor=0.2,
+            )
+            if not result.feasible[index]:
+                continue
+            scalar = closed_form_optimum(arch, tech_ll, paper_frequency)
+            assert result.ptot[index] == pytest.approx(scalar.ptot, rel=1e-9)

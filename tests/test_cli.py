@@ -69,6 +69,51 @@ class TestExportVerilog:
         assert "module wallace16 (" in target.read_text()
 
 
+class TestExplore:
+    def test_demo_sweep(self, tmp_path, capsys):
+        code = main([
+            "explore", "--frequency-points", "3", "--top", "5",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "demo-multiplier-space" in out
+        assert "Pareto frontier" in out
+        assert "cache stored" in out
+
+    def test_cache_hit_on_rerun(self, tmp_path, capsys):
+        args = [
+            "explore", "--frequency-points", "3", "--jobs", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+
+    def test_scenario_file_round_trip(self, tmp_path, capsys):
+        scenario_path = tmp_path / "scenario.json"
+        assert main([
+            "explore", "--frequency-points", "3", "--dry-run",
+            "--save-scenario", str(scenario_path),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "explore", str(scenario_path), "--no-cache", "--jobs", "1",
+            "--top", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "candidates" in out and "cache" not in out
+
+    def test_dry_run_reports_size_and_hash(self, capsys):
+        assert main(["explore", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "1008 candidates" in out
+        assert "content hash" in out
+
+
 class TestMisc:
     def test_characterize(self, capsys):
         assert main(["characterize", "LL"]) == 0

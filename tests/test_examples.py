@@ -32,6 +32,13 @@ def test_architecture_exploration():
     assert "crossover" in out.lower() or "MHz" in out
 
 
+def test_design_space_exploration():
+    out = _run("design_space_exploration.py")
+    assert "cache hit = True" in out
+    assert "Pareto frontier" in out
+    assert "Selection answer" in out
+
+
 def test_technology_selection():
     out = _run("technology_selection.py")
     assert "Best flavour" in out

@@ -8,22 +8,46 @@ run at frequency f, what supply/threshold pair minimises its total
 (dynamic + static) power, and how do architecture and technology choices
 move that minimum?**
 
-Quick start::
+The one public door to that question is :class:`Study` — a fluent
+builder that compiles to an exploration scenario, dispatches through the
+solver registry (``"auto"`` rides the vectorized Eq. 9–13 kernel with
+exact-numerical fallback), and returns a uniform :class:`ResultSet`::
 
-    from repro import ST_CMOS09_LL, ArchitectureParameters, numerical_optimum
+    from repro import ArchitectureParameters, Study
 
     wallace = ArchitectureParameters(
         name="wallace16", n_cells=729, activity=0.2976,
         logical_depth=17, capacitance=70e-15,
+        io_factor=18.0, zeta_factor=0.2,
     )
-    result = numerical_optimum(wallace, ST_CMOS09_LL, frequency=31.25e6)
-    print(result.describe())
+    answer = (
+        Study("quickstart")
+        .architectures(wallace)
+        .technologies("ULL", "LL", "HS")
+        .frequencies(31.25e6)
+        .run()
+    )
+    print(answer.best().describe())
+    print(answer.table(top=5))
+
+Swap ``.solver("numerical")`` for the exact scipy reference,
+``.solver("bounded", vth_max=0.45)`` for practical voltage caps, or
+``.frequency_range(2e6, 64e6, 42)`` + ``.transforms(...)`` +
+``.cached()`` for a thousand-candidate cached sweep — same four lines.
+The scalar entry points (``numerical_optimum``, ``closed_form_optimum``,
+``evaluate_candidates``, …) remain available for paper-fidelity work and
+as the numerics underneath the solvers.
 
 Sub-packages
 ------------
 ``repro.core``
     The paper's analytical model (Eqs. 1–13), numerical reference
-    optimiser, architecture transforms, selection and sensitivity tools.
+    optimiser, architecture transforms, selection shims and sensitivity
+    tools.
+``repro.solvers``
+    The :class:`Solver` protocol and registry unifying the five solve
+    paths (closed form, linearized, numerical, vectorized, bounded) plus
+    the ``"auto"`` policy behind one signature.
 ``repro.explore``
     Design-space exploration engine: declarative scenarios, vectorized
     Eq. 13 batch evaluation, parallel exact-numerical fallback, result
@@ -37,11 +61,51 @@ Sub-packages
 ``repro.characterization``
     Synthetic-SPICE technology characterisation (Io, ζ, α, n fits).
 ``repro.experiments``
-    Regeneration of every table and figure of the paper.
+    Regeneration of every table and figure of the paper (all through
+    ``Study`` batches).
 """
 
 from .core import *  # noqa: F401,F403 -- the core namespace is the public API
 from .core import __all__ as _core_all
 
+# NOTE: the name ``explore`` is intentionally *not* from-imported: the
+# subpackage module is callable (see repro/explore/__init__.py), so
+# ``from repro import explore; explore(scenario)`` works while
+# ``repro.explore.Scenario`` keeps normal module semantics.
+from . import explore  # noqa: F401
+from .explore import (
+    ExplorationResult,
+    FrequencyGrid,
+    Scenario,
+    TransformStep,
+    demo_scenario,
+    pareto_frontier,
+)
+from .solvers import (
+    Solver,
+    SolverError,
+    available_solvers,
+    get_solver,
+    register_solver,
+)
+from .study import Record, ResultSet, Study
+
 __version__ = "1.0.0"
-__all__ = list(_core_all) + ["__version__"]
+__all__ = list(_core_all) + [
+    "ExplorationResult",
+    "FrequencyGrid",
+    "Record",
+    "ResultSet",
+    "Scenario",
+    "Solver",
+    "SolverError",
+    "Study",
+    "TransformStep",
+    "available_solvers",
+    "demo_scenario",
+    "explore",
+    "get_solver",
+    "pareto_frontier",
+    "register_solver",
+    "__version__",
+]

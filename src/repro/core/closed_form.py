@@ -216,7 +216,7 @@ def ptot_eq13_adaptive(
         chi_value = chi_for_architecture(arch, tech, frequency)
     fit = paper_fit(tech.alpha)
     for _ in range(max_iterations):
-        margin = _require_feasible(chi_value, fit, f"eq13_adaptive[{arch.name}]")
+        _require_feasible(chi_value, fit, f"eq13_adaptive[{arch.name}]")
         vdd = optimal_vdd(
             arch.activity,
             arch.capacitance,

@@ -1,20 +1,31 @@
 """Architecture and technology selection utilities (paper Sections 4–5).
 
-The paper's punchline is a *selection methodology*: evaluate Eq. 13 for
-every candidate (architecture, technology) pair at the target frequency
-and pick the minimum.  These helpers wrap that loop and keep infeasible
-candidates (χA ≥ 1) in the report instead of silently dropping them,
-because "this architecture cannot reach f in this technology" is itself a
-selection-relevant answer.
+.. deprecated::
+    This module is a thin compatibility shim over :class:`repro.study.
+    Study`, the unified facade every selection question now routes
+    through (``Study(...).solver("numerical").run()``).  The helpers keep
+    their historical signatures and numerics — ``evaluate_candidates``
+    still returns :class:`Candidate` objects with infeasible pairs kept
+    in the report, because "this architecture cannot reach f in this
+    technology" is itself a selection-relevant answer — but new code
+    should ask ``Study`` directly and work with its :class:`~repro.study.
+    ResultSet`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from .architecture import ArchitectureParameters
-from .optimum import OptimizationResult
+from .optimum import OperatingPoint, OptimizationResult
 from .technology import Technology
+
+#: The provenance tag :func:`repro.core.numerical.numerical_optimum` has
+#: always stamped on its operating points; the shim restores it when
+#: rebuilding results from flat Study records so equality with a direct
+#: solver call is preserved.
+_NUMERICAL_METHOD_TAG = "numerical-1d"
 
 
 @dataclass(frozen=True)
@@ -41,6 +52,95 @@ class Candidate:
         return self.result.ptot if self.result is not None else float("inf")
 
 
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Per-helper deprecation warning attributed to the *caller's* frame.
+
+    stacklevel 3 = this helper → the public selection function → the
+    user's call site.
+    """
+    warnings.warn(
+        f"repro.core.selection.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _evaluate(
+    architectures: list[ArchitectureParameters],
+    technologies: list[Technology],
+    frequency: float,
+    jobs: int | None = 1,
+) -> list[Candidate]:
+    """The shared, non-warning evaluation core behind every helper."""
+    # Historical contract: an empty candidate axis yields an empty
+    # report, not an error (Study itself refuses to compile an empty
+    # problem).
+    if not architectures or not technologies:
+        return []
+    # Imported lazily: repro.study depends on repro.core, so a
+    # module-level import here would be circular.
+    from ..study import Study
+
+    resultset = (
+        Study("selection")
+        .architectures(*architectures)
+        .technologies(*technologies)
+        .frequencies(frequency)
+        .solver("numerical")
+        .jobs(jobs)
+        .run()
+    )
+    # ResultSet records follow Scenario.expand() order (architecture-
+    # major); the historical contract here is technology-major.  The
+    # flat records carry the exact solver floats, and the method tag is
+    # restored to numerical_optimum's historical value, so the rebuilt
+    # OptimizationResult compares equal to a direct solver call.
+    n_technologies = len(technologies)
+    candidates = []
+    for t_index, tech in enumerate(technologies):
+        for a_index, arch in enumerate(architectures):
+            record = resultset[a_index * n_technologies + t_index]
+            result = None
+            if record.feasible:
+                result = OptimizationResult(
+                    architecture=arch,
+                    technology=tech,
+                    frequency=frequency,
+                    point=OperatingPoint(
+                        vdd=record.vdd,
+                        vth=record.vth,
+                        pdyn=record.pdyn,
+                        pstat=record.pstat,
+                        method=_NUMERICAL_METHOD_TAG,
+                    ),
+                )
+            candidates.append(
+                Candidate(
+                    architecture=arch,
+                    technology=tech,
+                    result=result,
+                    reason=record.reason,
+                )
+            )
+    return candidates
+
+
+def _rank(candidates: list[Candidate]) -> list[Candidate]:
+    """Cheapest-first; +inf power sorts infeasible candidates last."""
+    return sorted(candidates, key=lambda candidate: candidate.ptot)
+
+
+def _require_feasible_winner(
+    ranked: list[Candidate], message: str
+) -> Candidate:
+    """The cheapest candidate, or ValueError listing every reason."""
+    winner = ranked[0]
+    if not winner.feasible:
+        reasons = "; ".join(candidate.reason for candidate in ranked)
+        raise ValueError(f"{message}: {reasons}")
+    return winner
+
+
 def evaluate_candidates(
     architectures: list[ArchitectureParameters],
     technologies: list[Technology],
@@ -49,34 +149,22 @@ def evaluate_candidates(
 ) -> list[Candidate]:
     """Numerically evaluate every (architecture, technology) pair.
 
+    .. deprecated:: use ``Study(...).solver("numerical").run()`` instead.
+
     The numerical solver is used (not Eq. 13) because selection is the
     end-user operation and should rest on the reference model; Eq. 13
     agreement is separately validated by the Table 1 experiments.
 
-    The O(A×T) loop is delegated to the design-space exploration engine
-    (:mod:`repro.explore.engine`), which chunks the scalar solves over a
-    ``multiprocessing`` pool; pass ``jobs`` to parallelise (``None``
-    uses every CPU, the default 1 keeps the historical serial path).
+    The O(A×T) loop is delegated to the :class:`repro.study.Study`
+    facade, which dispatches it through the exploration engine's
+    parallel executor; pass ``jobs`` to parallelise (``None`` uses every
+    CPU, the default 1 keeps the historical serial path).
     """
-    # Imported lazily: repro.explore depends on repro.core, so a
-    # module-level import here would be circular.
-    from ..explore.engine import evaluate_points
-    from ..explore.scenario import DesignPoint
-
-    points = [
-        DesignPoint(architecture=arch, technology=tech, frequency=frequency)
-        for tech in technologies
-        for arch in architectures
-    ]
-    return [
-        Candidate(
-            architecture=outcome.point.architecture,
-            technology=outcome.point.technology,
-            result=outcome.result,
-            reason=outcome.reason,
-        )
-        for outcome in evaluate_points(points, method="numerical", jobs=jobs)
-    ]
+    _warn_deprecated(
+        "evaluate_candidates",
+        'repro.Study(...).solver("numerical").run()',
+    )
+    return _evaluate(architectures, technologies, frequency, jobs=jobs)
 
 
 def rank_architectures(
@@ -84,9 +172,12 @@ def rank_architectures(
     tech: Technology,
     frequency: float,
 ) -> list[Candidate]:
-    """Architectures sorted by optimal total power on one technology."""
-    candidates = evaluate_candidates(architectures, [tech], frequency)
-    return sorted(candidates, key=lambda candidate: candidate.ptot)
+    """Architectures sorted by optimal total power on one technology.
+
+    .. deprecated:: use ``Study(...).run().rank()`` instead.
+    """
+    _warn_deprecated("rank_architectures", "repro.Study(...).run().rank()")
+    return _rank(_evaluate(architectures, [tech], frequency))
 
 
 def best_architecture(
@@ -97,16 +188,15 @@ def best_architecture(
     """The cheapest feasible architecture on one technology.
 
     Raises ValueError when nothing is feasible, listing the reasons.
+
+    .. deprecated:: use ``Study(...).run().best()`` instead.
     """
-    ranked = rank_architectures(architectures, tech, frequency)
-    winner = ranked[0]
-    if not winner.feasible:
-        reasons = "; ".join(candidate.reason for candidate in ranked)
-        raise ValueError(
-            f"no architecture is feasible at {frequency / 1e6:g} MHz on "
-            f"{tech.name}: {reasons}"
-        )
-    return winner
+    _warn_deprecated("best_architecture", "repro.Study(...).run().best()")
+    return _require_feasible_winner(
+        _rank(_evaluate(architectures, [tech], frequency)),
+        f"no architecture is feasible at {frequency / 1e6:g} MHz on "
+        f"{tech.name}",
+    )
 
 
 def rank_technologies(
@@ -114,9 +204,12 @@ def rank_technologies(
     technologies: list[Technology],
     frequency: float,
 ) -> list[Candidate]:
-    """Technologies sorted by optimal total power for one architecture."""
-    candidates = evaluate_candidates([arch], technologies, frequency)
-    return sorted(candidates, key=lambda candidate: candidate.ptot)
+    """Technologies sorted by optimal total power for one architecture.
+
+    .. deprecated:: use ``Study(...).run().rank()`` instead.
+    """
+    _warn_deprecated("rank_technologies", "repro.Study(...).run().rank()")
+    return _rank(_evaluate([arch], technologies, frequency))
 
 
 def best_technology(
@@ -124,16 +217,16 @@ def best_technology(
     technologies: list[Technology],
     frequency: float,
 ) -> Candidate:
-    """The cheapest feasible technology flavour for one architecture."""
-    ranked = rank_technologies(arch, technologies, frequency)
-    winner = ranked[0]
-    if not winner.feasible:
-        reasons = "; ".join(candidate.reason for candidate in ranked)
-        raise ValueError(
-            f"{arch.name} is infeasible at {frequency / 1e6:g} MHz on every "
-            f"candidate technology: {reasons}"
-        )
-    return winner
+    """The cheapest feasible technology flavour for one architecture.
+
+    .. deprecated:: use ``Study(...).run().best()`` instead.
+    """
+    _warn_deprecated("best_technology", "repro.Study(...).run().best()")
+    return _require_feasible_winner(
+        _rank(_evaluate([arch], technologies, frequency)),
+        f"{arch.name} is infeasible at {frequency / 1e6:g} MHz on every "
+        f"candidate technology",
+    )
 
 
 def selection_matrix(
@@ -142,8 +235,12 @@ def selection_matrix(
     frequency: float,
     jobs: int | None = 1,
 ) -> dict[tuple[str, str], Candidate]:
-    """Full (architecture × technology) map keyed by ``(arch, tech)`` names."""
-    candidates = evaluate_candidates(architectures, technologies, frequency, jobs=jobs)
+    """Full (architecture × technology) map keyed by ``(arch, tech)`` names.
+
+    .. deprecated:: use ``Study(...).run()`` and filter the records.
+    """
+    _warn_deprecated("selection_matrix", "repro.Study(...).run()")
+    candidates = _evaluate(architectures, technologies, frequency, jobs=jobs)
     return {
         (candidate.architecture.name, candidate.technology.name): candidate
         for candidate in candidates

@@ -18,7 +18,6 @@ fast) but accepts ``solver="numerical"`` for verification.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable
 
 import numpy as np
 

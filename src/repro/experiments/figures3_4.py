@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from ..generators.array_mult import build_array_multiplier
 from ..sim.activity import ActivityReport, measure_activity
-from ..sta.analysis import analyze_timing, critical_path_length
+from ..sta.analysis import analyze_timing
 from .report import render_table
 
 

@@ -26,12 +26,12 @@ from ..core.closed_form import (
     ptot_eq13,
     ptot_eq13_adaptive,
 )
-from ..core.numerical import numerical_optimum
 from ..core.optimum import approximation_error_percent
 from ..core.technology import ST_CMOS09_LL, Technology
 from ..generators.registry import MULTIPLIER_NAMES, build_multiplier
 from ..sim.activity import measure_activity
 from ..sim.parameters import extract_parameters
+from ..study import Study
 from .paper_data import PAPER_FREQUENCY, TABLE1_BY_NAME, TABLE1_ROWS
 from .report import microwatts, render_table
 
@@ -115,47 +115,71 @@ class Table1Result:
         )
 
 
-def _solve_row(
-    arch: ArchitectureParameters,
+def _infeasible_row(arch: ArchitectureParameters) -> Table1Row:
+    return Table1Row(
+        name=arch.name, n_cells=arch.n_cells, area=arch.area,
+        activity=arch.activity, logical_depth=arch.logical_depth,
+        vdd=float("nan"), vth=float("nan"), pdyn=float("nan"),
+        pstat=float("nan"), ptot=float("nan"), ptot_eq13=float("nan"),
+        error_percent=float("nan"), feasible=False,
+    )
+
+
+def _solve_rows(
+    archs: list[ArchitectureParameters],
     tech: Technology,
     frequency: float,
     adaptive_fit: bool = False,
-) -> Table1Row:
-    """Run both solvers for one architecture and package the row.
+) -> list[Table1Row]:
+    """Solve every architecture in one Study run and package the rows.
 
-    ``adaptive_fit`` switches Eq. 13 to the self-consistent linearisation
-    range (used by native mode, whose deep sequential circuits push the
-    optimum above the paper's 0.3-1.0 V window).
+    The numerical reference column comes from a single
+    ``Study(...).solver("numerical")`` batch; the Eq. 13 column stays a
+    per-row closed-form evaluation (it is a *prediction* being compared
+    against that reference, not a solve path).  ``adaptive_fit`` switches
+    Eq. 13 to the self-consistent linearisation range (used by native
+    mode, whose deep sequential circuits push the optimum above the
+    paper's 0.3-1.0 V window).
     """
-    try:
-        numerical = numerical_optimum(arch, tech, frequency)
-        if adaptive_fit:
-            eq13, _ = ptot_eq13_adaptive(arch, tech, frequency)
-        else:
-            eq13 = ptot_eq13(arch, tech, frequency)
-    except (InfeasibleConstraintError, ValueError):
-        return Table1Row(
-            name=arch.name, n_cells=arch.n_cells, area=arch.area,
-            activity=arch.activity, logical_depth=arch.logical_depth,
-            vdd=float("nan"), vth=float("nan"), pdyn=float("nan"),
-            pstat=float("nan"), ptot=float("nan"), ptot_eq13=float("nan"),
-            error_percent=float("nan"), feasible=False,
-        )
-    point = numerical.point
-    return Table1Row(
-        name=arch.name,
-        n_cells=arch.n_cells,
-        area=arch.area,
-        activity=arch.activity,
-        logical_depth=arch.logical_depth,
-        vdd=point.vdd,
-        vth=point.vth,
-        pdyn=point.pdyn,
-        pstat=point.pstat,
-        ptot=point.ptot,
-        ptot_eq13=eq13,
-        error_percent=approximation_error_percent(point.ptot, eq13),
+    resultset = (
+        Study("table1")
+        .architectures(*archs)
+        .technologies(tech)
+        .frequencies(frequency)
+        .solver("numerical")
+        .jobs(1)
+        .run()
     )
+    rows = []
+    for arch, record in zip(archs, resultset):
+        if not record.feasible:
+            rows.append(_infeasible_row(arch))
+            continue
+        try:
+            if adaptive_fit:
+                eq13, _ = ptot_eq13_adaptive(arch, tech, frequency)
+            else:
+                eq13 = ptot_eq13(arch, tech, frequency)
+        except (InfeasibleConstraintError, ValueError):
+            rows.append(_infeasible_row(arch))
+            continue
+        rows.append(
+            Table1Row(
+                name=arch.name,
+                n_cells=arch.n_cells,
+                area=arch.area,
+                activity=arch.activity,
+                logical_depth=arch.logical_depth,
+                vdd=record.vdd,
+                vth=record.vth,
+                pdyn=record.pdyn,
+                pstat=record.pstat,
+                ptot=record.ptot,
+                ptot_eq13=eq13,
+                error_percent=approximation_error_percent(record.ptot, eq13),
+            )
+        )
+    return rows
 
 
 def run_table1_calibrated(
@@ -163,11 +187,14 @@ def run_table1_calibrated(
     frequency: float = PAPER_FREQUENCY,
 ) -> Table1Result:
     """Regenerate Table 1 from the published (N, a, LDeff) + calibration."""
-    rows = []
-    for published in TABLE1_ROWS:
-        arch = calibrate_row(published, tech, frequency)
-        rows.append(_solve_row(arch, tech, frequency))
-    return Table1Result(mode="calibrated", technology=tech, rows=rows)
+    archs = [
+        calibrate_row(published, tech, frequency) for published in TABLE1_ROWS
+    ]
+    return Table1Result(
+        mode="calibrated",
+        technology=tech,
+        rows=_solve_rows(archs, tech, frequency),
+    )
 
 
 def run_table1_native(
@@ -180,13 +207,16 @@ def run_table1_native(
     """Regenerate Table 1 with zero paper inputs (full netlist flow)."""
     if tech is None:
         tech = native_technology("LL")
-    rows = []
+    archs = []
     for name in names or MULTIPLIER_NAMES:
         impl = build_multiplier(name)
         activity = measure_activity(impl, n_vectors=n_vectors, seed=seed)
-        arch = extract_parameters(impl, activity_report=activity, name=name)
-        rows.append(_solve_row(arch, tech, frequency, adaptive_fit=True))
-    return Table1Result(mode="native", technology=tech, rows=rows)
+        archs.append(extract_parameters(impl, activity_report=activity, name=name))
+    return Table1Result(
+        mode="native",
+        technology=tech,
+        rows=_solve_rows(archs, tech, frequency, adaptive_fit=True),
+    )
 
 
 def compare_to_published(result: Table1Result) -> str:

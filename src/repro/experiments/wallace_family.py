@@ -21,9 +21,9 @@ from dataclasses import dataclass
 
 from ..core.calibration import calibrate_from_total
 from ..core.closed_form import ptot_eq13
-from ..core.numerical import numerical_optimum
 from ..core.optimum import approximation_error_percent
 from ..core.technology import ST_CMOS09_HS, ST_CMOS09_ULL, Technology
+from ..study import Study
 from .paper_data import (
     PAPER_FREQUENCY,
     TABLE1_BY_NAME,
@@ -96,31 +96,50 @@ class WallaceFamilyResult:
 def _run_family(
     table_name: str, published_rows, tech: Technology
 ) -> WallaceFamilyResult:
-    rows = []
+    archs = []
     for published in published_rows:
         table1 = TABLE1_BY_NAME[published["name"]]
-        arch = calibrate_from_total(
-            name=published["name"],
-            n_cells=table1.n_cells,
-            activity=table1.activity,
-            logical_depth=table1.logical_depth,
-            vdd=published["vdd"],
-            vth=published["vth"],
-            ptot=published["ptot"],
-            tech=tech,
-            frequency=PAPER_FREQUENCY,
-            area=table1.area,
+        archs.append(
+            calibrate_from_total(
+                name=published["name"],
+                n_cells=table1.n_cells,
+                activity=table1.activity,
+                logical_depth=table1.logical_depth,
+                vdd=published["vdd"],
+                vth=published["vth"],
+                ptot=published["ptot"],
+                tech=tech,
+                frequency=PAPER_FREQUENCY,
+                area=table1.area,
+            )
         )
-        numerical = numerical_optimum(arch, tech, PAPER_FREQUENCY)
+    # One Study batch for the whole family; records align with ``archs``.
+    resultset = (
+        Study(table_name.lower().replace(" ", ""))
+        .architectures(*archs)
+        .technologies(tech)
+        .frequencies(PAPER_FREQUENCY)
+        .solver("numerical")
+        .jobs(1)
+        .run()
+    )
+    rows = []
+    for published, arch, record in zip(published_rows, archs, resultset):
+        if not record.feasible:
+            # The Wallace family is feasible on every published flavour;
+            # an infeasible calibration is a data error, not a result.
+            raise ValueError(
+                f"{table_name}: {record.architecture} infeasible — {record.reason}"
+            )
         eq13 = ptot_eq13(arch, tech, PAPER_FREQUENCY)
         rows.append(
             WallaceFamilyRow(
                 name=published["name"],
-                vdd=numerical.point.vdd,
-                vth=numerical.point.vth,
-                ptot=numerical.ptot,
+                vdd=record.vdd,
+                vth=record.vth,
+                ptot=record.ptot,
                 ptot_eq13=eq13,
-                error_percent=approximation_error_percent(numerical.ptot, eq13),
+                error_percent=approximation_error_percent(record.ptot, eq13),
                 published_vdd=published["vdd"],
                 published_vth=published["vth"],
                 published_ptot=published["ptot"],

@@ -26,6 +26,9 @@ one-at-a-time optimizer into a batch service:
     tabular report.
 """
 
+import sys as _sys
+from types import ModuleType as _ModuleType
+
 from .analysis import pareto_frontier, rank_points, report
 from .cache import ResultCache, content_hash
 from .engine import (
@@ -74,3 +77,21 @@ __all__ = [
     "run_numerical",
     "sequentialize_step",
 ]
+
+
+class _ExploreModule(_ModuleType):
+    """Make the subpackage itself callable as :func:`engine.explore`.
+
+    ``repro`` re-exports the engine entry point at the top level, but the
+    name ``explore`` is also this subpackage's binding on the parent
+    package — a plain function export would shadow the module and break
+    ``repro.explore.Scenario`` attribute access.  A callable module keeps
+    both contracts: ``from repro import explore; explore(scenario)`` and
+    ``import repro; repro.explore.Scenario``.
+    """
+
+    def __call__(self, *args, **kwargs):
+        return explore(*args, **kwargs)
+
+
+_sys.modules[__name__].__class__ = _ExploreModule

@@ -178,6 +178,25 @@ class EvaluationStats:
     def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationStats":
         return cls(**payload)
 
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Sequence["PointOutcome"], elapsed_seconds: float
+    ) -> "EvaluationStats":
+        """Tally one evaluated batch (shared by ``explore`` and ``Study``)."""
+        return cls(
+            n_candidates=len(outcomes),
+            n_feasible=sum(1 for o in outcomes if o.feasible),
+            n_vectorized=sum(
+                1 for o in outcomes if o.method == VECTORIZED_METHOD
+            ),
+            n_fallback=sum(
+                1
+                for o in outcomes
+                if o.method in ("numerical-fallback", "numerical")
+            ),
+            elapsed_seconds=elapsed_seconds,
+        )
+
     def describe(self) -> str:
         rate = self.n_candidates / self.elapsed_seconds if self.elapsed_seconds else float("inf")
         return (
@@ -381,24 +400,31 @@ def evaluate_points(
     return outcomes  # type: ignore[return-value]
 
 
-def _cache_key(scenario: Scenario, method: str) -> str:
+def cache_key_payload(scenario: Scenario) -> dict[str, Any]:
+    """Everything a cached sweep's numbers depend on, minus the solve path.
+
+    Shared by this engine's cache key and :class:`repro.study.Study`'s
+    registry-path key (each adds its own solve-path discriminator), so a
+    future invalidation input — a new kernel threshold, a schema bump —
+    is added once and moves every key.  The payload covers the sweep
+    itself, the payload schema, the package version (a proxy for
+    model-equation changes) and the kernel's fallback thresholds, so a
+    release that moves any of them misses the old entries instead of
+    serving stale results.
+    """
     from .. import __version__
     from .vectorized import FALLBACK_MARGIN, FIT_RANGE_TOLERANCE, VTH_FLOOR_NUT
 
-    # The key covers everything the stored numbers depend on: the sweep
-    # itself, the evaluation method, the payload schema, the package
-    # version (a proxy for model-equation changes) and the kernel's
-    # fallback thresholds — so a release that moves any of them misses
-    # the old entries instead of serving stale results.
-    return content_hash(
-        {
-            "scenario": scenario.to_dict(),
-            "method": method,
-            "schema": CACHE_SCHEMA_VERSION,
-            "version": __version__,
-            "fallback": [FALLBACK_MARGIN, FIT_RANGE_TOLERANCE, VTH_FLOOR_NUT],
-        }
-    )
+    return {
+        "scenario": scenario.to_dict(),
+        "schema": CACHE_SCHEMA_VERSION,
+        "version": __version__,
+        "fallback": [FALLBACK_MARGIN, FIT_RANGE_TOLERANCE, VTH_FLOOR_NUT],
+    }
+
+
+def _cache_key(scenario: Scenario, method: str) -> str:
+    return content_hash({**cache_key_payload(scenario), "method": method})
 
 
 def explore(
@@ -452,17 +478,7 @@ def explore(
     elapsed = time.perf_counter() - started
 
     point_results = [PointResult.from_outcome(o) for o in outcomes]
-    stats = EvaluationStats(
-        n_candidates=len(outcomes),
-        n_feasible=sum(1 for o in outcomes if o.feasible),
-        n_vectorized=sum(
-            1 for o in outcomes if o.method == VECTORIZED_METHOD
-        ),
-        n_fallback=sum(
-            1 for o in outcomes if o.method in ("numerical-fallback", "numerical")
-        ),
-        elapsed_seconds=elapsed,
-    )
+    stats = EvaluationStats.from_outcomes(outcomes, elapsed)
     cache_path = None
     if use_cache:
         cache_path = cache.put(

@@ -67,12 +67,10 @@ def sample_products(
     netlist = impl.netlist
     state = netlist.initial_state()
     sampled: list[int] = []
-    cycles = 0
     for a, b in operand_pairs:
         values = None
         for assignment in impl.operand_cycles(a, b):
             values, state = netlist.evaluate_cycle(assignment, state)
-            cycles += 1
         sampled.append(impl.read_product(values))
     return sampled
 

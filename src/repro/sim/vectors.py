@@ -16,7 +16,6 @@ activity, so this module makes them explicit and reproducible:
 from __future__ import annotations
 
 import random
-from typing import Iterator
 
 
 def uniform_pairs(width: int, count: int, seed: int = 2006) -> list[tuple[int, int]]:

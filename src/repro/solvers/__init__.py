@@ -1,0 +1,69 @@
+"""Unified solver registry (the dispatch layer under :class:`repro.study.Study`).
+
+One protocol, one registry, six built-in entries:
+
+=============== =============================================================
+``closed_form`` scalar Section 3 chain (Eqs. 9/10/8), one point at a time
+``linearized``  numerical optimum on the linearised constraint (ablation A4)
+``numerical``   exact numerical reference, parallel over a process pool
+``vectorized``  numpy Eq. 9–13 batch kernel, no scipy calls
+``bounded``     exact optimum under practical Vth/Vdd caps
+``auto``        vectorized kernel with exact-numerical fallback at the edges
+=============== =============================================================
+
+All of them honour the same contract (see :mod:`repro.solvers.base`):
+``solve(points, jobs=None, **options)`` returns one
+:class:`~repro.explore.engine.PointOutcome` per design point, in order,
+with infeasibility reported as data rather than raised.  Register your
+own with :func:`register_solver` and it becomes addressable from
+``Study(...).solver("your-name")`` and the CLI immediately.
+"""
+
+from .base import Solver, SolverError, check_options
+from .batch import AUTO_SOLVER, EngineSolver, NUMERICAL_SOLVER, VECTORIZED_SOLVER
+from .registry import (
+    available_solvers,
+    get_solver,
+    register_solver,
+    solver_summaries,
+    unregister_solver,
+)
+from .scalar import (
+    BOUNDED_SOLVER,
+    CLOSED_FORM_SOLVER,
+    LINEARIZED_SOLVER,
+    NUMERICAL_SCALAR_SOLVER,
+    ScalarSolver,
+)
+
+__all__ = [
+    "AUTO_SOLVER",
+    "BOUNDED_SOLVER",
+    "CLOSED_FORM_SOLVER",
+    "EngineSolver",
+    "LINEARIZED_SOLVER",
+    "NUMERICAL_SCALAR_SOLVER",
+    "NUMERICAL_SOLVER",
+    "ScalarSolver",
+    "Solver",
+    "SolverError",
+    "VECTORIZED_SOLVER",
+    "available_solvers",
+    "check_options",
+    "get_solver",
+    "register_solver",
+    "solver_summaries",
+    "unregister_solver",
+]
+
+for _solver in (
+    CLOSED_FORM_SOLVER,
+    LINEARIZED_SOLVER,
+    NUMERICAL_SOLVER,
+    NUMERICAL_SCALAR_SOLVER,
+    VECTORIZED_SOLVER,
+    BOUNDED_SOLVER,
+    AUTO_SOLVER,
+):
+    register_solver(_solver, overwrite=True)
+del _solver

@@ -1,0 +1,67 @@
+"""The :class:`Solver` protocol — one signature for every solve path.
+
+Historically the repository answered "which (Vdd, Vth) minimises total
+power at frequency f?" through five functions with five shapes:
+``closed_form_optimum`` and ``numerical_optimum`` (scalar, raising on
+infeasibility), ``numerical_optimum_linearized`` and ``bounded_optimum``
+(scalar with extra knobs), and the explore engine's ``evaluate_points``
+(batch, infeasibility-as-data).  A :class:`Solver` normalises all of them
+to one contract:
+
+    ``solve(points, jobs=None, **options) -> list[PointOutcome]``
+
+* ``points`` is any sequence of :class:`repro.explore.scenario.
+  DesignPoint`; the returned list is aligned with it, one outcome per
+  point, in order.
+* Infeasibility is **data, not an exception**: an infeasible point comes
+  back as a :class:`repro.explore.engine.PointOutcome` with ``result``
+  None and a human-readable ``reason``.
+* ``jobs`` is a parallelism *hint*; purely scalar solvers may ignore it.
+* ``options`` are solver-specific keywords (e.g. ``vth_max`` for the
+  bounded solver); solvers must reject unknown options loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..explore.engine import PointOutcome
+from ..explore.scenario import DesignPoint
+
+__all__ = ["Solver", "SolverError"]
+
+
+class SolverError(ValueError):
+    """Raised for solver-level misuse (unknown name, bad options)."""
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Anything that evaluates design points under the uniform contract.
+
+    Implementations carry a ``name`` (the registry key) and a one-line
+    ``summary`` used by CLI/API listings.
+    """
+
+    name: str
+    summary: str
+
+    def solve(
+        self,
+        points: Sequence[DesignPoint],
+        jobs: int | None = None,
+        **options,
+    ) -> list[PointOutcome]:
+        """Evaluate every point; outcomes align with ``points``."""
+        ...
+
+
+def check_options(solver_name: str, options, allowed: tuple[str, ...]) -> None:
+    """Reject option typos instead of silently ignoring them."""
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        allowed_text = ", ".join(allowed) if allowed else "none"
+        raise SolverError(
+            f"solver {solver_name!r} got unknown option(s) "
+            f"{', '.join(unknown)}; allowed: {allowed_text}"
+        )

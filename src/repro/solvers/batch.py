@@ -1,0 +1,70 @@
+"""Batch solve paths: the PR 1 engine behind the :class:`Solver` contract.
+
+These adapters route through :func:`repro.explore.engine.evaluate_points`
+so every ``Study`` run — and anything else that dispatches through the
+solver registry — gets the vectorized Eq. 9–13 kernel, the parallel
+exact-numerical executor, and the built-in vectorized-vs-scalar parity
+check for free.
+
+``vectorized``
+    The numpy closed-form kernel everywhere it is defined (the engine's
+    ``method="closed-form"``); no scipy calls at all.
+``numerical``
+    The exact reference solver for every point, chunked over a
+    ``multiprocessing`` pool (the engine's ``method="numerical"``).
+``auto``
+    The production policy: trust the vectorized kernel on the closed
+    form's home turf and re-solve every flagged point — near the
+    feasibility boundary ``1 − χA → 0``, near the Vth floor, outside the
+    Eq. 7 fit range — with the exact numerical solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..explore.engine import PointOutcome, evaluate_points
+from ..explore.scenario import DesignPoint
+from .base import check_options
+
+__all__ = ["EngineSolver", "AUTO_SOLVER", "NUMERICAL_SOLVER", "VECTORIZED_SOLVER"]
+
+
+@dataclass(frozen=True)
+class EngineSolver:
+    """One :func:`evaluate_points` method exposed as a registry solver."""
+
+    name: str
+    summary: str
+    engine_method: str
+
+    def solve(
+        self,
+        points: Sequence[DesignPoint],
+        jobs: int | None = None,
+        **options,
+    ) -> list[PointOutcome]:
+        check_options(self.name, options, ("parity_check",))
+        return evaluate_points(
+            points, method=self.engine_method, jobs=jobs, **options
+        )
+
+
+VECTORIZED_SOLVER = EngineSolver(
+    name="vectorized",
+    summary="numpy Eq. 9-13 batch kernel wherever the closed form is defined",
+    engine_method="closed-form",
+)
+
+NUMERICAL_SOLVER = EngineSolver(
+    name="numerical",
+    summary="exact numerical reference for every point (multiprocessing)",
+    engine_method="numerical",
+)
+
+AUTO_SOLVER = EngineSolver(
+    name="auto",
+    summary="vectorized kernel + exact-numerical fallback near the boundary",
+    engine_method="auto",
+)

@@ -1,0 +1,85 @@
+"""Name → :class:`Solver` registry.
+
+The registry is the single dispatch point of the :class:`repro.study.
+Study` facade and the CLI: every solve path — the paper's closed form,
+the linearised-constraint variant, the exact numerical reference, the
+vectorized batch kernel, the bounded extension and the ``"auto"`` policy
+— registers here under a stable name.  Third-party code can add its own
+solver (a different device model, a surrogate, a remote service) with
+:func:`register_solver` and immediately drive it through ``Study`` and
+the CLI without touching either.
+"""
+
+from __future__ import annotations
+
+from .base import Solver, SolverError
+
+__all__ = [
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "solver_summaries",
+    "unregister_solver",
+]
+
+_REGISTRY: dict[str, Solver] = {}
+
+
+def _normalise(name: str) -> str:
+    """The canonical registry key: ``-``/``_`` and case are equivalent."""
+    return name.replace("-", "_").lower()
+
+
+def register_solver(solver: Solver, overwrite: bool = False) -> Solver:
+    """Add ``solver`` under ``solver.name``; returns it for chaining.
+
+    The stored key is normalised exactly like :func:`get_solver`'s
+    lookups, so a solver registered as ``"my-solver"`` resolves as
+    ``"my-solver"``, ``"my_solver"`` or ``"MY-SOLVER"`` alike.
+    Registering an already-taken name raises unless ``overwrite=True`` —
+    silent replacement is how two modules end up fighting over a name.
+    """
+    name = getattr(solver, "name", "")
+    if not name or not isinstance(name, str):
+        raise SolverError(f"solver {solver!r} has no usable .name")
+    key = _normalise(name)
+    if not overwrite and key in _REGISTRY:
+        raise SolverError(
+            f"solver name {name!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _REGISTRY[key] = solver
+    return solver
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered solver (mainly for tests)."""
+    _REGISTRY.pop(_normalise(name), None)
+
+
+def get_solver(name: str | Solver) -> Solver:
+    """Look up a solver by name (a :class:`Solver` passes through).
+
+    Accepts ``-``/``_`` spelling interchangeably (``"closed-form"`` and
+    ``"closed_form"`` name the same solver).
+    """
+    if not isinstance(name, str):
+        return name
+    try:
+        return _REGISTRY[_normalise(name)]
+    except KeyError:
+        known = ", ".join(available_solvers())
+        raise SolverError(f"unknown solver {name!r}; known: {known}") from None
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Registered solver names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def solver_summaries() -> dict[str, str]:
+    """``{name: one-line summary}`` for CLI/API listings."""
+    return {
+        name: getattr(_REGISTRY[name], "summary", "")
+        for name in available_solvers()
+    }

@@ -1,0 +1,477 @@
+"""The :class:`Study` facade — one entry point for every power question.
+
+The paper's methodology is a single question asked many ways: *which
+(architecture, technology, Vdd, Vth) minimises total power at frequency
+f?*  ``Study`` is the one public door to all of them.  A fluent builder
+compiles to an explore :class:`~repro.explore.scenario.Scenario` under
+the hood, dispatches through the :mod:`repro.solvers` registry (the
+``"auto"`` default rides the vectorized kernel with exact-numerical
+fallback), and every run returns one typed :class:`ResultSet` of uniform
+records — no more juggling ``OptimizationResult`` here, ``Candidate``
+there and engine outcomes elsewhere.
+
+Quick start::
+
+    from repro import Study
+
+    answer = (
+        Study("which-flavour")
+        .architectures(wallace)
+        .technologies("ULL", "LL", "HS")
+        .frequencies(31.25e6)
+        .solver("auto")
+        .run()
+    )
+    print(answer.best().describe())
+    print(answer.table(top=5))
+
+Scaling up is the same code: add ``.frequency_range(...)``,
+``.transforms(...)`` and ``.cached()`` and the identical pipeline sweeps
+thousands of candidates through the batch kernel with content-hash
+result caching.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from .core.architecture import ArchitectureParameters
+from .core.technology import Technology, flavour
+from .explore.analysis import (
+    DEFAULT_OBJECTIVES,
+    pareto_frontier,
+    rank_points,
+    report,
+)
+from .explore.cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
+from .explore.engine import EvaluationStats, PointResult, cache_key_payload
+from .explore.engine import explore as explore_scenario
+from .explore.scenario import FrequencyGrid, Scenario, TransformStep
+from .solvers import EngineSolver, Solver, get_solver
+
+__all__ = ["Record", "ResultSet", "Study"]
+
+#: The uniform record type every Study run yields: one flat, JSON-ready
+#: row per candidate with architecture / technology / frequency / Vdd /
+#: Vth / Pdyn / Pstat / Ptot / feasibility / method / reason.
+Record = PointResult
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Evaluated candidates plus provenance, with analysis built in.
+
+    The record list is aligned with ``scenario.expand()`` order.  All
+    derived views (:meth:`feasible`, :meth:`rank`, :meth:`pareto`)
+    return new ``ResultSet`` instances over a subset of the records, so
+    the analysis methods compose: ``study.run().pareto().table()``.
+    """
+
+    records: list[Record]
+    solver: str
+    scenario: Scenario | None = None
+    stats: EvaluationStats | None = None
+    cache_hit: bool = False
+    cache_key: str = ""
+    cache_path: Path | None = None
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self.records[index]
+
+    def _subset(self, records: Sequence[Record]) -> "ResultSet":
+        return replace(self, records=list(records))
+
+    # -- analysis -----------------------------------------------------------
+    @property
+    def n_feasible(self) -> int:
+        return sum(1 for record in self.records if record.feasible)
+
+    def feasible(self) -> "ResultSet":
+        """Only the candidates that close timing."""
+        return self._subset([r for r in self.records if r.feasible])
+
+    def infeasible(self) -> "ResultSet":
+        """Only the candidates that cannot close timing (with reasons)."""
+        return self._subset([r for r in self.records if not r.feasible])
+
+    def filter(self, predicate: Callable[[Record], bool]) -> "ResultSet":
+        """Records satisfying an arbitrary predicate."""
+        return self._subset([r for r in self.records if predicate(r)])
+
+    def best(self) -> Record | None:
+        """Cheapest feasible candidate, or None when nothing is feasible."""
+        candidates = [r for r in self.records if r.feasible]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: r.ptot_or_inf)
+
+    def rank(self, key: Callable[[Record], float] | None = None) -> "ResultSet":
+        """Candidates sorted cheapest-first; infeasible ones last."""
+        return self._subset(rank_points(self.records, key=key))
+
+    def pareto(
+        self,
+        objectives: Sequence[tuple[str, str]] = DEFAULT_OBJECTIVES,
+    ) -> "ResultSet":
+        """The non-dominated feasible candidates, cheapest-first.
+
+        Default objectives: optimal power ↓, frequency ↑, area proxy ↓ —
+        the same frontier PR 1's explore reports mark.
+        """
+        return self._subset(pareto_frontier(self.records, objectives))
+
+    # -- serialisation ------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """One plain dict per record (JSON-ready)."""
+        return [record.to_dict() for record in self.records]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The whole result set — records plus provenance — as JSON."""
+        payload: dict[str, Any] = {
+            "solver": self.solver,
+            "records": self.to_dicts(),
+        }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario.to_dict()
+        if self.stats is not None:
+            payload["stats"] = self.stats.to_dict()
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """The records as CSV (header + one row per candidate)."""
+        from dataclasses import fields as dataclass_fields
+
+        columns = [f.name for f in dataclass_fields(Record)]
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for record in self.records:
+            writer.writerow(record.to_dict())
+        return buffer.getvalue()
+
+    def table(
+        self,
+        top: int = 15,
+        objectives: Sequence[tuple[str, str]] = DEFAULT_OBJECTIVES,
+    ) -> str:
+        """Fixed-width ranking table with Pareto marks (explore's report)."""
+        return report(self.records, top=top, objectives=objectives)
+
+    def describe(self) -> str:
+        """Provenance + stats + winner, one line each."""
+        name = self.scenario.name if self.scenario is not None else "ad hoc"
+        source = "cache hit" if self.cache_hit else "evaluated"
+        lines = [f"scenario {name!r} [{self.solver}] — {source}"]
+        if self.stats is not None:
+            lines.append(f"  {self.stats.describe()}")
+        best = self.best()
+        if best is not None:
+            lines.append(f"  best: {best.describe()}")
+        return "\n".join(lines)
+
+
+def _as_architecture(spec: Any) -> ArchitectureParameters:
+    if isinstance(spec, ArchitectureParameters):
+        return spec
+    if isinstance(spec, Mapping):
+        return ArchitectureParameters(**spec)
+    raise TypeError(
+        f"expected ArchitectureParameters or a field mapping, got {spec!r}"
+    )
+
+
+def _as_technology(spec: Any) -> Technology:
+    if isinstance(spec, Technology):
+        return spec
+    if isinstance(spec, str):
+        return flavour(spec)
+    raise TypeError(
+        f"expected Technology or a flavour label ('LL', 'HS', 'ULL'), "
+        f"got {spec!r}"
+    )
+
+
+def _as_chain(spec: Any) -> tuple[TransformStep, ...]:
+    if isinstance(spec, TransformStep):
+        return (spec,)
+    return tuple(spec)
+
+
+class Study:
+    """Fluent builder for power-optimisation studies.
+
+    Every configuration method mutates the builder and returns ``self``
+    so calls chain; :meth:`run` compiles the builder to a
+    :class:`Scenario`, dispatches it through the named solver, and
+    returns a :class:`ResultSet`.  A ``Study`` can be re-run (e.g. with
+    a different solver) — :meth:`solver` and friends may be called
+    between runs.
+    """
+
+    def __init__(self, name: str = "study") -> None:
+        self._name = name
+        self._description = ""
+        self._architectures: list[ArchitectureParameters] = []
+        self._technologies: list[Technology] = []
+        self._frequencies: FrequencyGrid | None = None
+        self._transform_chains: list[tuple[TransformStep, ...]] = []
+        self._solver: str | Solver = "auto"
+        self._solver_options: dict[str, Any] = {}
+        self._jobs: int | None = None
+        self._use_cache = False
+        self._cache: ResultCache | str | Path | None = None
+        self._scenario: Scenario | None = None
+
+    # -- problem definition -------------------------------------------------
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "Study":
+        """Wrap an existing explore scenario (e.g. loaded from JSON).
+
+        A wrapped scenario is taken as-is: the problem-definition
+        builder methods (``architectures`` … ``described_as``) raise on
+        such a study instead of silently discarding or ignoring parts of
+        it — edit the :class:`Scenario` (``dataclasses.replace``) and
+        re-wrap to change the problem.  Execution policy
+        (:meth:`solver`, :meth:`jobs`, :meth:`cached`) stays
+        configurable.
+        """
+        study = cls(scenario.name)
+        study._scenario = scenario
+        return study
+
+    def _require_builder(self, method: str) -> None:
+        if self._scenario is not None:
+            raise ValueError(
+                f"study {self._name!r} wraps an existing Scenario; "
+                f".{method}(...) would silently conflict with it — edit "
+                f"the Scenario (dataclasses.replace) and re-wrap instead"
+            )
+
+    def described_as(self, description: str) -> "Study":
+        """Attach a human-readable description to the compiled scenario."""
+        self._require_builder("described_as")
+        self._description = description
+        return self
+
+    def architectures(self, *specs) -> "Study":
+        """Add candidate architectures (parameters or field mappings)."""
+        self._require_builder("architectures")
+        self._architectures.extend(_as_architecture(spec) for spec in specs)
+        return self
+
+    def technologies(self, *specs) -> "Study":
+        """Add candidate technologies (objects or flavour labels)."""
+        self._require_builder("technologies")
+        self._technologies.extend(_as_technology(spec) for spec in specs)
+        return self
+
+    def frequencies(self, *values) -> "Study":
+        """Set the frequency grid: floats [Hz] or one :class:`FrequencyGrid`."""
+        self._require_builder("frequencies")
+        if len(values) == 1 and isinstance(values[0], FrequencyGrid):
+            self._frequencies = values[0]
+        else:
+            self._frequencies = FrequencyGrid(
+                tuple(float(value) for value in values)
+            )
+        return self
+
+    def frequency_range(
+        self, start: float, stop: float, points: int, spacing: str = "log"
+    ) -> "Study":
+        """Set a ``points``-long log or linear frequency grid [Hz]."""
+        self._require_builder("frequency_range")
+        if spacing not in ("log", "linear"):
+            raise ValueError(f"spacing must be 'log' or 'linear', got {spacing!r}")
+        maker = (
+            FrequencyGrid.logspace if spacing == "log" else FrequencyGrid.linear
+        )
+        self._frequencies = maker(start, stop, points)
+        return self
+
+    def transforms(self, *chains) -> "Study":
+        """Add Section 4 transform chains applied to every architecture.
+
+        Each chain is a :class:`TransformStep` or a sequence of them; the
+        identity chain ``()`` is always evaluated unless you pass only
+        non-empty chains and want it gone — include ``()`` explicitly to
+        keep the untransformed bases in the sweep.
+        """
+        self._require_builder("transforms")
+        self._transform_chains.extend(_as_chain(chain) for chain in chains)
+        return self
+
+    # -- execution policy ---------------------------------------------------
+    def solver(self, name: str | Solver, **options) -> "Study":
+        """Pick the solve path by registry name (default ``"auto"``).
+
+        ``options`` are forwarded to the solver on every run, e.g.
+        ``.solver("bounded", vth_max=0.45)``.
+        """
+        get_solver(name)  # fail fast on typos, at build time
+        self._solver = name
+        self._solver_options = dict(options)
+        return self
+
+    def jobs(self, jobs: int | None) -> "Study":
+        """Worker processes for exact-numerical points (None = all CPUs)."""
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._jobs = jobs
+        return self
+
+    def cached(
+        self, cache: ResultCache | str | Path | None = None, enabled: bool = True
+    ) -> "Study":
+        """Read/write the content-hash result cache on :meth:`run`.
+
+        ``cache`` is a :class:`ResultCache`, a directory, or None for the
+        default location (``$REPRO_EXPLORE_CACHE`` or
+        ``~/.cache/repro/explore``).
+        """
+        self._use_cache = enabled
+        self._cache = cache
+        return self
+
+    # -- compilation + execution --------------------------------------------
+    def scenario(self) -> Scenario:
+        """Compile the builder to the explore scenario it will run."""
+        if self._scenario is not None:
+            return self._scenario
+        if not self._architectures:
+            raise ValueError(f"study {self._name!r} has no architectures")
+        if not self._technologies:
+            raise ValueError(f"study {self._name!r} has no technologies")
+        if self._frequencies is None:
+            raise ValueError(
+                f"study {self._name!r} has no frequencies; call "
+                f".frequencies(...) or .frequency_range(...)"
+            )
+        chains = tuple(self._transform_chains) or ((),)
+        return Scenario(
+            name=self._name,
+            description=self._description,
+            architectures=tuple(self._architectures),
+            technologies=tuple(self._technologies),
+            frequencies=self._frequencies,
+            transform_chains=chains,
+        )
+
+    @property
+    def solver_name(self) -> str:
+        solver = self._solver
+        return solver if isinstance(solver, str) else solver.name
+
+    def _cache_key(self, scenario: Scenario) -> str:
+        # The engine's shared payload plus this study's solve path, so
+        # every invalidation input lives in one place (engine.py).
+        return content_hash(
+            {
+                **cache_key_payload(scenario),
+                "solver": self.solver_name,
+                "options": self._solver_options,
+            }
+        )
+
+    def run(self) -> ResultSet:
+        """Compile, solve, and package — the one call that does it all.
+
+        Engine-backed solvers (``auto``, ``vectorized``, ``numerical``)
+        delegate straight to :func:`repro.explore.engine.explore`, so a
+        Study shares the engine's cache entries — a sweep cached through
+        the historical ``explore()`` door is a cache hit here too.
+        Scalar and custom solvers run through the registry contract with
+        an equivalent Study-level cache.
+        """
+        scenario = self.scenario()
+        solver = get_solver(self._solver)
+        if isinstance(solver, EngineSolver) and not self._solver_options:
+            return self._run_through_engine(scenario, solver)
+        return self._run_through_registry(scenario, solver)
+
+    def _run_through_engine(
+        self, scenario: Scenario, solver: EngineSolver
+    ) -> ResultSet:
+        exploration = explore_scenario(
+            scenario,
+            method=solver.engine_method,
+            jobs=self._jobs,
+            cache=self._cache,
+            use_cache=self._use_cache,
+        )
+        return ResultSet(
+            records=exploration.points,
+            solver=solver.name,
+            scenario=scenario,
+            stats=exploration.stats,
+            cache_hit=exploration.cache_hit,
+            cache_key=exploration.cache_key,
+            cache_path=exploration.cache_path,
+        )
+
+    def _run_through_registry(
+        self, scenario: Scenario, solver: Solver
+    ) -> ResultSet:
+        cache: ResultCache | None = None
+        key = ""
+        if self._use_cache:
+            cache = (
+                self._cache
+                if isinstance(self._cache, ResultCache)
+                else ResultCache(self._cache)
+            )
+            key = self._cache_key(scenario)
+            stored = cache.get(key)
+            if stored is not None:
+                return ResultSet(
+                    records=[Record.from_dict(p) for p in stored["records"]],
+                    solver=solver.name,
+                    scenario=scenario,
+                    stats=EvaluationStats.from_dict(stored["stats"]),
+                    cache_hit=True,
+                    cache_key=key,
+                    cache_path=cache.path_for(key),
+                )
+
+        started = time.perf_counter()
+        outcomes = solver.solve(
+            scenario.expand(), jobs=self._jobs, **self._solver_options
+        )
+        elapsed = time.perf_counter() - started
+
+        records = [Record.from_outcome(outcome) for outcome in outcomes]
+        stats = EvaluationStats.from_outcomes(outcomes, elapsed)
+        cache_path = None
+        if cache is not None:
+            cache_path = cache.put(
+                key,
+                {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "solver": solver.name,
+                    "scenario": scenario.to_dict(),
+                    "stats": stats.to_dict(),
+                    "records": [record.to_dict() for record in records],
+                },
+            )
+        return ResultSet(
+            records=records,
+            solver=solver.name,
+            scenario=scenario,
+            stats=stats,
+            cache_hit=False,
+            cache_key=key,
+            cache_path=cache_path,
+        )

@@ -13,7 +13,6 @@ from repro.characterization import (
     fit_device,
     native_technology,
 )
-from repro.characterization.spice import SyntheticDevice
 
 
 class TestSyntheticDevice:

@@ -4,13 +4,11 @@ import math
 
 import pytest
 
-from repro import ST_CMOS09_LL
 from repro.core.closed_form import (
     InfeasibleConstraintError,
     closed_form_breakdown,
     closed_form_optimum,
     optimal_leakage_current,
-    optimal_vdd,
     optimal_vth,
     ptot_eq13,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ST_CMOS09_LL, ArchitectureParameters
+from repro import ArchitectureParameters
 from repro.core.constraint import (
     chi,
     chi_for_architecture,

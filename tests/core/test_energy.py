@@ -1,6 +1,5 @@
 """Tests for energy-per-operation analysis and the minimum-energy point."""
 
-import numpy as np
 import pytest
 
 from repro.core.calibration import calibrate_row

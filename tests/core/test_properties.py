@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 from repro import (
     ArchitectureParameters,
     ST_CMOS09_LL,
-    Technology,
     approximation_error_percent,
     chi_for_architecture,
     numerical_optimum,

@@ -74,6 +74,16 @@ class TestTechnologyRanking:
         assert all(candidate.feasible for candidate in ranked)
 
 
+class TestEmptyAxes:
+    def test_empty_candidate_lists_yield_empty_reports(self, multipliers):
+        """Historical contract: empty axes are an empty answer, not an error."""
+        from repro import evaluate_candidates
+
+        assert evaluate_candidates([], [ST_CMOS09_LL], PAPER_FREQUENCY) == []
+        assert evaluate_candidates(multipliers, [], PAPER_FREQUENCY) == []
+        assert rank_architectures([], ST_CMOS09_LL, PAPER_FREQUENCY) == []
+
+
 class TestSelectionMatrix:
     def test_matrix_covers_product(self, multipliers):
         matrix = selection_matrix(

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ArchitectureParameters, ST_CMOS09_LL
+from repro import ArchitectureParameters
 from repro.core.sensitivity import (
     crossover_frequency,
     elasticities,

@@ -9,7 +9,6 @@ from repro import (
     ST_CMOS09_HS,
     ST_CMOS09_LL,
     ST_CMOS09_ULL,
-    Technology,
     flavour,
 )
 from repro.experiments.paper_data import TABLE2

@@ -14,7 +14,6 @@ from repro.core.transforms import (
     DIAGONAL_PIPELINE,
     HORIZONTAL_PIPELINE,
     ParallelizationModel,
-    PipelineModel,
     SequentializationModel,
 )
 from repro.experiments.paper_data import TABLE1_BY_NAME

@@ -1,6 +1,5 @@
 """Integration tests: the regenerated tables against the published ones."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ so hypothesis can hunt for corner operands and odd width/stage
 combinations that the fixed-width tests would miss.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

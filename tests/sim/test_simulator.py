@@ -1,6 +1,5 @@
 """Unit tests for the event-driven timing simulator."""
 
-import pytest
 
 from repro.netlist import Builder, Netlist
 from repro.sim.simulator import EventDrivenSimulator

@@ -114,6 +114,74 @@ class TestExplore:
         assert "content hash" in out
 
 
+class TestErrorPaths:
+    """Every user mistake must exit with code 2 and a stderr message."""
+
+    OPTIMIZE = [
+        "optimize", "--n-cells", "729", "--activity", "0.2976",
+        "--logical-depth", "17",
+    ]
+
+    def test_unknown_technology_flavour(self, capsys):
+        code = main(self.OPTIMIZE + ["--tech", "XX"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown technology flavour" in captured.err
+        assert "XX" in captured.err
+
+    def test_unreadable_scenario_file(self, tmp_path, capsys):
+        code = main(["explore", str(tmp_path / "does-not-exist.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot read scenario" in captured.err
+
+    def test_invalid_scenario_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{this is not json")
+        code = main(["explore", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid scenario" in captured.err
+
+    def test_scenario_json_missing_keys(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        code = main(["explore", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid scenario" in captured.err
+
+    def test_jobs_zero(self, capsys):
+        code = main(["explore", "--jobs", "0", "--frequency-points", "3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--jobs must be >= 1" in captured.err
+
+    def test_jobs_negative(self, capsys):
+        code = main(["explore", "--jobs", "-4", "--frequency-points", "3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--jobs must be >= 1" in captured.err
+
+
+class TestOptimizeSolverChoice:
+    def test_alternate_solver_runs(self, capsys):
+        code = main([
+            "optimize", "--n-cells", "729", "--activity", "0.2976",
+            "--logical-depth", "17", "--solver", "closed_form",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "closed_form optimum" in out
+
+    def test_rejected_solver_name(self):
+        with pytest.raises(SystemExit):
+            main([
+                "optimize", "--n-cells", "729", "--activity", "0.2976",
+                "--logical-depth", "17", "--solver", "frobnicate",
+            ])
+
+
 class TestMisc:
     def test_characterize(self, capsys):
         assert main(["characterize", "LL"]) == 0

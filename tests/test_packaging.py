@@ -1,0 +1,67 @@
+"""Packaging checks: the ``repro`` console script must resolve.
+
+The entry point declared in pyproject.toml is what ``pip install``
+turns into the ``repro`` command; this test keeps the declaration and
+the target callable from drifting apart without requiring the package
+to be installed.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+PYPROJECT = Path(__file__).parent.parent / "pyproject.toml"
+
+
+def _console_scripts() -> dict[str, str]:
+    """Parse ``[project.scripts]`` (tomllib on 3.11+, regex fallback)."""
+    text = PYPROJECT.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        match = re.search(
+            r"^\[project\.scripts\]\n(.*?)(?=^\[|\Z)",
+            text,
+            re.MULTILINE | re.DOTALL,
+        )
+        assert match, "pyproject.toml has no [project.scripts] table"
+        scripts = {}
+        for line in match.group(1).splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.partition("=")
+            scripts[key.strip().strip('"')] = value.strip().strip('"')
+        return scripts
+    return tomllib.loads(text).get("project", {}).get("scripts", {})
+
+
+def test_repro_entry_point_is_declared():
+    scripts = _console_scripts()
+    assert "repro" in scripts, "no `repro` console script in pyproject.toml"
+    assert scripts["repro"] == "repro.cli:main"
+
+
+def test_repro_entry_point_resolves_to_a_callable():
+    target = _console_scripts()["repro"]
+    module_name, _, attribute = target.partition(":")
+    module = importlib.import_module(module_name)
+    function = getattr(module, attribute)
+    assert callable(function)
+    # The wrapper pip generates calls it with no arguments and passes the
+    # return value to sys.exit(); argv=None must therefore be accepted.
+    import inspect
+
+    signature = inspect.signature(function)
+    assert all(
+        parameter.default is not inspect.Parameter.empty
+        or parameter.kind
+        in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        for parameter in signature.parameters.values()
+    ), "entry point must be callable with zero arguments"
+
+
+def test_package_discovery_covers_src_layout():
+    text = PYPROJECT.read_text(encoding="utf-8")
+    assert '[tool.setuptools.packages.find]' in text
+    assert 'where = ["src"]' in text

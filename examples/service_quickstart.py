@@ -1,0 +1,94 @@
+"""Serving quickstart: the exploration engine behind an HTTP endpoint.
+
+Starts an in-process ``repro serve`` instance on an ephemeral port,
+then asks it the paper's question through :class:`ServiceClient` — the
+same fluent Study API, running server-side, returning the same typed
+``ResultSet``.  The second, identical query is served from the
+service's in-memory cache tier without touching the engine.
+
+Run:  python examples/service_quickstart.py
+
+(Outside of examples you would run the server as its own process:
+``repro serve --port 8731`` — the client code below is unchanged.)
+"""
+
+from repro.service import ServiceClient
+from repro.service.server import ExplorationServer, ServiceConfig
+import tempfile
+
+# A 16-bit Wallace-tree multiplier, same numbers as examples/quickstart.py.
+WALLACE = {
+    "name": "wallace16",
+    "n_cells": 729,
+    "activity": 0.2976,
+    "logical_depth": 17.0,
+    "capacitance": 70e-15,
+    "io_factor": 18.0,
+    "zeta_factor": 0.2,
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # [1] Start the service: ephemeral port, private cache directory.
+        server = ExplorationServer(
+            ServiceConfig(port=0, workers=4, cache_dir=cache_dir)
+        )
+        server.start_background()
+        client = ServiceClient(server.url)
+
+        health = client.healthz()
+        print(
+            f"[1] service up at {server.url} "
+            f"(repro {health['version']}, {health['workers']} workers)"
+        )
+
+        # [2] What can it do?  One listing, shared with `repro list`.
+        listing = client.solvers()
+        print(
+            f"[2] serves {len(listing['architectures'])} architectures, "
+            f"{len(listing['solvers'])} solvers, "
+            f"{len(listing['transforms'])} transform ops"
+        )
+
+        # [3] The paper's question, asked over HTTP: which flavour wins
+        # for the Wallace multiplier at the paper's 31.25 MHz data rate?
+        answer = (
+            client.study("which-flavour")
+            .architectures(WALLACE)
+            .technologies("ULL", "LL", "HS")
+            .frequencies(31.25e6)
+            .solver("auto")
+            .run()
+        )
+        print(f"[3] best: {answer.best().describe()}")
+        print(answer.table(top=3))
+
+        # [4] Ask again: the tiered cache answers, the engine sleeps.
+        again = (
+            client.study("which-flavour")
+            .architectures(WALLACE)
+            .technologies("ULL", "LL", "HS")
+            .frequencies(31.25e6)
+            .solver("auto")
+            .run()
+        )
+        print(f"[4] repeat query cache hit = {again.cache_hit}")
+        assert again.records == answer.records
+
+        # [5] Where did requests land?  Both tiers are observable.
+        stats = client.cache_stats()
+        memory = stats["memory"]
+        print(
+            f"[5] cache stats: memory {memory['hits']} hits / "
+            f"{memory['misses']} misses, disk {stats['disk']['entries']} "
+            f"entries, {stats['engine_runs']} engine runs total"
+        )
+
+        server.shutdown()
+        server.server_close()
+        print("[6] server stopped")
+
+
+if __name__ == "__main__":
+    main()

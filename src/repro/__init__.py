@@ -65,15 +65,26 @@ Sub-packages
     ``Study`` batches).
 """
 
-from .core import *  # noqa: F401,F403 -- the core namespace is the public API
-from .core import __all__ as _core_all
+from importlib import metadata as _metadata
+
+#: Fallback for source checkouts that were never pip-installed (the
+#: tier-1 ``PYTHONPATH=src`` workflow); keep in sync with pyproject.toml.
+_FALLBACK_VERSION = "1.1.0"
+
+try:  # installed: the single source of truth is the package metadata
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover - env-dependent
+    __version__ = _FALLBACK_VERSION
+
+from .core import *  # noqa: F401,F403,E402 -- the core namespace is the public API
+from .core import __all__ as _core_all  # noqa: E402
 
 # NOTE: the name ``explore`` is intentionally *not* from-imported: the
 # subpackage module is callable (see repro/explore/__init__.py), so
 # ``from repro import explore; explore(scenario)`` works while
 # ``repro.explore.Scenario`` keeps normal module semantics.
-from . import explore  # noqa: F401
-from .explore import (
+from . import explore  # noqa: F401,E402
+from .explore import (  # noqa: E402
     ExplorationResult,
     FrequencyGrid,
     Scenario,
@@ -81,25 +92,32 @@ from .explore import (
     demo_scenario,
     pareto_frontier,
 )
-from .solvers import (
+# The cache tiers are light (stdlib + explore.cache) and load eagerly;
+# ServiceClient would drag in the whole HTTP server/client stack, so it
+# resolves lazily below (PEP 562) — `from repro import ServiceClient`
+# still works, but `import repro` alone stays service-free.
+from .service import MemoryCache, TieredCache  # noqa: E402
+from .solvers import (  # noqa: E402
     Solver,
     SolverError,
     available_solvers,
     get_solver,
     register_solver,
 )
-from .study import Record, ResultSet, Study
+from .study import Record, ResultSet, Study  # noqa: E402
 
-__version__ = "1.0.0"
 __all__ = list(_core_all) + [
     "ExplorationResult",
     "FrequencyGrid",
+    "MemoryCache",
     "Record",
     "ResultSet",
     "Scenario",
+    "ServiceClient",
     "Solver",
     "SolverError",
     "Study",
+    "TieredCache",
     "TransformStep",
     "available_solvers",
     "demo_scenario",
@@ -109,3 +127,11 @@ __all__ = list(_core_all) + [
     "register_solver",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ServiceClient":
+        from .service.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,12 +4,14 @@ Commands
 --------
 ``optimize``        optimal working point for explicit parameters
 ``explore``         batch design-space exploration (scenario JSON or demo)
+``serve``           HTTP/JSON exploration service (coalescing + tiered cache)
+``cache``           inspect / clear / prune the on-disk result cache
 ``table``           regenerate a paper table (1-4; 1 also in native mode)
 ``figure``          regenerate a paper figure (1, 2 or 34)
 ``verify``          functionally verify generated multipliers
 ``export-verilog``  write structural Verilog for a generated multiplier
 ``characterize``    run the synthetic-SPICE extraction for a flavour
-``list``            list the thirteen Table 1 architectures
+``list``            list architectures, registered solvers and transform ops
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .core.architecture import ArchitectureParameters
 from .core.closed_form import ptot_eq13_adaptive
 from .core.optimum import approximation_error_percent
@@ -236,10 +239,68 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_list(args) -> int:
-    from .generators.registry import MULTIPLIER_NAMES
+    from .listing import render_listing
 
-    for name in MULTIPLIER_NAMES:
-        print(name)
+    print(render_listing(args.what))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import logging
+
+    from .service.server import ServiceConfig, ExplorationServer
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_body=args.max_body,
+            cache_dir=args.cache_dir,
+            cache_size=args.cache_size,
+            use_cache=not args.no_cache,
+        )
+        server = ExplorationServer(config)
+    except (ValueError, OSError) as error:
+        print(f"cannot start service: {error}", file=sys.stderr)
+        return 2
+    # port 0 binds an ephemeral port; print the resolved one.
+    print(f"repro service v{__version__} listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import json as json_module
+
+    from .explore.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(json_module.dumps(cache.stats(), indent=2, sort_keys=True))
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+    elif args.action == "prune":
+        if args.max_entries is None or args.max_entries < 0:
+            print(
+                "prune requires --max-entries >= 0", file=sys.stderr
+            )
+            return 2
+        removed = cache.prune(args.max_entries)
+        print(
+            f"pruned {removed} entries from {cache.directory} "
+            f"(keeping the {args.max_entries} newest)"
+        )
     return 0
 
 
@@ -248,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Schuster et al., DATE 2006",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -347,8 +411,62 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("flavour", choices=["LL", "HS", "ULL"])
     characterize.set_defaults(handler=_cmd_characterize)
 
-    lister = commands.add_parser("list", help="list the Table 1 architectures")
+    lister = commands.add_parser(
+        "list",
+        help="list architectures, registered solvers and transform ops",
+    )
+    lister.add_argument(
+        "what", nargs="?", default="all",
+        choices=["all", "architectures", "solvers", "transforms"],
+    )
     lister.set_defaults(handler=_cmd_list)
+
+    serve = commands.add_parser(
+        "serve", help="HTTP/JSON exploration service over the Study surface"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731,
+        help="TCP port (0 binds an OS-assigned ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="max concurrent engine evaluations",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=1 << 20, dest="max_body",
+        help="largest accepted request body [bytes]",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=64, dest="cache_size",
+        help="in-memory result cache entries (LRU bound)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="disk cache tier directory (default: ~/.cache/repro/explore)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without either cache tier (coalescing still applies)",
+    )
+    serve.add_argument(
+        "-v", "--verbose", action="store_true", help="debug-level logging"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    cache = commands.add_parser(
+        "cache", help="inspect / clear / prune the on-disk result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
+    cache.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: ~/.cache/repro/explore)",
+    )
+    cache.add_argument(
+        "--max-entries", type=int, default=None, dest="max_entries",
+        help="prune: how many newest entries to keep",
+    )
+    cache.set_defaults(handler=_cmd_cache)
 
     return parser
 

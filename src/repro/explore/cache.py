@@ -102,3 +102,43 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count and total size — `repro cache stats` / `/v1/cache/stats`."""
+        total_bytes = 0
+        entries = self.entries()
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": total_bytes,
+        }
+
+    def prune(self, max_entries: int) -> int:
+        """Keep the ``max_entries`` newest entries; returns the number removed.
+
+        Age is mtime (puts rewrite the file, so a refreshed entry counts
+        as new).  Bounds an unbounded sweep cache without nuking it.
+        """
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+
+        def _mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        entries = sorted(self.entries(), key=_mtime, reverse=True)
+        removed = 0
+        for path in entries[max_entries:]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

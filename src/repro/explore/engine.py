@@ -16,9 +16,9 @@ hit, evaluate and store on a miss.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, ClassVar, Mapping, Sequence
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..core.closed_form import closed_form_optimum
 from ..core.optimum import OperatingPoint, OptimizationResult
 from ..core.technology import Technology
 from . import executor as executor_module
+from ..service.memcache import TieredCache, as_cache
 from .cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
 from .scenario import DesignPoint, Scenario
 from .vectorized import batch_arrays_for_points, closed_form_batch
@@ -134,16 +135,18 @@ class PointResult:
             **common,
         )
 
-    def to_dict(self) -> dict[str, Any]:
-        from dataclasses import asdict
+    # Populated once after the class body: record (de)serialisation is
+    # the serving layer's hot path (every response converts thousands of
+    # records), and per-call dataclasses.asdict/fields introspection
+    # costs more than the conversion itself.
+    _FIELD_NAMES: ClassVar[tuple[str, ...]] = ()
 
-        return asdict(self)
+    def to_dict(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self._FIELD_NAMES}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "PointResult":
-        from dataclasses import fields
-
-        known = {f.name for f in fields(cls)}
+        known = cls._FIELD_NAMES
         return cls(**{k: v for k, v in payload.items() if k in known})
 
     def describe(self) -> str:
@@ -157,6 +160,9 @@ class PointResult:
             f"@ {self.frequency / 1e6:g} MHz: Ptot={self.ptot * 1e6:.2f} uW "
             f"(Vdd={self.vdd:.3f} V, Vth={self.vth:.3f} V)"
         )
+
+
+PointResult._FIELD_NAMES = tuple(f.name for f in fields(PointResult))
 
 
 @dataclass(frozen=True)
@@ -431,11 +437,11 @@ def explore(
     scenario: Scenario,
     method: str = "auto",
     jobs: int | None = None,
-    cache: ResultCache | str | Path | None = None,
+    cache: TieredCache | ResultCache | str | Path | None = None,
     use_cache: bool = True,
     parity_check: bool = True,
 ) -> ExplorationResult:
-    """Evaluate a scenario end to end, through the result cache.
+    """Evaluate a scenario end to end, through the tiered result cache.
 
     Parameters
     ----------
@@ -446,15 +452,18 @@ def explore(
     jobs:
         Worker processes for the exact-numerical points.
     cache:
-        A :class:`ResultCache`, a directory for one, or None for the
-        default location.
+        A :class:`~repro.service.memcache.TieredCache`, a bare
+        :class:`ResultCache`, a directory for one, or None for the
+        default location.  Everything but a ready-made tiered cache
+        gains the process-global in-memory LRU tier, so repeated sweeps
+        within one process (the CLI, a notebook, the service) skip even
+        the disk read.
     use_cache:
         When False, neither reads nor writes the cache.
     parity_check:
         Forwarded to :func:`evaluate_points`.
     """
-    if not isinstance(cache, ResultCache):
-        cache = ResultCache(cache)
+    cache = as_cache(cache)
     key = _cache_key(scenario, method)
 
     if use_cache:

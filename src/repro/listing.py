@@ -1,0 +1,92 @@
+"""One source of truth for "what is in this build?" listings.
+
+``repro list`` and the service's ``GET /v1/solvers`` /
+``GET /v1/architectures`` answer the same questions — which Table 1
+architectures can be generated, which solve paths are registered, which
+Section 4 transform ops exist — and must never drift apart.  Both pull
+from these helpers, which in turn read the live registries (generator
+factories, solver registry, transform appliers) rather than hard-coded
+copies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "architecture_names",
+    "listing_payload",
+    "render_listing",
+    "solver_listing",
+    "transform_listing",
+]
+
+
+def architecture_names() -> list[str]:
+    """The generatable Table 1 multiplier architectures, in table order."""
+    from .generators.registry import MULTIPLIER_NAMES
+
+    return list(MULTIPLIER_NAMES)
+
+
+def solver_listing() -> dict[str, str]:
+    """``{registry name: one-line summary}`` for every registered solver."""
+    from .solvers import solver_summaries
+
+    return solver_summaries()
+
+
+def transform_listing() -> dict[str, str]:
+    """``{op name: one-line summary}`` for the Section 4 transform ops."""
+    from .explore.scenario import TransformStep
+
+    summaries = {}
+    for op, applier in sorted(TransformStep._APPLIERS.items()):
+        doc = (applier.__doc__ or "").strip()
+        summaries[op] = doc.splitlines()[0] if doc else ""
+    return summaries
+
+
+def listing_payload() -> dict[str, Any]:
+    """Everything at once, JSON-ready (the ``/v1/solvers`` shape)."""
+    return {
+        "architectures": architecture_names(),
+        "solvers": solver_listing(),
+        "transforms": transform_listing(),
+    }
+
+
+def render_listing(what: str = "all") -> str:
+    """Human-readable listing for the CLI (``what`` filters the section)."""
+    sections: list[str] = []
+    if what in ("all", "architectures"):
+        lines = architecture_names()
+        if what == "all":
+            lines = [f"architectures ({len(lines)}):", *(f"  {n}" for n in lines)]
+        sections.append("\n".join(lines))
+    if what in ("all", "solvers"):
+        solvers = solver_listing()
+        lines = [f"solvers ({len(solvers)}):"] if what == "all" else []
+        width = max(len(name) for name in solvers)
+        indent = "  " if what == "all" else ""
+        lines += [
+            f"{indent}{name:<{width}}  {summary}"
+            for name, summary in solvers.items()
+        ]
+        sections.append("\n".join(lines))
+    if what in ("all", "transforms"):
+        transforms = transform_listing()
+        lines = [f"transforms ({len(transforms)}):"] if what == "all" else []
+        width = max(len(op) for op in transforms)
+        indent = "  " if what == "all" else ""
+        lines += [
+            f"{indent}{op:<{width}}  {summary}"
+            for op, summary in transforms.items()
+        ]
+        sections.append("\n".join(lines))
+    if not sections:
+        raise ValueError(
+            f"unknown listing {what!r}; expected 'all', 'architectures', "
+            f"'solvers' or 'transforms'"
+        )
+    return "\n\n".join(sections)

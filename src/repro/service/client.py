@@ -1,0 +1,245 @@
+"""``ServiceClient`` — the Study API, over the wire, stdlib only.
+
+The client mirrors the in-process surface: :meth:`ServiceClient.study`
+returns a :class:`RemoteStudy` with the exact fluent builder of
+:class:`~repro.study.Study` (it *is* a ``Study`` subclass — the builder
+compiles the scenario client-side), whose ``run()`` posts to
+``/v1/explore`` and reconstructs the very same typed
+:class:`~repro.study.ResultSet` from the response.  Records round-trip
+exactly (JSON floats are repr-exact), so remote and local runs of one
+scenario compare equal record-for-record.
+
+Transport is ``urllib.request`` with JSON bodies; server-side failures
+surface as :class:`ServiceError` carrying the structured error payload
+(status / type / message) the server emits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+from ..explore.engine import EvaluationStats
+from ..explore.scenario import Scenario
+from ..study import Record, ResultSet, Study
+from .server import JSON_CONTENT_TYPE, NDJSON_CONTENT_TYPE, ServiceError
+
+__all__ = ["RemoteStudy", "ServiceClient", "ServiceError"]
+
+#: Sweeps at least this large stream as NDJSON by default (the whole-
+#: payload JSON response is fine below it).
+STREAM_THRESHOLD = 512
+
+
+def _error_from_response(status: int, body: bytes) -> ServiceError:
+    try:
+        payload = json.loads(body.decode("utf-8"))["error"]
+        return ServiceError(
+            int(payload.get("status", status)),
+            str(payload.get("type", "unknown")),
+            str(payload.get("message", "")),
+        )
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        return ServiceError(
+            status, "unknown", body.decode("utf-8", "replace")[:500]
+        )
+
+
+class ServiceClient:
+    """Thin HTTP client for one running ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+    def _open(self, request: urllib_request.Request):
+        try:
+            return urllib_request.urlopen(request, timeout=self.timeout)
+        except urllib_error.HTTPError as error:
+            raise _error_from_response(error.code, error.read()) from None
+        except urllib_error.URLError as error:
+            raise ServiceError(
+                503, "unreachable", f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+
+    def _get(self, path: str) -> dict[str, Any]:
+        request = urllib_request.Request(self.base_url + path)
+        with self._open(request) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def _post(
+        self, path: str, payload: dict[str, Any], ndjson: bool = False
+    ) -> Any:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib_request.Request(
+            self.base_url + path,
+            data=body,
+            method="POST",
+            headers={
+                "Content-Type": JSON_CONTENT_TYPE,
+                "Accept": NDJSON_CONTENT_TYPE if ndjson else JSON_CONTENT_TYPE,
+            },
+        )
+        with self._open(request) as response:
+            if ndjson:
+                return list(_iter_ndjson(response))
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- introspection -------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._get("/v1/healthz")
+
+    def version(self) -> str:
+        return str(self.healthz().get("version", ""))
+
+    def solvers(self) -> dict[str, Any]:
+        """The shared listing: solvers, architectures and transform ops."""
+        return self._get("/v1/solvers")
+
+    def architectures(self) -> list[str]:
+        return list(self._get("/v1/architectures")["architectures"])
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._get("/v1/cache/stats")
+
+    # -- the Study surface ---------------------------------------------------
+    def study(self, name: str = "remote-study") -> "RemoteStudy":
+        """A fluent Study builder whose ``run()`` executes server-side."""
+        return RemoteStudy(self, name)
+
+    def explore(
+        self,
+        scenario: Scenario,
+        solver: str = "auto",
+        jobs: int | None = None,
+        options: dict[str, Any] | None = None,
+        stream: bool | None = None,
+    ) -> ResultSet:
+        """Run a scenario remotely; returns the same ``ResultSet`` shape.
+
+        ``stream=None`` picks NDJSON automatically for sweeps of
+        ``STREAM_THRESHOLD`` candidates or more.
+        """
+        if stream is None:
+            stream = scenario.size >= STREAM_THRESHOLD
+        payload: dict[str, Any] = {
+            "scenario": scenario.to_dict(),
+            "solver": solver,
+        }
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if options:
+            payload["options"] = options
+        if stream:
+            header, records = _split_ndjson(
+                self._post("/v1/explore", payload, ndjson=True)
+            )
+        else:
+            header = self._post("/v1/explore", payload)
+            records = header.get("records", [])
+        return _resultset_from_payload(header, records)
+
+    def optimize(
+        self,
+        architecture: Any,
+        technology: Any,
+        frequency: float,
+        solver: str = "numerical",
+        **options: Any,
+    ) -> Record:
+        """Single-point solve; returns one :class:`~repro.study.Record`."""
+        payload: dict[str, Any] = {
+            "architecture": _as_jsonable(architecture),
+            "technology": _as_jsonable(technology),
+            "frequency": frequency,
+            "solver": solver,
+        }
+        if options:
+            payload["options"] = options
+        response = self._post("/v1/optimize", payload)
+        return Record.from_dict(response["record"])
+
+
+class RemoteStudy(Study):
+    """A :class:`~repro.study.Study` that runs on the service.
+
+    Inherits the whole fluent builder; only execution changes —
+    :meth:`run` ships the compiled scenario plus solve policy to
+    ``POST /v1/explore`` and rebuilds the ``ResultSet`` from the
+    response.  ``.cached()`` is accepted but a no-op client-side: the
+    service owns the cache tiers.
+    """
+
+    def __init__(self, client: ServiceClient, name: str = "remote-study") -> None:
+        super().__init__(name)
+        self._client = client
+
+    def run(self) -> ResultSet:
+        return self._client.explore(
+            self.scenario(),
+            solver=self.solver_name,
+            jobs=self._jobs,
+            options=self._solver_options,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Payload plumbing.
+# ---------------------------------------------------------------------------
+
+
+def _as_jsonable(spec: Any) -> Any:
+    if hasattr(spec, "to_dict"):
+        return spec.to_dict()
+    if hasattr(spec, "__dataclass_fields__"):
+        from dataclasses import asdict
+
+        return asdict(spec)
+    return spec
+
+
+def _iter_ndjson(response) -> Iterator[dict[str, Any]]:
+    for raw in response:
+        line = raw.strip()
+        if line:
+            yield json.loads(line.decode("utf-8"))
+
+
+def _split_ndjson(
+    lines: list[dict[str, Any]],
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    if not lines or lines[0].get("kind") != "header":
+        raise ServiceError(
+            502, "bad-stream", "NDJSON stream did not start with a header line"
+        )
+    header = {k: v for k, v in lines[0].items() if k != "kind"}
+    records = [
+        {k: v for k, v in line.items() if k != "kind"}
+        for line in lines[1:]
+        if line.get("kind") == "record"
+    ]
+    return header, records
+
+
+def _resultset_from_payload(
+    header: dict[str, Any], records: list[dict[str, Any]]
+) -> ResultSet:
+    scenario = None
+    if "scenario" in header:
+        scenario = Scenario.from_dict(header["scenario"])
+    stats = None
+    if "stats" in header:
+        stats = EvaluationStats.from_dict(header["stats"])
+    cache = header.get("cache", {})
+    return ResultSet(
+        records=[Record.from_dict(record) for record in records],
+        solver=str(header.get("solver", "")),
+        scenario=scenario,
+        stats=stats,
+        cache_hit=bool(cache.get("hit", False)),
+        cache_key=str(cache.get("key", "")),
+        cache_path=None,
+    )

@@ -1,0 +1,96 @@
+"""Request coalescing: N identical in-flight requests, one engine run.
+
+A serving workload repeats itself — dashboards refresh, a class of
+users asks the same design question — and the expensive moment is when
+the *same* sweep arrives k times concurrently, before the first copy
+has finished and populated the cache.  :class:`Coalescer` is the
+single-flight guard for that moment: the first caller of a key becomes
+the leader and computes; every concurrent caller with the same key
+(the content hash the result cache already computes) waits on the
+leader's flight and receives the same result object.  Sequential
+repeats are the cache's job, not this module's — once the leader
+finishes, the key is forgotten.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, TypeVar
+
+__all__ = ["Coalescer"]
+
+T = TypeVar("T")
+
+
+class _Flight:
+    """One in-progress computation: a latch plus its outcome slot."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class Coalescer:
+    """Single-flight execution of keyed producers across threads.
+
+    ``run(key, producer)`` returns ``(result, coalesced)`` where
+    ``coalesced`` is True when this caller waited on another thread's
+    run instead of computing.  A leader's exception propagates to the
+    leader *and* every waiter (each waiter re-raises the same exception
+    object), so a failed sweep fails every request that joined it
+    rather than hanging or silently returning None.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._leaders = 0
+        self._coalesced = 0
+
+    def run(self, key: str, producer: Callable[[], T]) -> tuple[T, bool]:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+                self._leaders += 1
+            else:
+                leader = False
+                self._coalesced += 1
+
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, True
+
+        try:
+            flight.result = producer()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            # Forget the key before releasing waiters: a request arriving
+            # after this instant starts a fresh flight (and, on success,
+            # will hit the cache instead anyway).
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.result, False
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "leaders": self._leaders,
+                "coalesced": self._coalesced,
+                "in_flight": len(self._flights),
+            }

@@ -1,0 +1,586 @@
+"""The threaded HTTP/JSON front end over the Study/solver surface.
+
+Pure standard library: :class:`ExplorationServer` is a
+``ThreadingHTTPServer`` whose handler parses ``/v1/*`` routes, maps
+user mistakes to structured 4xx JSON bodies and everything unexpected
+to a 5xx, and logs one line per request with latency and provenance
+(cache hit / coalesced).  Heavy work is bounded by a worker semaphore
+(``--workers``) and deduplicated by the :class:`~.coalesce.Coalescer`,
+then served through the tiered cache — so k identical concurrent
+sweeps cost one engine run, and warm repeats cost a memory lookup.
+
+Routes
+------
+``GET  /v1/healthz``       liveness + version + counters
+``GET  /v1/solvers``       registered solvers / architectures / transforms
+``GET  /v1/architectures`` generatable Table 1 architecture names
+``GET  /v1/cache/stats``   both cache tiers + coalescer counters
+``POST /v1/explore``       Scenario JSON in → records out (NDJSON optional)
+``POST /v1/optimize``      one (architecture, technology, frequency) solve
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterator
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..explore.cache import content_hash
+from ..explore.engine import cache_key_payload
+from ..explore.scenario import FrequencyGrid, Scenario
+from ..listing import architecture_names, listing_payload
+from ..solvers import SolverError, get_solver
+from ..study import ResultSet, Study
+from .coalesce import Coalescer
+from .memcache import (
+    DEFAULT_MEMORY_ENTRIES,
+    MemoryCache,
+    TieredCache,
+    as_cache,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "ExplorationServer",
+    "NDJSON_CONTENT_TYPE",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceState",
+]
+
+logger = logging.getLogger("repro.service")
+
+#: Largest accepted request body (a scenario JSON), in bytes.
+DEFAULT_MAX_BODY = 1 << 20
+
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+JSON_CONTENT_TYPE = "application/json"
+
+
+class ServiceError(Exception):
+    """A request failure with an HTTP status and a machine-readable type."""
+
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "error": {
+                "status": self.status,
+                "type": self.kind,
+                "message": str(self),
+            }
+        }
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one server instance (mirrors the ``repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8731
+    workers: int = 4
+    max_body: int = DEFAULT_MAX_BODY
+    cache_dir: str | None = None
+    cache_size: int = DEFAULT_MEMORY_ENTRIES
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_body < 1:
+            raise ValueError(f"max_body must be >= 1, got {self.max_body}")
+
+
+#: Signature of the pluggable evaluation hook: scenario + solve policy
+#: in, ResultSet out.  Benchmarks and tests wrap the default to inject
+#: latency or count invocations without monkey-patching the engine.
+Evaluate = Callable[[Scenario, str, "int | None", dict[str, Any]], ResultSet]
+
+
+@dataclass
+class ServiceState:
+    """Everything the handler threads share: caches, counters, policy."""
+
+    config: ServiceConfig = field(default_factory=ServiceConfig)
+    evaluate: Evaluate | None = None
+
+    def __post_init__(self) -> None:
+        # The service owns a private memory tier (sized by --cache-size)
+        # so one process can host several servers with isolated budgets.
+        self.cache: TieredCache = as_cache(
+            self.config.cache_dir,
+            memory=MemoryCache(self.config.cache_size),
+        )
+        self.coalescer = Coalescer()
+        self.work_semaphore = threading.BoundedSemaphore(self.config.workers)
+        self.started = time.time()
+        self._counters_lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.engine_runs = 0
+        if self.evaluate is None:
+            self.evaluate = self._evaluate_study
+
+    # -- counters ------------------------------------------------------------
+    def count_request(self) -> None:
+        with self._counters_lock:
+            self.requests += 1
+
+    def count_error(self) -> None:
+        with self._counters_lock:
+            self.errors += 1
+
+    def count_engine_run(self) -> None:
+        with self._counters_lock:
+            self.engine_runs += 1
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate_study(
+        self,
+        scenario: Scenario,
+        solver: str,
+        jobs: int | None,
+        options: dict[str, Any],
+    ) -> ResultSet:
+        return (
+            Study.from_scenario(scenario)
+            .solver(solver, **options)
+            .jobs(jobs)
+            .cached(self.cache, enabled=self.config.use_cache)
+            .run()
+        )
+
+    def run_scenario(
+        self,
+        scenario: Scenario,
+        solver: str,
+        jobs: int | None,
+        options: dict[str, Any],
+    ) -> tuple[ResultSet, bool]:
+        """One bounded, coalesced, cached evaluation → (result, coalesced)."""
+        key = content_hash(
+            {
+                **cache_key_payload(scenario),
+                "solver": solver,
+                "options": options,
+            }
+        )
+
+        def produce() -> ResultSet:
+            with self.work_semaphore:
+                result = self.evaluate(scenario, solver, jobs, options)
+            if not result.cache_hit:
+                self.count_engine_run()
+            return result
+
+        return self.coalescer.run(key, produce)
+
+    # -- introspection payloads ---------------------------------------------
+    def healthz_payload(self) -> dict[str, Any]:
+        with self._counters_lock:
+            requests, errors, engine_runs = (
+                self.requests,
+                self.errors,
+                self.engine_runs,
+            )
+        return {
+            "status": "ok",
+            "service": "repro",
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "workers": self.config.workers,
+            "requests": requests,
+            "errors": errors,
+            "engine_runs": engine_runs,
+            "coalescer": self.coalescer.stats(),
+            "cache_enabled": self.config.use_cache,
+        }
+
+    def cache_stats_payload(self) -> dict[str, Any]:
+        with self._counters_lock:
+            engine_runs = self.engine_runs
+        return {
+            "enabled": self.config.use_cache,
+            "engine_runs": engine_runs,
+            "coalescer": self.coalescer.stats(),
+            **self.cache.stats(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Request parsing (kept free of the HTTP handler so tests can hit it raw).
+# ---------------------------------------------------------------------------
+
+
+def _require(payload: dict[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ServiceError(
+            400, "missing-field", f"request body is missing {key!r}"
+        ) from None
+
+
+def _parse_solver(payload: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    solver = payload.get("solver", "auto")
+    options = payload.get("options", {})
+    if not isinstance(solver, str):
+        raise ServiceError(400, "bad-solver", "'solver' must be a string name")
+    if not isinstance(options, dict):
+        raise ServiceError(400, "bad-options", "'options' must be an object")
+    try:
+        get_solver(solver)
+    except SolverError as error:
+        raise ServiceError(400, "unknown-solver", str(error)) from None
+    return solver, options
+
+
+def _parse_jobs(payload: dict[str, Any]) -> int | None:
+    jobs = payload.get("jobs")
+    if jobs is None:
+        return None
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ServiceError(
+            400, "bad-jobs", f"'jobs' must be a positive integer, got {jobs!r}"
+        )
+    return jobs
+
+
+def parse_explore_request(
+    payload: dict[str, Any],
+) -> tuple[Scenario, str, int | None, dict[str, Any]]:
+    """``POST /v1/explore`` body → (scenario, solver, jobs, options)."""
+    scenario_spec = _require(payload, "scenario")
+    if not isinstance(scenario_spec, dict):
+        raise ServiceError(
+            400, "bad-scenario", "'scenario' must be a Scenario JSON object"
+        )
+    try:
+        scenario = Scenario.from_dict(scenario_spec)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServiceError(
+            400, "bad-scenario", f"invalid scenario: {error!r}"
+        ) from None
+    solver, options = _parse_solver(payload)
+    return scenario, solver, _parse_jobs(payload), options
+
+
+def parse_optimize_request(
+    payload: dict[str, Any],
+) -> tuple[Scenario, str, dict[str, Any]]:
+    """``POST /v1/optimize`` body → (single-point scenario, solver, options)."""
+    architecture = _require(payload, "architecture")
+    technology = _require(payload, "technology")
+    frequency = _require(payload, "frequency")
+    if not isinstance(frequency, (int, float)) or frequency <= 0:
+        raise ServiceError(
+            400,
+            "bad-frequency",
+            f"'frequency' must be a positive number [Hz], got {frequency!r}",
+        )
+    try:
+        scenario = Scenario.from_dict(
+            {
+                "name": payload.get("name", "optimize"),
+                "architectures": [architecture],
+                "technologies": [technology],
+                "frequencies": FrequencyGrid.single(float(frequency)).to_dict(),
+            }
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServiceError(
+            400, "bad-point", f"invalid optimize request: {error!r}"
+        ) from None
+    solver = payload.copy()
+    solver.setdefault("solver", "numerical")
+    name, options = _parse_solver(solver)
+    return scenario, name, options
+
+
+def _header_payload(result: ResultSet, coalesced: bool) -> dict[str, Any]:
+    """Provenance shared by both response formats (everything but records)."""
+    payload: dict[str, Any] = {
+        "solver": result.solver,
+        "n_records": len(result),
+        "coalesced": coalesced,
+        "cache": {"hit": result.cache_hit, "key": result.cache_key},
+    }
+    if result.scenario is not None:
+        payload["scenario"] = result.scenario.to_dict()
+    if result.stats is not None:
+        payload["stats"] = result.stats.to_dict()
+    return payload
+
+
+def resultset_payload(result: ResultSet, coalesced: bool) -> dict[str, Any]:
+    """The ``/v1/explore`` response body (everything the client rebuilds)."""
+    return {**_header_payload(result, coalesced), "records": result.to_dicts()}
+
+
+def ndjson_lines(result: ResultSet, coalesced: bool) -> "Iterator[str]":
+    """The same response as NDJSON: one header line, one line per record.
+
+    A generator so large sweeps stream for real — the response is
+    serialized and written one record at a time, never materialised as
+    a whole.
+    """
+    yield json.dumps(
+        {"kind": "header", **_header_payload(result, coalesced)},
+        sort_keys=True,
+    )
+    for record in result.records:
+        yield json.dumps(
+            {"kind": "record", **record.to_dict()}, sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing.
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ExplorationServer"
+
+    # -- dispatch ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(
+            {
+                "/v1/healthz": self._route_healthz,
+                "/v1/solvers": self._route_solvers,
+                "/v1/architectures": self._route_architectures,
+                "/v1/cache/stats": self._route_cache_stats,
+            }
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(
+            {
+                "/v1/explore": self._route_explore,
+                "/v1/optimize": self._route_optimize,
+            }
+        )
+
+    def _dispatch(self, routes: dict[str, Callable[[], None]]) -> None:
+        state = self.server.state
+        state.count_request()
+        self._started = time.perf_counter()
+        self._note = ""
+        split = urlsplit(self.path)
+        self._query = parse_qs(split.query)
+        route = routes.get(split.path.rstrip("/") or "/")
+        try:
+            if route is None:
+                known = "/v1/healthz, /v1/solvers, /v1/architectures, " \
+                    "/v1/cache/stats, /v1/explore (POST), /v1/optimize (POST)"
+                raise ServiceError(
+                    404 if self._path_known(split.path) is None else 405,
+                    "not-found",
+                    f"no route {self.command} {split.path}; known: {known}",
+                )
+            route()
+        except ServiceError as error:
+            state.count_error()
+            self._send_json(error.status, error.to_payload())
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+        except Exception as error:  # noqa: BLE001 — the 5xx boundary
+            state.count_error()
+            logger.exception("internal error on %s %s", self.command, self.path)
+            self._send_json(
+                500,
+                ServiceError(
+                    500, "internal", f"{type(error).__name__}: {error}"
+                ).to_payload(),
+            )
+
+    _ALL_ROUTES = {
+        "/v1/healthz": ("GET",),
+        "/v1/solvers": ("GET",),
+        "/v1/architectures": ("GET",),
+        "/v1/cache/stats": ("GET",),
+        "/v1/explore": ("POST",),
+        "/v1/optimize": ("POST",),
+    }
+
+    def _path_known(self, path: str):
+        return self._ALL_ROUTES.get(path.rstrip("/") or "/")
+
+    # -- routes --------------------------------------------------------------
+    def _route_healthz(self) -> None:
+        self._send_json(200, self.server.state.healthz_payload())
+
+    def _route_solvers(self) -> None:
+        self._send_json(200, listing_payload())
+
+    def _route_architectures(self) -> None:
+        self._send_json(200, {"architectures": architecture_names()})
+
+    def _route_cache_stats(self) -> None:
+        self._send_json(200, self.server.state.cache_stats_payload())
+
+    def _route_explore(self) -> None:
+        scenario, solver, jobs, options = parse_explore_request(
+            self._read_json_body()
+        )
+        result, coalesced = self.server.state.run_scenario(
+            scenario, solver, jobs, options
+        )
+        self._note = (
+            f"{scenario.size} candidates"
+            f"{' cache-hit' if result.cache_hit else ''}"
+            f"{' coalesced' if coalesced else ''}"
+        )
+        if self._wants_ndjson():
+            self._send_ndjson(ndjson_lines(result, coalesced))
+        else:
+            self._send_json(200, resultset_payload(result, coalesced))
+
+    def _route_optimize(self) -> None:
+        scenario, solver, options = parse_optimize_request(
+            self._read_json_body()
+        )
+        result, coalesced = self.server.state.run_scenario(
+            scenario, solver, None, options
+        )
+        record = result[0]
+        self._note = "cache-hit" if result.cache_hit else "evaluated"
+        self._send_json(
+            200,
+            {
+                "solver": result.solver,
+                "coalesced": coalesced,
+                "cache": {"hit": result.cache_hit, "key": result.cache_key},
+                "record": record.to_dict(),
+            },
+        )
+
+    # -- request / response helpers ------------------------------------------
+    def _read_json_body(self) -> dict[str, Any]:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise ServiceError(
+                411, "length-required", "Content-Length header is required"
+            ) from None
+        if length < 0:
+            # -1 would make rfile.read block until the client closes,
+            # pinning a handler thread per malformed connection.
+            raise ServiceError(
+                400,
+                "bad-length",
+                f"Content-Length must be non-negative, got {length}",
+            )
+        max_body = self.server.state.config.max_body
+        if length > max_body:
+            raise ServiceError(
+                413,
+                "body-too-large",
+                f"request body of {length} bytes exceeds the "
+                f"{max_body}-byte limit",
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                400, "bad-json", f"request body is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                400, "bad-json", "request body must be a JSON object"
+            )
+        return payload
+
+    def _wants_ndjson(self) -> bool:
+        stream = self._query.get("stream", [""])[0].lower()
+        if stream in ("1", "true", "ndjson", "yes"):
+            return True
+        accept = self.headers.get("Accept", "")
+        return NDJSON_CONTENT_TYPE in accept
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._log_request(status, len(body))
+
+    def _send_ndjson(self, lines: "Iterator[str]") -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        sent = 0
+        for line in lines:
+            data = (line + "\n").encode("utf-8")
+            self.wfile.write(data)
+            sent += len(data)
+        self.wfile.flush()
+        self._log_request(200, sent)
+
+    # -- logging -------------------------------------------------------------
+    def _log_request(self, status: int, body_bytes: int) -> None:
+        elapsed_ms = (time.perf_counter() - self._started) * 1e3
+        note = f" ({self._note})" if self._note else ""
+        logger.info(
+            "%s %s -> %d in %.1f ms, %d bytes%s",
+            self.command,
+            self.path,
+            status,
+            elapsed_ms,
+            body_bytes,
+            note,
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        # BaseHTTPRequestHandler's stderr chatter → the service logger
+        # (DEBUG: _log_request already emits the structured line).
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class ExplorationServer(ThreadingHTTPServer):
+    """The ``repro serve`` server: bind, then :meth:`serve_forever`.
+
+    ``port=0`` binds an OS-assigned ephemeral port; read it back from
+    :attr:`server_port`.  Usable as a context manager (``with`` closes
+    the socket), and :meth:`start_background` runs it on a daemon
+    thread for tests, examples and benchmarks.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        evaluate: Evaluate | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.state = ServiceState(self.config, evaluate=evaluate)
+        super().__init__((self.config.host, self.config.port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread

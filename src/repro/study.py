@@ -50,6 +50,7 @@ from .explore.analysis import (
     report,
 )
 from .explore.cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
+from .service.memcache import TieredCache, as_cache
 from .explore.engine import EvaluationStats, PointResult, cache_key_payload
 from .explore.engine import explore as explore_scenario
 from .explore.scenario import FrequencyGrid, Scenario, TransformStep
@@ -232,7 +233,7 @@ class Study:
         self._solver_options: dict[str, Any] = {}
         self._jobs: int | None = None
         self._use_cache = False
-        self._cache: ResultCache | str | Path | None = None
+        self._cache: TieredCache | ResultCache | str | Path | None = None
         self._scenario: Scenario | None = None
 
     # -- problem definition -------------------------------------------------
@@ -334,13 +335,17 @@ class Study:
         return self
 
     def cached(
-        self, cache: ResultCache | str | Path | None = None, enabled: bool = True
+        self,
+        cache: TieredCache | ResultCache | str | Path | None = None,
+        enabled: bool = True,
     ) -> "Study":
-        """Read/write the content-hash result cache on :meth:`run`.
+        """Read/write the tiered content-hash result cache on :meth:`run`.
 
-        ``cache`` is a :class:`ResultCache`, a directory, or None for the
-        default location (``$REPRO_EXPLORE_CACHE`` or
-        ``~/.cache/repro/explore``).
+        ``cache`` is a :class:`~repro.service.memcache.TieredCache`, a
+        :class:`ResultCache`, a directory, or None for the default
+        location (``$REPRO_EXPLORE_CACHE`` or ``~/.cache/repro/explore``);
+        anything but a ready-made tiered cache gains the process-global
+        in-memory LRU tier in front of the disk entries.
         """
         self._use_cache = enabled
         self._cache = cache
@@ -425,14 +430,10 @@ class Study:
     def _run_through_registry(
         self, scenario: Scenario, solver: Solver
     ) -> ResultSet:
-        cache: ResultCache | None = None
+        cache: TieredCache | None = None
         key = ""
         if self._use_cache:
-            cache = (
-                self._cache
-                if isinstance(self._cache, ResultCache)
-                else ResultCache(self._cache)
-            )
+            cache = as_cache(self._cache)
             key = self._cache_key(scenario)
             stored = cache.get(key)
             if stored is not None:

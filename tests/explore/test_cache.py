@@ -65,6 +65,48 @@ class TestResultCache:
     def test_entries_on_missing_dir(self, tmp_path):
         assert ResultCache(tmp_path / "nope").entries() == []
 
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats() == {
+            "directory": str(tmp_path), "entries": 0, "total_bytes": 0,
+        }
+        cache.put("one", {"v": 1})
+        cache.put("two", {"v": 2})
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == sum(
+            path.stat().st_size for path in cache.entries()
+        )
+
+    def test_prune_keeps_newest(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path)
+        for index in range(4):
+            cache.put(f"k{index}", {"v": index})
+            mtime = time.time() + index  # force distinct, ordered mtimes
+            os.utime(cache.path_for(f"k{index}"), (mtime, mtime))
+        assert cache.prune(2) == 2
+        assert cache.get("k3") == {"v": 3}
+        assert cache.get("k2") == {"v": 2}
+        assert cache.get("k0") is None and cache.get("k1") is None
+
+    def test_prune_zero_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {})
+        assert cache.prune(0) == 1
+        assert cache.entries() == []
+
+    def test_prune_beyond_size_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {})
+        assert cache.prune(10) == 0
+        assert len(cache.entries()) == 1
+
+    def test_prune_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(tmp_path).prune(-1)
+
     def test_unwritable_put_raises_oserror(self, tmp_path):
         if os.geteuid() == 0:
             pytest.skip("root bypasses permission bits")

@@ -160,11 +160,36 @@ class TestExploreCache:
         assert ResultCache(tmp_path).entries() == []
 
     def test_corrupt_entry_is_a_miss(self, small_scenario, tmp_path):
+        from repro.service.memcache import default_memory_cache
+
         first = explore(small_scenario, cache=tmp_path, jobs=1)
         first.cache_path.write_text("{not json", encoding="utf-8")
+        # Drop the in-memory tier too: with it warm, the corrupt disk
+        # entry is shadowed rather than re-read (covered below).
+        default_memory_cache().clear()
         again = explore(small_scenario, cache=tmp_path, jobs=1)
         assert not again.cache_hit
         assert again.points == first.points
+
+    def test_memory_tier_shadows_a_corrupted_disk_entry(
+        self, small_scenario, tmp_path
+    ):
+        first = explore(small_scenario, cache=tmp_path, jobs=1)
+        first.cache_path.write_text("{not json", encoding="utf-8")
+        again = explore(small_scenario, cache=tmp_path, jobs=1)
+        assert again.cache_hit
+        assert again.points == first.points
+
+    def test_memory_tier_serves_without_disk_reads(
+        self, small_scenario, tmp_path, monkeypatch
+    ):
+        explore(small_scenario, cache=tmp_path, jobs=1)
+
+        def _banned(self, key):  # pragma: no cover - guard
+            raise AssertionError("memory hit must not read the disk tier")
+
+        monkeypatch.setattr(ResultCache, "get", _banned)
+        assert explore(small_scenario, cache=tmp_path, jobs=1).cache_hit
 
 
 class TestPointResult:

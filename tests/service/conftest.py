@@ -1,0 +1,20 @@
+"""Shared service-test harness: a live server on an ephemeral port."""
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ExplorationServer, ServiceConfig
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running server (ephemeral port, tmp cache) + matching client."""
+    server = ExplorationServer(
+        ServiceConfig(port=0, workers=4, cache_dir=str(tmp_path / "cache"))
+    )
+    server.start_background()
+    try:
+        yield server, ServiceClient(server.url, timeout=60.0)
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,120 @@
+"""Single-flight request coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.coalesce import Coalescer
+
+
+class TestCoalescer:
+    def test_sequential_calls_each_run(self):
+        coalescer = Coalescer()
+        calls = []
+        result, coalesced = coalescer.run("k", lambda: calls.append(1) or "a")
+        assert (result, coalesced) == ("a", False)
+        result, coalesced = coalescer.run("k", lambda: calls.append(1) or "b")
+        assert (result, coalesced) == ("b", False)
+        assert len(calls) == 2
+        assert coalescer.stats() == {
+            "leaders": 2, "coalesced": 0, "in_flight": 0,
+        }
+
+    def test_concurrent_identical_keys_run_once(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+        runs = []
+
+        def produce():
+            runs.append(threading.current_thread().name)
+            release.wait(5.0)
+            return "payload"
+
+        results: list[tuple] = []
+
+        def request():
+            results.append(coalescer.run("k", produce))
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Wait until all followers are parked on the flight, then release.
+        deadline = time.monotonic() + 5.0
+        while coalescer.stats()["coalesced"] < 7:
+            assert time.monotonic() < deadline, "followers never joined"
+            time.sleep(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+
+        assert len(runs) == 1, "exactly one producer run for 8 requests"
+        assert len(results) == 8
+        assert all(value == "payload" for value, _ in results)
+        assert sum(1 for _, coalesced in results if coalesced) == 7
+        assert coalescer.stats() == {
+            "leaders": 1, "coalesced": 7, "in_flight": 0,
+        }
+
+    def test_different_keys_do_not_coalesce(self):
+        coalescer = Coalescer()
+        gate = threading.Barrier(2, timeout=5.0)
+        runs = []
+
+        def produce(tag):
+            runs.append(tag)
+            gate.wait()  # both producers must be live simultaneously
+            return tag
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda t=tag: results.append(
+                    coalescer.run(t, lambda: produce(t))
+                )
+            )
+            for tag in ("one", "two")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert sorted(runs) == ["one", "two"]
+        assert all(not coalesced for _, coalesced in results)
+
+    def test_leader_error_propagates_to_all_waiters(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+        boom = RuntimeError("sweep failed")
+
+        def produce():
+            release.wait(5.0)
+            raise boom
+
+        outcomes = []
+
+        def request():
+            try:
+                coalescer.run("k", produce)
+            except RuntimeError as error:
+                outcomes.append(error)
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while coalescer.stats()["coalesced"] < 3:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert len(outcomes) == 4
+        assert all(error is boom for error in outcomes)
+
+    def test_key_is_forgotten_after_failure(self):
+        coalescer = Coalescer()
+        with pytest.raises(RuntimeError):
+            coalescer.run("k", lambda: (_ for _ in ()).throw(RuntimeError()))
+        result, coalesced = coalescer.run("k", lambda: "recovered")
+        assert (result, coalesced) == ("recovered", False)

@@ -1,0 +1,147 @@
+"""The in-memory LRU tier and the tiered cache stack."""
+
+import threading
+
+import pytest
+
+from repro.explore.cache import ResultCache
+from repro.service.memcache import (
+    MemoryCache,
+    TieredCache,
+    as_cache,
+    default_memory_cache,
+)
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self):
+        cache = MemoryCache(4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = MemoryCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch a → b is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency(self):
+        cache = MemoryCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh a
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_bound_is_enforced(self):
+        cache = MemoryCache(3)
+        for i in range(10):
+            cache.put(str(i), i)
+        assert len(cache) == 3
+
+    def test_clear_keeps_counters(self):
+        cache = MemoryCache(4)
+        cache.put("k", 1)
+        cache.get("k")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            MemoryCache(0)
+
+    def test_thread_safety_under_contention(self):
+        cache = MemoryCache(16)
+        errors = []
+
+        def worker(seed: int):
+            try:
+                for i in range(200):
+                    key = str((seed * 7 + i) % 32)
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+
+
+class TestTieredCache:
+    def test_put_writes_both_tiers(self, tmp_path):
+        tiered = TieredCache(ResultCache(tmp_path), MemoryCache(4))
+        path = tiered.put("k", {"v": 1})
+        assert path.is_file()
+        assert tiered.memory.stats()["puts"] == 1
+        assert tiered.get("k") == {"v": 1}
+        assert tiered.memory.stats()["hits"] == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        disk = ResultCache(tmp_path)
+        disk.put("k", {"v": 1})
+        tiered = TieredCache(disk, MemoryCache(4))
+        assert tiered.get("k") == {"v": 1}  # disk hit, promoted
+        assert tiered.memory.stats()["misses"] == 1
+        assert tiered.get("k") == {"v": 1}  # memory hit now
+        assert tiered.memory.stats()["hits"] == 1
+
+    def test_namespace_isolates_directories(self, tmp_path):
+        memory = MemoryCache(8)
+        one = TieredCache(ResultCache(tmp_path / "one"), memory)
+        two = TieredCache(ResultCache(tmp_path / "two"), memory)
+        one.put("k", {"origin": "one"})
+        assert two.get("k") is None
+
+    def test_clear_drops_memory_too(self, tmp_path):
+        tiered = TieredCache(ResultCache(tmp_path), MemoryCache(4))
+        tiered.put("k", {"v": 1})
+        assert tiered.clear() == 1
+        assert tiered.get("k") is None
+
+    def test_stats_reports_both_tiers(self, tmp_path):
+        tiered = TieredCache(ResultCache(tmp_path), MemoryCache(4))
+        tiered.put("k", {"v": 1})
+        stats = tiered.stats()
+        assert stats["disk"]["entries"] == 1
+        assert stats["memory"]["entries"] == 1
+
+    def test_prune_delegates_to_disk(self, tmp_path):
+        tiered = TieredCache(ResultCache(tmp_path), MemoryCache(8))
+        for index in range(5):
+            tiered.put(f"k{index}", {"v": index})
+        assert tiered.prune(2) == 3
+        assert len(tiered.entries()) == 2
+
+
+class TestAsCache:
+    def test_passes_tiered_through(self, tmp_path):
+        tiered = TieredCache(ResultCache(tmp_path), MemoryCache(4))
+        assert as_cache(tiered) is tiered
+
+    def test_wraps_result_cache(self, tmp_path):
+        disk = ResultCache(tmp_path)
+        tiered = as_cache(disk)
+        assert isinstance(tiered, TieredCache)
+        assert tiered.disk is disk
+
+    def test_wraps_directory(self, tmp_path):
+        tiered = as_cache(tmp_path)
+        assert tiered.directory == tmp_path
+
+    def test_default_uses_global_memory(self, tmp_path):
+        assert as_cache(tmp_path).memory is default_memory_cache()

@@ -196,3 +196,120 @@ class TestMisc:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestList:
+    """`repro list` covers solvers and transforms, not just Table 1."""
+
+    def test_default_lists_all_sections(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "architectures (13):" in out
+        assert "solvers (" in out and "vectorized" in out
+        assert "transforms (" in out and "parallelize" in out
+
+    def test_solvers_section_matches_registry(self, capsys):
+        from repro.solvers import available_solvers
+
+        assert main(["list", "solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in available_solvers():
+            assert name in out
+
+    def test_architectures_section_is_bare_names(self, capsys):
+        assert main(["list", "architectures"]) == 0
+        out = capsys.readouterr().out
+        assert "Wallace" in out and "solvers" not in out
+
+    def test_transforms_section(self, capsys):
+        assert main(["list", "transforms"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out and "sequentialize" in out
+
+    def test_shares_helper_with_service_listing(self):
+        """CLI sections and GET /v1/solvers come from one source."""
+        from repro.listing import listing_payload, render_listing
+
+        payload = listing_payload()
+        rendered = render_listing("all")
+        for name in payload["solvers"]:
+            assert name in rendered
+        for name in payload["architectures"]:
+            assert name in rendered
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        import json
+
+        stats = json.loads(capsys.readouterr().out)
+        assert stats == {
+            "directory": str(tmp_path), "entries": 0, "total_bytes": 0,
+        }
+
+    def test_stats_after_a_sweep(self, tmp_path, capsys):
+        assert main([
+            "explore", "--frequency-points", "2", "--jobs", "1",
+            "--cache-dir", str(tmp_path), "--top", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        import json
+
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1 and stats["total_bytes"] > 0
+
+    def test_clear(self, tmp_path, capsys):
+        from repro.explore.cache import ResultCache
+
+        ResultCache(tmp_path).put("k", {})
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert ResultCache(tmp_path).entries() == []
+
+    def test_prune(self, tmp_path, capsys):
+        from repro.explore.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(f"k{index}", {})
+        assert main([
+            "cache", "prune", "--max-entries", "1",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+        assert len(cache.entries()) == 1
+
+    def test_prune_without_max_entries_exits_2(self, tmp_path, capsys):
+        code = main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "--max-entries" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_rejects_bad_workers(self, capsys):
+        code = main(["serve", "--workers", "0", "--port", "0"])
+        assert code == 2
+        assert "cannot start service" in capsys.readouterr().err
+
+    def test_parser_knows_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "2",
+            "--max-body", "1024", "--cache-size", "8", "--no-cache",
+        ])
+        assert args.port == 0 and args.workers == 2
+        assert args.max_body == 1024 and args.cache_size == 8
+        assert args.no_cache is True

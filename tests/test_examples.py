@@ -45,6 +45,14 @@ def test_technology_selection():
     assert "valley" in out
 
 
+def test_service_quickstart():
+    out = _run("service_quickstart.py")
+    assert "service up at http://" in out
+    assert "best: wallace16" in out
+    assert "cache hit = True" in out
+    assert "server stopped" in out
+
+
 def test_netlist_flow_default():
     out = _run("netlist_flow.py")
     assert "[6/6] optimal working point" in out

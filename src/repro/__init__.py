@@ -44,6 +44,11 @@ Sub-packages
     The paper's analytical model (Eqs. 1–13), numerical reference
     optimiser, architecture transforms, selection shims and sensitivity
     tools.
+``repro.catalog``
+    The unified model catalog: five namespaces (technology,
+    architecture, solver, transform, generator) behind one registry API
+    with provenance metadata and JSON/TOML plugin packs, so user-defined
+    entities are addressable by name everywhere objects are.
 ``repro.solvers``
     The :class:`Solver` protocol and registry unifying the five solve
     paths (closed form, linearized, numerical, vectorized, bounded) plus
@@ -78,6 +83,12 @@ except _metadata.PackageNotFoundError:  # pragma: no cover - env-dependent
 
 from .core import *  # noqa: F401,F403,E402 -- the core namespace is the public API
 from .core import __all__ as _core_all  # noqa: E402
+from .core import _SELECTION_EXPORTS  # noqa: E402
+
+# The model catalog: one registry for technologies, architectures,
+# solvers, transforms and generators, plus the plugin-pack loader.
+from . import catalog  # noqa: F401,E402
+from .catalog import default_catalog, load_pack  # noqa: E402
 
 # NOTE: the name ``explore`` is intentionally *not* from-imported: the
 # subpackage module is callable (see repro/explore/__init__.py), so
@@ -106,6 +117,9 @@ from .solvers import (  # noqa: E402
 )
 from .study import Record, ResultSet, Study  # noqa: E402
 
+# NOTE: the deprecated selection shims (_SELECTION_EXPORTS) resolve via
+# __getattr__ but stay out of __all__ on purpose: `from repro import *`
+# must not import the deprecated module (or trip its DeprecationWarning).
 __all__ = list(_core_all) + [
     "ExplorationResult",
     "FrequencyGrid",
@@ -120,9 +134,12 @@ __all__ = list(_core_all) + [
     "TieredCache",
     "TransformStep",
     "available_solvers",
+    "catalog",
+    "default_catalog",
     "demo_scenario",
     "explore",
     "get_solver",
+    "load_pack",
     "pareto_frontier",
     "register_solver",
     "__version__",
@@ -134,4 +151,11 @@ def __getattr__(name: str):
         from .service.client import ServiceClient
 
         return ServiceClient
+    if name in _SELECTION_EXPORTS:
+        # Deprecated selection shims: resolved lazily so the module-
+        # level DeprecationWarning in repro.core.selection fires only
+        # for actual users of the old API.
+        from . import core
+
+        return getattr(core, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

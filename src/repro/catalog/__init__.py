@@ -1,0 +1,83 @@
+"""The unified model catalog: one registry API for every repro entity.
+
+Five namespaces — ``technology``, ``architecture``, ``solver``,
+``transform``, ``generator`` — behind one :class:`Catalog` with uniform
+name normalisation, provenance metadata, did-you-mean lookup errors and
+``to_dict``/``from_dict`` round-trips (:mod:`~repro.catalog.serialization`).
+The historical registries (:mod:`repro.solvers.registry`,
+:mod:`repro.generators.registry`) are thin wrappers over it, and
+:class:`~repro.study.Study` / :class:`~repro.explore.scenario.Scenario`
+accept bare catalog names anywhere they accept objects.
+
+Quick tour::
+
+    from repro.catalog import default_catalog, load_pack
+
+    catalog = default_catalog()
+    catalog.get("technology", "ll")           # alias → ST_CMOS09_LL
+    catalog.get("architecture", "rca16")      # demo summary by name
+    load_pack("my_foundry.json")              # user flavours, by file
+    catalog.technologies.names()              # builtin + pack entries
+
+User extension goes two ways: programmatically
+(``catalog.register("technology", name, tech)``) or declaratively via
+plugin packs — JSON/TOML files picked up from ``--packs`` paths,
+``$REPRO_PACKS`` and a ``repro.d/`` directory (see
+:mod:`~repro.catalog.packs`).
+
+The process-wide :data:`~repro.catalog.registry.DEFAULT_CATALOG`
+populates lazily on first read: builtins first (never clobbering user
+entries registered earlier), then any environment packs.
+"""
+
+from __future__ import annotations
+
+from .builtin import register_builtins
+from .packs import (
+    PACK_DIR_NAME,
+    PACK_ENV_VAR,
+    PackError,
+    PackReport,
+    discover_pack_files,
+    install_packs,
+    load_pack,
+)
+from .registry import (
+    Catalog,
+    CatalogEntry,
+    CatalogKeyError,
+    NAMESPACES,
+    Namespace,
+    default_catalog,
+    normalise_name,
+)
+from .serialization import entity_from_dict, entity_to_dict
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "CatalogKeyError",
+    "NAMESPACES",
+    "Namespace",
+    "PACK_DIR_NAME",
+    "PACK_ENV_VAR",
+    "PackError",
+    "PackReport",
+    "default_catalog",
+    "discover_pack_files",
+    "entity_from_dict",
+    "entity_to_dict",
+    "install_packs",
+    "load_pack",
+    "normalise_name",
+    "register_builtins",
+]
+
+
+def _load_default(catalog: Catalog) -> None:
+    """Default-catalog loader: builtins, then environment packs."""
+    register_builtins(catalog)
+    install_packs((), catalog=catalog)
+
+
+default_catalog().add_loader(_load_default)

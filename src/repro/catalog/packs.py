@@ -1,0 +1,275 @@
+"""User-defined plugin packs: catalog entries from JSON/TOML files.
+
+A *pack* is a small declarative file adding technologies and/or
+architectures to the catalog without touching repro source::
+
+    {
+      "name": "my-foundry",
+      "description": "28nm planning numbers",
+      "technologies": [
+        {"name": "FDX28-LP", "io": 1.1e-6, "zeta": 4.2e-12,
+         "alpha": 1.7, "n": 1.35, "vdd_nominal": 1.0,
+         "vth0_nominal": 0.42, "summary": "28nm FD-SOI low power",
+         "aliases": ["FDX28"]}
+      ],
+      "architectures": [
+        {"name": "dsp-mac32", "n_cells": 4100, "activity": 0.21,
+         "logical_depth": 34, "capacitance": 55e-15}
+      ]
+    }
+
+or the TOML equivalent (``[[technologies]]`` / ``[[architectures]]``
+tables, Python >= 3.11 where stdlib ``tomllib`` exists).
+
+Packs are found three ways, all additive:
+
+* explicit paths — the ``--packs`` CLI flag / ``paths=`` argument
+  (a path may be a single file or a directory of pack files);
+* the ``$REPRO_PACKS`` environment variable (``os.pathsep``-separated
+  paths, same file-or-directory rule);
+* a ``repro.d/`` directory in the current working directory.
+
+Entries register with provenance ``"file"`` and their source path, so
+listings always show where a flavour came from.  Loading the same file
+twice is idempotent; two *different* sources fighting over one name is
+an error (pass ``overwrite=True`` to take sides).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .registry import Catalog, default_catalog
+from .serialization import entity_from_dict
+
+__all__ = [
+    "PACK_DIR_NAME",
+    "PACK_ENV_VAR",
+    "PACK_SUFFIXES",
+    "PackError",
+    "PackReport",
+    "discover_pack_files",
+    "install_packs",
+    "load_pack",
+    "parse_pack",
+]
+
+#: Environment variable listing pack files/directories (os.pathsep-separated).
+PACK_ENV_VAR = "REPRO_PACKS"
+
+#: Conventional drop-in directory scanned in the current working directory.
+PACK_DIR_NAME = "repro.d"
+
+#: File suffixes recognised as pack files.
+PACK_SUFFIXES = (".json", ".toml")
+
+#: Pack sections → catalog namespaces.
+_SECTIONS = {"technologies": "technology", "architectures": "architecture"}
+
+#: Per-entry keys that are catalog metadata, not entity fields.
+_METADATA_KEYS = ("summary", "aliases")
+
+_TOP_LEVEL_KEYS = {"name", "description", *_SECTIONS}
+
+
+class PackError(ValueError):
+    """A malformed or unloadable pack file (message carries the path)."""
+
+
+@dataclass
+class PackReport:
+    """What one :func:`load_pack` call registered."""
+
+    path: Path
+    name: str
+    description: str = ""
+    entries: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for namespace, _ in self.entries:
+            counts[namespace] = counts.get(namespace, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        total = len(self.entries)
+        parts = ", ".join(
+            f"{count} {namespace}" for namespace, count in self.counts.items()
+        )
+        return f"pack {self.name!r} ({self.path}): {total} entries ({parts})"
+
+
+def _parse_toml(raw: bytes, path: Path) -> Mapping[str, Any]:
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11 only
+        raise PackError(
+            f"cannot load {path}: TOML packs need Python >= 3.11 "
+            f"(stdlib tomllib); rewrite the pack as JSON"
+        ) from None
+    try:
+        return tomllib.loads(raw.decode("utf-8"))
+    except (tomllib.TOMLDecodeError, UnicodeDecodeError) as error:
+        raise PackError(f"cannot parse {path}: {error}") from None
+
+
+def parse_pack(path: str | Path) -> Mapping[str, Any]:
+    """Read and validate one pack file into its raw mapping."""
+    path = Path(path)
+    if path.suffix.lower() not in PACK_SUFFIXES:
+        raise PackError(
+            f"cannot load {path}: pack files must end in "
+            f"{' or '.join(PACK_SUFFIXES)}"
+        )
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise PackError(f"cannot read pack {path}: {error}") from None
+    if path.suffix.lower() == ".toml":
+        payload = _parse_toml(raw, path)
+    else:
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise PackError(f"cannot parse {path}: {error}") from None
+    if not isinstance(payload, Mapping):
+        raise PackError(f"pack {path} must be a JSON/TOML object at top level")
+    unknown = set(payload) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise PackError(
+            f"pack {path} has unknown top-level keys "
+            f"{sorted(unknown)}; expected {sorted(_TOP_LEVEL_KEYS)}"
+        )
+    for section in _SECTIONS:
+        entries = payload.get(section, [])
+        if not isinstance(entries, (list, tuple)):
+            raise PackError(f"pack {path}: {section!r} must be a list")
+    return payload
+
+
+def load_pack(
+    path: str | Path,
+    catalog: Catalog | None = None,
+    overwrite: bool = False,
+) -> PackReport:
+    """Register every entity of one pack file; returns a report.
+
+    Entries validate through the real dataclass constructors, so a
+    nonsense flavour (``io <= 0``, ``alpha`` out of range, …) fails the
+    load with the constructor's message and the file path.
+    """
+    path = Path(path)
+    catalog = catalog or default_catalog()
+    payload = parse_pack(path)
+    report = PackReport(
+        path=path,
+        name=str(payload.get("name", path.stem)),
+        description=str(payload.get("description", "")),
+    )
+    for section, namespace in _SECTIONS.items():
+        for index, spec in enumerate(payload.get(section, [])):
+            if not isinstance(spec, Mapping):
+                raise PackError(
+                    f"pack {path}: {section}[{index}] must be an object, "
+                    f"got {spec!r}"
+                )
+            fields_payload = {
+                key: value
+                for key, value in spec.items()
+                if key not in _METADATA_KEYS
+            }
+            aliases = spec.get("aliases", [])
+            if isinstance(aliases, str) or not isinstance(
+                aliases, (list, tuple)
+            ):
+                raise PackError(
+                    f"pack {path}: {section}[{index}] 'aliases' must be a "
+                    f"list of names, got {aliases!r}"
+                )
+            try:
+                value = entity_from_dict(
+                    namespace, fields_payload, catalog, strict=True
+                )
+                name = getattr(value, "name", "") or str(spec.get("name", ""))
+                catalog.namespace(namespace).register(
+                    name,
+                    value,
+                    summary=str(spec.get("summary", "")),
+                    provenance="file",
+                    source=str(path),
+                    aliases=tuple(aliases),
+                    overwrite=overwrite,
+                )
+            except (TypeError, ValueError) as error:
+                raise PackError(
+                    f"pack {path}: invalid {section}[{index}]: {error}"
+                ) from None
+            report.entries.append((namespace, name))
+    return report
+
+
+def _expand(path: Path) -> list[Path]:
+    """A path spec → concrete pack files (a directory yields its packs)."""
+    if path.is_dir():
+        return sorted(
+            child
+            for child in path.iterdir()
+            if child.is_file() and child.suffix.lower() in PACK_SUFFIXES
+        )
+    return [path]
+
+
+def discover_pack_files(
+    paths: tuple[str | Path, ...] | list[str | Path] = (),
+    environ: Mapping[str, str] | None = None,
+    cwd: str | Path | None = None,
+) -> list[Path]:
+    """Every pack file from explicit paths, ``$REPRO_PACKS`` and ``repro.d/``.
+
+    Explicit paths must exist (a typo'd ``--packs`` should fail loud);
+    environment and drop-in-directory sources are skipped silently when
+    absent.  Duplicates (same resolved file) collapse to one load, first
+    occurrence wins the ordering.
+    """
+    environ = os.environ if environ is None else environ
+    candidates: list[tuple[Path, bool]] = []
+    for spec in paths:
+        candidates.append((Path(spec), True))
+    for spec in environ.get(PACK_ENV_VAR, "").split(os.pathsep):
+        if spec.strip():
+            candidates.append((Path(spec.strip()), False))
+    candidates.append((Path(cwd or ".") / PACK_DIR_NAME, False))
+
+    found: list[Path] = []
+    seen: set[Path] = set()
+    for path, required in candidates:
+        if not path.exists():
+            if required:
+                raise PackError(f"pack path {path} does not exist")
+            continue
+        for file in _expand(path):
+            resolved = file.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                found.append(file)
+    return found
+
+
+def install_packs(
+    paths: tuple[str | Path, ...] | list[str | Path] = (),
+    catalog: Catalog | None = None,
+    environ: Mapping[str, str] | None = None,
+    cwd: str | Path | None = None,
+    overwrite: bool = False,
+) -> list[PackReport]:
+    """Discover and load every pack (the CLI/service entry point)."""
+    catalog = catalog or default_catalog()
+    return [
+        load_pack(file, catalog=catalog, overwrite=overwrite)
+        for file in discover_pack_files(paths, environ=environ, cwd=cwd)
+    ]

@@ -1,0 +1,514 @@
+"""The generic namespaced registry under the whole model catalog.
+
+One :class:`Catalog` holds five :class:`Namespace` maps — ``technology``,
+``architecture``, ``solver``, ``transform`` and ``generator`` — with one
+shared contract:
+
+* **one normaliser** — lookups fold case, ``-``/``_`` and whitespace, so
+  ``"ST-CMOS09-LL"``, ``"st_cmos09_ll"`` and ``"ST CMOS09 LL"`` name the
+  same entry (the rule the solver registry has always applied, now
+  applied everywhere);
+* **provenance** — every entry records whether it is ``builtin`` (ships
+  with repro), ``user`` (registered programmatically) or ``file``
+  (loaded from a plugin pack), plus a ``source`` string saying where;
+* **did-you-mean errors** — a miss raises :class:`CatalogKeyError`
+  listing the known names and the closest matches;
+* **aliases** — short labels (the Table 2 ``LL``/``HS``/``ULL``) resolve
+  to the same entry as the full name.
+
+The module is dependency-free (stdlib only) so every other repro layer
+can import it without cycles; the builtin entries are attached to the
+process-wide :data:`DEFAULT_CATALOG` by a lazy loader (see
+:mod:`repro.catalog.builtin`) the first time any namespace is read.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "CatalogKeyError",
+    "NAMESPACES",
+    "Namespace",
+    "PROVENANCES",
+    "default_catalog",
+    "normalise_name",
+]
+
+#: The five entity kinds the catalog manages.
+NAMESPACES = ("technology", "architecture", "solver", "transform", "generator")
+
+#: Where an entry can come from.
+PROVENANCES = ("builtin", "user", "file")
+
+_SEPARATORS = set("-_ \t")
+
+
+def normalise_name(name: str) -> str:
+    """The one canonical key: case-folded, ``-``/``_``/space-folded.
+
+    Runs of separators collapse to a single ``_`` so ``"RCA  hor.pipe2"``
+    and ``"rca-hor.pipe2"`` agree.  Raises :class:`ValueError` on empty
+    or non-string names — an unaddressable entry is always a bug.
+    """
+    if not isinstance(name, str):
+        raise ValueError(f"catalog names must be strings, got {name!r}")
+    pieces: list[str] = []
+    pending_separator = False
+    for char in name.strip().lower():
+        if char in _SEPARATORS:
+            pending_separator = True
+            continue
+        if pending_separator and pieces:
+            pieces.append("_")
+        pending_separator = False
+        pieces.append(char)
+    key = "".join(pieces)
+    if not key:
+        raise ValueError(f"catalog names must be non-empty, got {name!r}")
+    return key
+
+
+class CatalogKeyError(KeyError):
+    """A lookup miss, with the known names and did-you-mean suggestions.
+
+    ``str()`` is the human message (plain :class:`KeyError` would repr-
+    quote it); the structured parts stay addressable as attributes for
+    callers that re-phrase the error (CLI, HTTP 4xx bodies).
+    """
+
+    def __init__(
+        self,
+        namespace: str,
+        name: str,
+        known: tuple[str, ...],
+        suggestions: tuple[str, ...] = (),
+    ) -> None:
+        message = (
+            f"unknown {namespace} {name!r}; "
+            f"known: {', '.join(known) if known else '(none registered)'}"
+        )
+        if suggestions:
+            quoted = " or ".join(repr(s) for s in suggestions)
+            message += f" — did you mean {quoted}?"
+        super().__init__(message)
+        self.namespace = namespace
+        self.name = name
+        self.known = known
+        self.suggestions = suggestions
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One named entity: the value plus its addressing/provenance metadata."""
+
+    namespace: str
+    name: str
+    value: Any
+    summary: str = ""
+    provenance: str = "user"
+    source: str = ""
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.namespace not in NAMESPACES:
+            raise ValueError(
+                f"unknown namespace {self.namespace!r}; known: "
+                f"{', '.join(NAMESPACES)}"
+            )
+        if self.provenance not in PROVENANCES:
+            raise ValueError(
+                f"unknown provenance {self.provenance!r}; known: "
+                f"{', '.join(PROVENANCES)}"
+            )
+
+    @property
+    def key(self) -> str:
+        """The normalised registry key of :attr:`name`."""
+        return normalise_name(self.name)
+
+    def describe(self) -> str:
+        """One-line human summary for listings."""
+        origin = self.provenance + (f" ({self.source})" if self.source else "")
+        text = f"{self.name} [{origin}]"
+        return f"{text}: {self.summary}" if self.summary else text
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready metadata (see serialization for value payloads)."""
+        from .serialization import VALUE_NAMESPACES, entity_to_dict
+
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "namespace": self.namespace,
+            "summary": self.summary,
+            "provenance": self.provenance,
+            "source": self.source,
+            "aliases": list(self.aliases),
+        }
+        if self.namespace in VALUE_NAMESPACES:
+            payload["value"] = entity_to_dict(self.namespace, self.value)
+        else:
+            # Code entities reference themselves by catalog name — the
+            # value object may be anonymous (e.g. a functools.partial).
+            payload["value"] = {"$ref": self.name}
+        return payload
+
+
+class Namespace:
+    """One name → :class:`CatalogEntry` map with normalised keys.
+
+    Thread-safe: registration and lookup may race freely (the service
+    handler threads read while a pack load writes).
+    """
+
+    def __init__(self, kind: str, catalog: "Catalog | None" = None) -> None:
+        if kind not in NAMESPACES:
+            raise ValueError(
+                f"unknown namespace {kind!r}; known: {', '.join(NAMESPACES)}"
+            )
+        self.kind = kind
+        self._catalog = catalog
+        self._entries: dict[str, CatalogEntry] = {}
+        self._aliases: dict[str, str] = {}
+        self._lock = threading.RLock()
+
+    # -- writes (never trigger the lazy builtin loader) ----------------------
+    def register(
+        self,
+        name: str,
+        value: Any,
+        *,
+        summary: str = "",
+        provenance: str = "user",
+        source: str = "",
+        aliases: tuple[str, ...] | list[str] = (),
+        overwrite: bool = False,
+    ) -> CatalogEntry:
+        """Add an entry; returns it for chaining.
+
+        A taken name raises unless ``overwrite=True`` — with one
+        exception: re-registering the *same* source with an equal value
+        is an idempotent no-op, so reloading a pack file never trips on
+        itself.
+        """
+        if isinstance(aliases, str):
+            # tuple("FDX28") would silently explode into per-character
+            # aliases — an easy authoring mistake that must fail loud.
+            raise ValueError(
+                f"aliases must be a list/tuple of names, got the string "
+                f"{aliases!r}"
+            )
+        entry = CatalogEntry(
+            namespace=self.kind,
+            name=name,
+            value=value,
+            summary=summary,
+            provenance=provenance,
+            source=source,
+            aliases=tuple(aliases),
+        )
+        with self._lock:
+            key = entry.key
+            # Validate everything before mutating anything: a rejected
+            # registration must leave the namespace exactly as it was.
+            existing = self._entries.get(key)
+            if existing is not None and not overwrite:
+                same_origin = (
+                    existing.source == entry.source
+                    and existing.provenance == entry.provenance
+                    and existing.value == entry.value
+                )
+                if not same_origin:
+                    raise ValueError(
+                        f"{self.kind} name {name!r} is already registered "
+                        f"({existing.describe()}); pass overwrite=True to "
+                        f"replace it"
+                    )
+            alias_keys = [normalise_name(alias) for alias in entry.aliases]
+            if not overwrite:
+                for alias, alias_key in zip(entry.aliases, alias_keys):
+                    owner = self._aliases.get(alias_key)
+                    if (alias_key in self._entries and alias_key != key) or (
+                        owner is not None and owner != key
+                    ):
+                        raise ValueError(
+                            f"{self.kind} alias {alias!r} collides with an "
+                            f"existing entry; pass overwrite=True to "
+                            f"replace it"
+                        )
+            self._remove_aliases(key)
+            self._entries[key] = entry
+            for alias_key in alias_keys:
+                self._aliases[alias_key] = key
+        return entry
+
+    def _remove_aliases(self, key: str) -> None:
+        for alias_key in [a for a, k in self._aliases.items() if k == key]:
+            del self._aliases[alias_key]
+
+    def unregister(self, name: str) -> bool:
+        """Remove an entry (and its aliases); True when something was removed."""
+        with self._lock:
+            key = self._resolve_key(name)
+            if key is None or key not in self._entries:
+                return False
+            del self._entries[key]
+            self._remove_aliases(key)
+            return True
+
+    # -- reads ---------------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        if self._catalog is not None:
+            self._catalog.ensure_loaded()
+
+    @staticmethod
+    def _lookup_key(name: str) -> str | None:
+        """Normalise a *lookup* spelling; None for unaddressable names.
+
+        Registration rejects empty/non-string names loudly, but a
+        lookup with one (a blank ``--tech ""`` and the like) must read
+        as an ordinary miss — callers expect :class:`CatalogKeyError`
+        from lookups, never :class:`ValueError`.
+        """
+        try:
+            return normalise_name(name)
+        except ValueError:
+            return None
+
+    def _resolve_key(self, name: str) -> str | None:
+        key = self._lookup_key(name)
+        if key is None:
+            return None
+        if key in self._entries:
+            return key
+        return self._aliases.get(key)
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The full entry for ``name`` (any spelling, alias included)."""
+        self._ensure_loaded()
+        with self._lock:
+            key = self._resolve_key(name)
+            if key is not None:
+                return self._entries[key]
+            known = self._display_names()
+            suggestions: tuple[str, ...] = ()
+            lookup = self._lookup_key(name)
+            if lookup is not None:
+                candidates = sorted(set(self._entries) | set(self._aliases))
+                close = difflib.get_close_matches(
+                    lookup, candidates, n=3, cutoff=0.6
+                )
+                suggestions = tuple(
+                    self._entries[self._aliases.get(match, match)].name
+                    for match in close
+                )
+        raise CatalogKeyError(self.kind, name, tuple(known), suggestions)
+
+    def get(self, name: str) -> Any:
+        """The registered value for ``name``.
+
+        The hit path is lock-free (CPython dict reads are atomic, and
+        entries are immutable) — this sits under every scenario/study
+        name resolution; misses take :meth:`entry`'s slow path for the
+        full did-you-mean error.
+        """
+        self._ensure_loaded()
+        key = self._lookup_key(name)
+        entry = self._entries.get(key) if key is not None else None
+        if entry is None and key is not None:
+            alias_owner = self._aliases.get(key)
+            if alias_owner is not None:
+                entry = self._entries.get(alias_owner)
+        if entry is not None:
+            return entry.value
+        return self.entry(name).value
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        with self._lock:
+            return self._resolve_key(name) is not None
+
+    def _display_names(self) -> list[str]:
+        return [self._entries[key].name for key in sorted(self._entries)]
+
+    def names(self) -> tuple[str, ...]:
+        """Display names of every entry, sorted by normalised key."""
+        self._ensure_loaded()
+        with self._lock:
+            return tuple(self._display_names())
+
+    def entries(self) -> tuple[CatalogEntry, ...]:
+        """Every entry, sorted by normalised key."""
+        self._ensure_loaded()
+        with self._lock:
+            return tuple(self._entries[key] for key in sorted(self._entries))
+
+    def summaries(self) -> dict[str, str]:
+        """``{normalised name: one-line summary}`` (the listing shape)."""
+        self._ensure_loaded()
+        with self._lock:
+            return {key: self._entries[key].summary for key in sorted(self._entries)}
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self.entries())
+
+
+@dataclass
+class _CatalogState:
+    """Snapshot payload for :meth:`Catalog.snapshot`/:meth:`Catalog.restore`."""
+
+    entries: dict[str, dict[str, CatalogEntry]] = field(default_factory=dict)
+    aliases: dict[str, dict[str, str]] = field(default_factory=dict)
+
+
+class Catalog:
+    """Five namespaces plus lazy loaders for the builtin population.
+
+    Loaders (see :meth:`add_loader`) run exactly once, on the first read
+    access to any namespace; registration never triggers them, so a
+    loader can itself register entries without recursing.
+    """
+
+    def __init__(self) -> None:
+        self._namespaces = {
+            kind: Namespace(kind, catalog=self) for kind in NAMESPACES
+        }
+        self._loaders: list[Callable[["Catalog"], None]] = []
+        self._loaded = False
+        self._loading_thread: int | None = None
+        self._load_lock = threading.RLock()
+
+    # -- namespaces ----------------------------------------------------------
+    def namespace(self, kind: str) -> Namespace:
+        try:
+            return self._namespaces[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown namespace {kind!r}; known: {', '.join(NAMESPACES)}"
+            ) from None
+
+    @property
+    def technologies(self) -> Namespace:
+        return self._namespaces["technology"]
+
+    @property
+    def architectures(self) -> Namespace:
+        return self._namespaces["architecture"]
+
+    @property
+    def solvers(self) -> Namespace:
+        return self._namespaces["solver"]
+
+    @property
+    def transforms(self) -> Namespace:
+        return self._namespaces["transform"]
+
+    @property
+    def generators(self) -> Namespace:
+        return self._namespaces["generator"]
+
+    # -- convenience forwarding ----------------------------------------------
+    def register(self, kind: str, name: str, value: Any, **metadata) -> CatalogEntry:
+        return self.namespace(kind).register(name, value, **metadata)
+
+    def get(self, kind: str, name: str) -> Any:
+        return self.namespace(kind).get(name)
+
+    def entry(self, kind: str, name: str) -> CatalogEntry:
+        return self.namespace(kind).entry(name)
+
+    # -- lazy population -----------------------------------------------------
+    def add_loader(self, loader: Callable[["Catalog"], None]) -> None:
+        """Queue a population hook; re-arms loading if already done."""
+        with self._load_lock:
+            self._loaders.append(loader)
+            self._loaded = False
+
+    def ensure_loaded(self) -> None:
+        """Run any pending loaders (re-entrancy safe, failure-retrying).
+
+        Concurrent first reads *block* until the in-progress load
+        finishes — only the loading thread itself passes through early
+        (a loader registering entries must not recurse).  A loader that
+        raises stays queued and its error propagates to the reader —
+        the next read retries it rather than silently serving a
+        half-populated catalog, so loaders must be idempotent (the
+        builtin loader and pack loads both are).
+        """
+        if self._loaded:
+            return
+        if self._loading_thread == threading.get_ident():
+            return  # re-entrant read from inside a loader
+        with self._load_lock:
+            if self._loaded:
+                return
+            self._loading_thread = threading.get_ident()
+            try:
+                while self._loaders:
+                    self._loaders[0](self)
+                    self._loaders.pop(0)
+                self._loaded = True
+            finally:
+                self._loading_thread = None
+
+    # -- aggregate views -----------------------------------------------------
+    def payload(self) -> dict[str, Any]:
+        """The whole catalog, JSON-ready: the ``/v1/catalog`` shape."""
+        self.ensure_loaded()
+        return {
+            kind: {
+                entry.key: entry.to_dict()
+                for entry in self._namespaces[kind].entries()
+            }
+            for kind in NAMESPACES
+        }
+
+    def describe(self) -> str:
+        """One line per namespace with entry counts."""
+        self.ensure_loaded()
+        return "\n".join(
+            f"{kind}: {len(self._namespaces[kind])} entries"
+            for kind in NAMESPACES
+        )
+
+    # -- test support --------------------------------------------------------
+    def snapshot(self) -> _CatalogState:
+        """Copy the current entries (for restore after a mutating test)."""
+        self.ensure_loaded()
+        state = _CatalogState()
+        for kind, namespace in self._namespaces.items():
+            with namespace._lock:
+                state.entries[kind] = dict(namespace._entries)
+                state.aliases[kind] = dict(namespace._aliases)
+        return state
+
+    def restore(self, state: _CatalogState) -> None:
+        """Reset every namespace to a previous :meth:`snapshot`."""
+        for kind, namespace in self._namespaces.items():
+            with namespace._lock:
+                namespace._entries = dict(state.entries.get(kind, {}))
+                namespace._aliases = dict(state.aliases.get(kind, {}))
+
+
+#: The process-wide catalog every repro surface reads; builtin entries
+#: and environment packs attach via the loader wired in
+#: :mod:`repro.catalog.__init__`.
+DEFAULT_CATALOG = Catalog()
+
+
+def default_catalog() -> Catalog:
+    """The process-wide catalog (one shared instance)."""
+    return DEFAULT_CATALOG

@@ -1,0 +1,136 @@
+"""``to_dict``/``from_dict`` round-trips for every catalog entity.
+
+Two entity families serialise differently:
+
+* **value entities** (``technology``, ``architecture``) are frozen
+  dataclasses of plain floats — their payload is the full field dict,
+  and ``entity_from_dict`` rebuilds an equal instance from it;
+* **code entities** (``solver``, ``transform``, ``generator``) are
+  Python callables/objects — their payload is a *reference*
+  (``{"$ref": name}``), and ``entity_from_dict`` resolves it back
+  through the catalog, so a round-trip returns the registered object
+  itself.
+
+Both directions accept a bare string as shorthand for a reference, which
+is what lets :class:`~repro.explore.scenario.Scenario` JSON say
+``"technologies": ["LL", "my-pack-flavour"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields, is_dataclass
+from functools import lru_cache
+from typing import Any, Mapping
+
+from .registry import Catalog, NAMESPACES, default_catalog
+
+__all__ = [
+    "REFERENCE_NAMESPACES",
+    "VALUE_NAMESPACES",
+    "entity_from_dict",
+    "entity_to_dict",
+]
+
+#: Namespaces whose entries serialise as full field payloads.
+VALUE_NAMESPACES = ("technology", "architecture")
+
+#: Namespaces whose entries serialise as by-name references.
+REFERENCE_NAMESPACES = ("solver", "transform", "generator")
+
+
+def _check_namespace(namespace: str) -> None:
+    if namespace not in NAMESPACES:
+        raise ValueError(
+            f"unknown namespace {namespace!r}; known: {', '.join(NAMESPACES)}"
+        )
+
+
+def _dataclass_payload(value: Any) -> dict[str, Any]:
+    payload = asdict(value)
+    return payload
+
+
+def entity_to_dict(namespace: str, value: Any) -> dict[str, Any] | None:
+    """The JSON payload of one catalog value (None when value-less).
+
+    Value entities yield their full field dict; code entities yield a
+    ``{"$ref": name}`` reference when they carry a usable name, else
+    ``None`` (metadata-only entries still list fine).
+    """
+    _check_namespace(namespace)
+    if namespace in VALUE_NAMESPACES:
+        if is_dataclass(value) and not isinstance(value, type):
+            return _dataclass_payload(value)
+        if isinstance(value, Mapping):
+            return dict(value)
+        raise TypeError(
+            f"{namespace} entities must be dataclasses or mappings, "
+            f"got {value!r}"
+        )
+    name = getattr(value, "name", None) or getattr(value, "__name__", None)
+    if isinstance(name, str) and name:
+        return {"$ref": name}
+    return None
+
+
+@lru_cache(maxsize=None)
+def _value_class(namespace: str):
+    """The dataclass of a value namespace plus its field-name set (cached:
+    this sits on the per-request Scenario.from_dict hot path)."""
+    if namespace == "technology":
+        from ..core.technology import Technology as cls
+    else:
+        from ..core.architecture import ArchitectureParameters as cls
+    return cls, frozenset(f.name for f in fields(cls))
+
+
+def _value_from_payload(
+    namespace: str, payload: Mapping[str, Any], strict: bool = False
+) -> Any:
+    """Rebuild a value entity from its field payload.
+
+    Unknown keys are dropped by default (the historical Scenario-JSON
+    leniency); ``strict=True`` rejects them — a typo'd pack field must
+    not silently fall back to the dataclass default.
+    """
+    cls, known = _value_class(namespace)
+    if strict:
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown {namespace} field(s) {sorted(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+    return cls(**{key: val for key, val in payload.items() if key in known})
+
+
+def entity_from_dict(
+    namespace: str,
+    payload: Any,
+    catalog: Catalog | None = None,
+    strict: bool = False,
+) -> Any:
+    """Rebuild/resolve one catalog entity from its JSON payload.
+
+    Accepts, for every namespace: a bare string (catalog lookup by any
+    spelling) or a ``{"$ref": name}`` reference.  Value namespaces
+    additionally accept the full field payload, which constructs a fresh
+    instance without touching the catalog; ``strict=True`` rejects
+    unknown field keys there (the pack loader's fail-loud mode).
+    """
+    _check_namespace(namespace)
+    catalog = catalog or default_catalog()
+    if isinstance(payload, str):
+        return catalog.get(namespace, payload)
+    if isinstance(payload, Mapping):
+        if "$ref" in payload:
+            return catalog.get(namespace, payload["$ref"])
+        if namespace in VALUE_NAMESPACES:
+            return _value_from_payload(namespace, payload, strict=strict)
+        raise TypeError(
+            f"{namespace} payloads must be names or {{'$ref': name}} "
+            f"references, got {dict(payload)!r}"
+        )
+    raise TypeError(
+        f"cannot rebuild a {namespace} entity from {payload!r}"
+    )

@@ -11,7 +11,11 @@ Commands
 ``verify``          functionally verify generated multipliers
 ``export-verilog``  write structural Verilog for a generated multiplier
 ``characterize``    run the synthetic-SPICE extraction for a flavour
-``list``            list architectures, registered solvers and transform ops
+``list``            list the model catalog (``--json`` for all namespaces)
+
+Commands touching the model catalog (``optimize``, ``explore``, ``list``,
+``serve``) accept ``--packs PATH`` to load user plugin packs; packs named
+by ``$REPRO_PACKS`` and found in ``./repro.d/`` load automatically.
 """
 
 from __future__ import annotations
@@ -38,16 +42,83 @@ def _resolve_flavour(label: str):
         return None
 
 
+def _install_packs(args) -> bool:
+    """Load any ``--packs`` plugin packs; False (after stderr) on failure."""
+    from .catalog import PackError, install_packs
+
+    try:
+        install_packs(tuple(getattr(args, "packs", None) or ()))
+    except PackError as error:
+        print(str(error), file=sys.stderr)
+        return False
+    return True
+
+
+#: ``repro optimize``'s explicit-architecture flags: (flag, args attribute,
+#: default applied when building by hand).  ``--arch`` conflicts with all
+#: of them — silently dropping any would yield a confidently wrong optimum.
+_OPTIMIZE_ARCH_FLAGS = (
+    ("--name", "name", "circuit"),
+    ("--n-cells", "n_cells", None),
+    ("--activity", "activity", None),
+    ("--logical-depth", "logical_depth", None),
+    ("--capacitance", "capacitance", 70e-15),
+    ("--io-factor", "io_factor", 18.0),
+    ("--zeta-factor", "zeta_factor", 0.2),
+)
+
+
+def _resolve_architecture(args):
+    """The optimize command's architecture: ``--arch`` name or explicit fields."""
+    if args.arch is not None:
+        given = [
+            flag
+            for flag, attribute, _ in _OPTIMIZE_ARCH_FLAGS
+            if getattr(args, attribute) is not None
+        ]
+        if given:
+            print(
+                f"--arch {args.arch!r} conflicts with {', '.join(given)}; "
+                f"give a catalog name or explicit parameters, not both",
+                file=sys.stderr,
+            )
+            return None
+        from .catalog import CatalogKeyError, default_catalog
+
+        try:
+            return default_catalog().architectures.get(args.arch)
+        except CatalogKeyError as error:
+            print(str(error), file=sys.stderr)
+            return None
+    values = {
+        attribute: (
+            getattr(args, attribute)
+            if getattr(args, attribute) is not None
+            else default
+        )
+        for _, attribute, default in _OPTIMIZE_ARCH_FLAGS
+    }
+    missing = [
+        flag
+        for flag, attribute, default in _OPTIMIZE_ARCH_FLAGS
+        if default is None and values[attribute] is None
+    ]
+    if missing:
+        print(
+            f"missing {', '.join(missing)} (or use --arch with a catalog "
+            f"architecture name)",
+            file=sys.stderr,
+        )
+        return None
+    return ArchitectureParameters(**values)
+
+
 def _cmd_optimize(args) -> int:
-    arch = ArchitectureParameters(
-        name=args.name,
-        n_cells=args.n_cells,
-        activity=args.activity,
-        logical_depth=args.logical_depth,
-        capacitance=args.capacitance,
-        io_factor=args.io_factor,
-        zeta_factor=args.zeta_factor,
-    )
+    if not _install_packs(args):
+        return 2
+    arch = _resolve_architecture(args)
+    if arch is None:
+        return 2
     tech = _resolve_flavour(args.tech)
     if tech is None:
         return 2
@@ -92,6 +163,8 @@ _EXPLORE_METHOD_SOLVERS = {
 def _cmd_explore(args) -> int:
     from .explore.scenario import Scenario, demo_scenario
 
+    if not _install_packs(args):
+        return 2
     if args.scenario:
         try:
             with open(args.scenario, "r", encoding="utf-8") as handle:
@@ -239,8 +312,18 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_list(args) -> int:
-    from .listing import render_listing
+    import json as json_module
 
+    from .listing import SECTION_NAMESPACES, catalog_payload, render_listing
+
+    if not _install_packs(args):
+        return 2
+    if args.json:
+        payload = catalog_payload()
+        if args.what != "all":
+            payload = payload[SECTION_NAMESPACES[args.what]]
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(render_listing(args.what))
     return 0
 
@@ -254,6 +337,8 @@ def _cmd_serve(args) -> int:
         level=logging.DEBUG if args.verbose else logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
+    if not _install_packs(args):
+        return 2
     try:
         config = ServiceConfig(
             host=args.host,
@@ -315,26 +400,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every catalog-touching command: load user plugin packs
+    # (JSON/TOML) on top of $REPRO_PACKS and ./repro.d/ discovery.
+    packs_parent = argparse.ArgumentParser(add_help=False)
+    packs_parent.add_argument(
+        "--packs", action="append", default=None, metavar="PATH",
+        help="plugin pack file or directory to load (repeatable); "
+             "$REPRO_PACKS and ./repro.d/ are always scanned",
+    )
+
     optimize = commands.add_parser(
-        "optimize", help="optimal working point for explicit parameters"
+        "optimize",
+        parents=[packs_parent],
+        help="optimal working point for explicit or catalog parameters",
     )
-    optimize.add_argument("--name", default="circuit")
-    optimize.add_argument("--n-cells", type=float, required=True, dest="n_cells")
-    optimize.add_argument("--activity", type=float, required=True)
+    # The explicit-architecture flags default to None so --arch can
+    # detect (and reject) any of them; _resolve_architecture applies
+    # the historical defaults (name=circuit, C=70 fF, io=18, zeta=0.2).
+    optimize.add_argument("--name", default=None)
     optimize.add_argument(
-        "--logical-depth", type=float, required=True, dest="logical_depth"
+        "--arch", default=None,
+        help="catalog architecture name (alternative to the explicit "
+             "--n-cells/--activity/--logical-depth parameters)",
+    )
+    optimize.add_argument("--n-cells", type=float, default=None, dest="n_cells")
+    optimize.add_argument("--activity", type=float, default=None)
+    optimize.add_argument(
+        "--logical-depth", type=float, default=None, dest="logical_depth"
     )
     optimize.add_argument(
-        "--capacitance", type=float, default=70e-15,
-        help="per-cell equivalent capacitance [F]",
+        "--capacitance", type=float, default=None,
+        help="per-cell equivalent capacitance [F] (default 70e-15)",
     )
-    optimize.add_argument("--io-factor", type=float, default=18.0, dest="io_factor")
+    optimize.add_argument("--io-factor", type=float, default=None, dest="io_factor")
     optimize.add_argument(
-        "--zeta-factor", type=float, default=0.2, dest="zeta_factor"
+        "--zeta-factor", type=float, default=None, dest="zeta_factor"
     )
     optimize.add_argument(
         "--tech", default="LL",
-        help="technology flavour label (LL, HS or ULL)",
+        help="catalog technology name or alias (LL, HS, ULL, or any "
+             "registered/pack-defined technology)",
     )
     optimize.add_argument("--frequency", type=float, default=31.25e6)
     optimize.add_argument(
@@ -344,7 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.set_defaults(handler=_cmd_optimize)
 
     explore = commands.add_parser(
-        "explore", help="batch design-space exploration over a scenario"
+        "explore",
+        parents=[packs_parent],
+        help="batch design-space exploration over a scenario",
     )
     explore.add_argument(
         "scenario", nargs="?", default=None,
@@ -413,16 +520,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = commands.add_parser(
         "list",
-        help="list architectures, registered solvers and transform ops",
+        parents=[packs_parent],
+        help="list the model catalog: architectures, solvers, transforms, "
+             "technologies and parameter summaries",
     )
     lister.add_argument(
         "what", nargs="?", default="all",
-        choices=["all", "architectures", "solvers", "transforms"],
+        choices=[
+            "all", "architectures", "solvers", "transforms",
+            "technologies", "parameters",
+        ],
+    )
+    lister.add_argument(
+        "--json", action="store_true",
+        help="emit the full catalog (all five namespaces, with "
+             "provenance) as JSON",
     )
     lister.set_defaults(handler=_cmd_list)
 
     serve = commands.add_parser(
-        "serve", help="HTTP/JSON exploration service over the Study surface"
+        "serve",
+        parents=[packs_parent],
+        help="HTTP/JSON exploration service over the Study surface",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -473,7 +592,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    parser = build_parser()
+    from .catalog import PackError
+
+    try:
+        # Building the parser reads the solver registry, which may load
+        # $REPRO_PACKS / repro.d/ packs — surface a broken pack as a
+        # clean exit 2 instead of a traceback.
+        parser = build_parser()
+    except PackError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     args = parser.parse_args(argv)
     return args.handler(args)
 

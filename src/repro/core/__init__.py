@@ -48,15 +48,6 @@ from .power_model import (
     static_power,
     total_power,
 )
-from .selection import (
-    Candidate,
-    best_architecture,
-    best_technology,
-    evaluate_candidates,
-    rank_architectures,
-    rank_technologies,
-    selection_matrix,
-)
 from .sensitivity import (
     crossover_frequency,
     elasticities,
@@ -86,9 +77,30 @@ from .transforms import (
     sequentialize,
 )
 
+#: Deprecated selection shims, resolved lazily (PEP 562) so that plain
+#: ``import repro`` stays silent and only actual use of the old
+#: selection API triggers repro.core.selection's DeprecationWarning.
+_SELECTION_EXPORTS = (
+    "Candidate",
+    "best_architecture",
+    "best_technology",
+    "evaluate_candidates",
+    "rank_architectures",
+    "rank_technologies",
+    "selection_matrix",
+)
+
+
+def __getattr__(name: str):
+    if name in _SELECTION_EXPORTS:
+        from . import selection
+
+        return getattr(selection, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ArchitectureParameters",
-    "Candidate",
     "ClosedFormBreakdown",
     "DEFAULT_TEMPERATURE",
     "DIAGONAL_PIPELINE",
@@ -112,8 +124,6 @@ __all__ = [
     "Technology",
     "UT_300K",
     "approximation_error_percent",
-    "best_architecture",
-    "best_technology",
     "bounded_constrained_power",
     "bounded_optimum",
     "calibrate_row",
@@ -131,7 +141,6 @@ __all__ = [
     "elasticity",
     "energy_point",
     "energy_sweep",
-    "evaluate_candidates",
     "fit_vdd_root",
     "flavour",
     "flavour_line",
@@ -150,9 +159,6 @@ __all__ = [
     "power_breakdown",
     "ptot_eq13",
     "ptot_eq13_adaptive",
-    "rank_architectures",
-    "rank_technologies",
-    "selection_matrix",
     "sequentialize",
     "static_power",
     "sweep",

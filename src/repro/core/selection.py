@@ -21,6 +21,16 @@ from .architecture import ArchitectureParameters
 from .optimum import OperatingPoint, OptimizationResult
 from .technology import Technology
 
+# The whole module is a deprecated shim; repro.core only resolves it
+# lazily (PEP 562), so this fires for actual selection-API users and
+# not for every `import repro`.
+warnings.warn(
+    "repro.core.selection is deprecated; use repro.Study "
+    "(Study(...).solver('numerical').run()) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 #: The provenance tag :func:`repro.core.numerical.numerical_optimum` has
 #: always stamped on its operating points; the shim restores it when
 #: rebuilding results from flat Study records so equality with a direct

@@ -158,16 +158,29 @@ ST_CMOS09_FLAVOURS = {
 
 
 def flavour(label: str) -> Technology:
-    """Look up a published ST CMOS09 flavour by its Table 2 label.
+    """Look up a technology by catalog name (Table 2 flavours builtin).
+
+    The Table 2 short labels (``"LL"``, ``"HS"``, ``"ULL"``) are catalog
+    aliases of the full flavour names, so both spellings work in any
+    case, and technologies added by the user — programmatically or via a
+    plugin pack — resolve here identically.
 
     >>> flavour("LL").alpha
     1.86
     """
+    from ..catalog import CatalogKeyError, default_catalog
+
     try:
-        return ST_CMOS09_FLAVOURS[label.upper()]
-    except KeyError:
-        known = ", ".join(sorted(ST_CMOS09_FLAVOURS))
-        raise KeyError(f"unknown technology flavour {label!r}; known: {known}")
+        return default_catalog().technologies.get(label)
+    except CatalogKeyError as error:
+        message = (
+            f"unknown technology flavour {label!r}; "
+            f"known: {', '.join(error.known)}"
+        )
+        if error.suggestions:
+            quoted = " or ".join(repr(s) for s in error.suggestions)
+            message += f" — did you mean {quoted}?"
+        raise KeyError(message) from None
 
 
 def flavour_line(t: float) -> Technology:

@@ -11,7 +11,7 @@ wire, and key the on-disk result cache by content hash.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass
 from typing import Any, Mapping
 
 import numpy as np
@@ -35,6 +35,10 @@ class TransformStep:
     op: str
     args: tuple[tuple[str, Any], ...] = ()
 
+    #: The builtin Section 4 moves.  Kept as a class attribute for
+    #: backwards compatibility; lookups go through the catalog's
+    #: ``transform`` namespace, so ops registered there (user transforms
+    #: included, builtin overrides too) are valid in scenarios.
     _APPLIERS = {
         "parallelize": parallelize,
         "pipeline": pipeline,
@@ -42,9 +46,22 @@ class TransformStep:
     }
 
     def __post_init__(self) -> None:
-        if self.op not in self._APPLIERS:
-            known = ", ".join(sorted(self._APPLIERS))
-            raise ValueError(f"unknown transform op {self.op!r}; known: {known}")
+        self._applier()  # fail fast on unknown ops, with did-you-mean
+
+    def _applier(self):
+        from ..catalog import CatalogKeyError, default_catalog
+
+        try:
+            return default_catalog().transforms.get(self.op)
+        except CatalogKeyError as error:
+            message = (
+                f"unknown transform op {self.op!r}; "
+                f"known: {', '.join(error.known)}"
+            )
+            if error.suggestions:
+                quoted = " or ".join(repr(s) for s in error.suggestions)
+                message += f" — did you mean {quoted}?"
+            raise ValueError(message) from None
 
     @property
     def params(self) -> dict[str, Any]:
@@ -53,7 +70,7 @@ class TransformStep:
 
     def apply(self, arch: ArchitectureParameters) -> ArchitectureParameters:
         """Apply this step to an architecture summary."""
-        return self._APPLIERS[self.op](arch, **self.params)
+        return self._applier()(arch, **self.params)
 
     def to_dict(self) -> dict[str, Any]:
         return {"op": self.op, **self.params}
@@ -147,11 +164,17 @@ def _architecture_to_dict(arch: ArchitectureParameters) -> dict[str, Any]:
     return asdict(arch)
 
 
-def _architecture_from_dict(payload: Mapping[str, Any]) -> ArchitectureParameters:
-    known = {f.name for f in fields(ArchitectureParameters)}
-    return ArchitectureParameters(
-        **{key: value for key, value in payload.items() if key in known}
-    )
+def _architecture_from_spec(spec: Any) -> ArchitectureParameters:
+    """An architecture object, catalog name, ``$ref`` or field payload."""
+    if isinstance(spec, ArchitectureParameters):
+        return spec
+    from ..catalog import entity_from_dict
+
+    return entity_from_dict("architecture", spec)
+
+
+#: Backwards-compatible alias (historical name took only field payloads).
+_architecture_from_dict = _architecture_from_spec
 
 
 def _technology_to_dict(tech: Technology) -> dict[str, Any]:
@@ -159,12 +182,12 @@ def _technology_to_dict(tech: Technology) -> dict[str, Any]:
 
 
 def _technology_from_spec(spec: Any) -> Technology:
+    """A technology object, catalog name/alias, ``$ref`` or field payload."""
     if isinstance(spec, Technology):
         return spec
-    if isinstance(spec, str):
-        return flavour(spec)
-    known = {f.name for f in fields(Technology)}
-    return Technology(**{key: value for key, value in spec.items() if key in known})
+    from ..catalog import entity_from_dict
+
+    return entity_from_dict("technology", spec)
 
 
 @dataclass(frozen=True)
@@ -187,6 +210,21 @@ class Scenario:
     description: str = ""
 
     def __post_init__(self) -> None:
+        # Bare catalog names (and {"$ref": ...} payloads) are accepted
+        # anywhere objects are; resolve them up front so expansion,
+        # serialisation and content hashing always see real objects.
+        if any(not isinstance(a, ArchitectureParameters) for a in self.architectures):
+            object.__setattr__(
+                self,
+                "architectures",
+                tuple(_architecture_from_spec(a) for a in self.architectures),
+            )
+        if any(not isinstance(t, Technology) for t in self.technologies):
+            object.__setattr__(
+                self,
+                "technologies",
+                tuple(_technology_from_spec(t) for t in self.technologies),
+            )
         if not self.architectures:
             raise ValueError("scenario needs at least one architecture")
         if not self.technologies:
@@ -245,11 +283,18 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its JSON payload.
+
+        Architecture and technology specs may each be a full field
+        payload, a bare catalog name (``"RCA16"``, ``"LL"``,
+        pack-defined entries included) or a ``{"$ref": name}`` reference
+        — all resolved through the one catalog normaliser.
+        """
         return cls(
             name=payload["name"],
             description=payload.get("description", ""),
             architectures=tuple(
-                _architecture_from_dict(spec) for spec in payload["architectures"]
+                _architecture_from_spec(spec) for spec in payload["architectures"]
             ),
             technologies=tuple(
                 _technology_from_spec(spec) for spec in payload["technologies"]

@@ -4,6 +4,13 @@ Each entry is a zero-argument factory returning a verified-construction
 :class:`~repro.generators.base.MultiplierImplementation`.  Names match the
 Table 1 rows exactly so experiment code can join generated circuits with
 published data.
+
+The factories live in the model catalog's ``generator`` namespace (the
+:data:`MULTIPLIER_FACTORIES` dict below is the builtin source the
+catalog loader registers); :func:`build_multiplier` resolves through the
+catalog, so user factories added with
+``repro.catalog.default_catalog().generators.register(...)`` build by
+name exactly like the Table 1 rows.
 """
 
 from __future__ import annotations
@@ -75,16 +82,26 @@ MULTIPLIER_NAMES = list(MULTIPLIER_FACTORIES)
 
 
 def build_multiplier(name: str) -> MultiplierImplementation:
-    """Build one of the thirteen paper multipliers by Table 1 name.
+    """Build a registered multiplier by catalog name (Table 1 rows builtin).
+
+    Lookup goes through the model catalog's ``generator`` namespace, so
+    any spelling the catalog normaliser folds together works
+    (``"wallace"`` builds the ``"Wallace"`` row) and user-registered
+    generator factories are buildable by name too.
 
     >>> build_multiplier("Wallace").width
     16
     """
+    from ..catalog import CatalogKeyError, default_catalog
+
     try:
-        factory = MULTIPLIER_FACTORIES[name]
-    except KeyError:
-        known = ", ".join(MULTIPLIER_NAMES)
-        raise KeyError(f"unknown multiplier {name!r}; known: {known}")
+        factory = default_catalog().generators.get(name)
+    except CatalogKeyError as error:
+        message = f"unknown multiplier {name!r}; known: {', '.join(error.known)}"
+        if error.suggestions:
+            quoted = " or ".join(repr(s) for s in error.suggestions)
+            message += f" — did you mean {quoted}?"
+        raise KeyError(message) from None
     implementation = factory()
     return implementation
 

@@ -1,12 +1,24 @@
 """One source of truth for "what is in this build?" listings.
 
-``repro list`` and the service's ``GET /v1/solvers`` /
-``GET /v1/architectures`` answer the same questions — which Table 1
-architectures can be generated, which solve paths are registered, which
-Section 4 transform ops exist — and must never drift apart.  Both pull
-from these helpers, which in turn read the live registries (generator
-factories, solver registry, transform appliers) rather than hard-coded
-copies.
+``repro list`` and the service introspection routes (``GET /v1/solvers``,
+``GET /v1/catalog``) answer the same questions — which entities are
+addressable by name right now, and where did each come from — and must
+never drift apart.  Everything here reads the live model catalog
+(:mod:`repro.catalog`), so builtin entries, programmatic registrations
+and plugin-pack entries all show up identically.
+
+Two payload shapes coexist:
+
+* :func:`listing_payload` — the historical ``/v1/solvers`` shape
+  (Table 1 architecture names, solver and transform summaries);
+* :func:`catalog_payload` — the full five-namespace catalog with
+  provenance and value payloads (``repro list --json``,
+  ``GET /v1/catalog``).
+
+Vocabulary note: the CLI's ``architectures`` section has always meant
+the *generatable Table 1 multipliers*, which live in the catalog's
+``generator`` namespace; the catalog's ``architecture`` namespace (the
+Eq. 13 parameter summaries) renders as the ``parameters`` section.
 """
 
 from __future__ import annotations
@@ -15,18 +27,46 @@ from typing import Any
 
 __all__ = [
     "architecture_names",
+    "catalog_payload",
     "listing_payload",
+    "parameter_listing",
     "render_listing",
     "solver_listing",
+    "technology_listing",
     "transform_listing",
 ]
 
+#: ``repro list`` section name → catalog namespace.
+SECTION_NAMESPACES = {
+    "architectures": "generator",
+    "solvers": "solver",
+    "transforms": "transform",
+    "technologies": "technology",
+    "parameters": "architecture",
+}
+
+
+def _catalog():
+    from .catalog import default_catalog
+
+    return default_catalog()
+
 
 def architecture_names() -> list[str]:
-    """The generatable Table 1 multiplier architectures, in table order."""
+    """The generatable multiplier architectures, Table 1 rows first.
+
+    Table 1 rows keep their historical table order; any further
+    generator registered in the catalog (user factories) follows,
+    sorted.
+    """
     from .generators.registry import MULTIPLIER_NAMES
 
-    return list(MULTIPLIER_NAMES)
+    table_order = list(MULTIPLIER_NAMES)
+    known = set(table_order)
+    extras = [
+        name for name in _catalog().generators.names() if name not in known
+    ]
+    return table_order + extras
 
 
 def solver_listing() -> dict[str, str]:
@@ -37,18 +77,26 @@ def solver_listing() -> dict[str, str]:
 
 
 def transform_listing() -> dict[str, str]:
-    """``{op name: one-line summary}`` for the Section 4 transform ops."""
-    from .explore.scenario import TransformStep
+    """``{op name: one-line summary}`` for the registered transform ops."""
+    return _catalog().transforms.summaries()
 
-    summaries = {}
-    for op, applier in sorted(TransformStep._APPLIERS.items()):
-        doc = (applier.__doc__ or "").strip()
-        summaries[op] = doc.splitlines()[0] if doc else ""
-    return summaries
+
+def technology_listing() -> dict[str, str]:
+    """``{technology name: one-line summary}`` from the catalog."""
+    return {
+        entry.name: entry.summary for entry in _catalog().technologies
+    }
+
+
+def parameter_listing() -> dict[str, str]:
+    """``{architecture-summary name: description}`` from the catalog."""
+    return {
+        entry.name: entry.summary for entry in _catalog().architectures
+    }
 
 
 def listing_payload() -> dict[str, Any]:
-    """Everything at once, JSON-ready (the ``/v1/solvers`` shape)."""
+    """The historical aggregate (the ``/v1/solvers`` shape), JSON-ready."""
     return {
         "architectures": architecture_names(),
         "solvers": solver_listing(),
@@ -56,37 +104,54 @@ def listing_payload() -> dict[str, Any]:
     }
 
 
+def catalog_payload() -> dict[str, Any]:
+    """The full five-namespace catalog with provenance (``/v1/catalog``)."""
+    return _catalog().payload()
+
+
+def _column_lines(entries: dict[str, str], header: str | None) -> list[str]:
+    lines = [header] if header is not None else []
+    if not entries:
+        return lines or ["(none registered)"]
+    width = max(len(name) for name in entries)
+    indent = "  " if header is not None else ""
+    lines += [
+        f"{indent}{name:<{width}}  {summary}".rstrip()
+        for name, summary in entries.items()
+    ]
+    return lines
+
+
 def render_listing(what: str = "all") -> str:
     """Human-readable listing for the CLI (``what`` filters the section)."""
     sections: list[str] = []
+    include_headers = what == "all"
     if what in ("all", "architectures"):
         lines = architecture_names()
-        if what == "all":
+        if include_headers:
             lines = [f"architectures ({len(lines)}):", *(f"  {n}" for n in lines)]
         sections.append("\n".join(lines))
     if what in ("all", "solvers"):
         solvers = solver_listing()
-        lines = [f"solvers ({len(solvers)}):"] if what == "all" else []
-        width = max(len(name) for name in solvers)
-        indent = "  " if what == "all" else ""
-        lines += [
-            f"{indent}{name:<{width}}  {summary}"
-            for name, summary in solvers.items()
-        ]
-        sections.append("\n".join(lines))
+        header = f"solvers ({len(solvers)}):" if include_headers else None
+        sections.append("\n".join(_column_lines(solvers, header)))
     if what in ("all", "transforms"):
         transforms = transform_listing()
-        lines = [f"transforms ({len(transforms)}):"] if what == "all" else []
-        width = max(len(op) for op in transforms)
-        indent = "  " if what == "all" else ""
-        lines += [
-            f"{indent}{op:<{width}}  {summary}"
-            for op, summary in transforms.items()
-        ]
-        sections.append("\n".join(lines))
-    if not sections:
-        raise ValueError(
-            f"unknown listing {what!r}; expected 'all', 'architectures', "
-            f"'solvers' or 'transforms'"
+        header = f"transforms ({len(transforms)}):" if include_headers else None
+        sections.append("\n".join(_column_lines(transforms, header)))
+    if what in ("all", "technologies"):
+        technologies = technology_listing()
+        header = (
+            f"technologies ({len(technologies)}):" if include_headers else None
         )
+        sections.append("\n".join(_column_lines(technologies, header)))
+    if what in ("all", "parameters"):
+        parameters = parameter_listing()
+        header = (
+            f"parameters ({len(parameters)}):" if include_headers else None
+        )
+        sections.append("\n".join(_column_lines(parameters, header)))
+    if not sections:
+        known = ", ".join(["all", *SECTION_NAMESPACES])
+        raise ValueError(f"unknown listing {what!r}; expected one of: {known}")
     return "\n\n".join(sections)

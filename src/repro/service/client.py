@@ -102,6 +102,10 @@ class ServiceClient:
     def architectures(self) -> list[str]:
         return list(self._get("/v1/architectures")["architectures"])
 
+    def catalog(self) -> dict[str, Any]:
+        """The full model catalog: all five namespaces with provenance."""
+        return self._get("/v1/catalog")
+
     def cache_stats(self) -> dict[str, Any]:
         return self._get("/v1/cache/stats")
 

@@ -14,9 +14,16 @@ Routes
 ``GET  /v1/healthz``       liveness + version + counters
 ``GET  /v1/solvers``       registered solvers / architectures / transforms
 ``GET  /v1/architectures`` generatable Table 1 architecture names
+``GET  /v1/catalog``       the full model catalog (all five namespaces,
+                           provenance included — pack entries show here)
 ``GET  /v1/cache/stats``   both cache tiers + coalescer counters
 ``POST /v1/explore``       Scenario JSON in → records out (NDJSON optional)
 ``POST /v1/optimize``      one (architecture, technology, frequency) solve
+
+``/v1/explore`` and ``/v1/optimize`` accept bare catalog names (builtin
+or plugin-pack) anywhere a scenario accepts an architecture/technology
+object; an unknown name comes back as a structured 400 with the
+catalog's did-you-mean message.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from .. import __version__
 from ..explore.cache import content_hash
 from ..explore.engine import cache_key_payload
 from ..explore.scenario import FrequencyGrid, Scenario
-from ..listing import architecture_names, listing_payload
+from ..listing import architecture_names, catalog_payload, listing_payload
 from ..solvers import SolverError, get_solver
 from ..study import ResultSet, Study
 from .coalesce import Coalescer
@@ -359,6 +366,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/healthz": self._route_healthz,
                 "/v1/solvers": self._route_solvers,
                 "/v1/architectures": self._route_architectures,
+                "/v1/catalog": self._route_catalog,
                 "/v1/cache/stats": self._route_cache_stats,
             }
         )
@@ -382,7 +390,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if route is None:
                 known = "/v1/healthz, /v1/solvers, /v1/architectures, " \
-                    "/v1/cache/stats, /v1/explore (POST), /v1/optimize (POST)"
+                    "/v1/catalog, /v1/cache/stats, /v1/explore (POST), " \
+                    "/v1/optimize (POST)"
                 raise ServiceError(
                     404 if self._path_known(split.path) is None else 405,
                     "not-found",
@@ -408,6 +417,7 @@ class _Handler(BaseHTTPRequestHandler):
         "/v1/healthz": ("GET",),
         "/v1/solvers": ("GET",),
         "/v1/architectures": ("GET",),
+        "/v1/catalog": ("GET",),
         "/v1/cache/stats": ("GET",),
         "/v1/explore": ("POST",),
         "/v1/optimize": ("POST",),
@@ -425,6 +435,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_architectures(self) -> None:
         self._send_json(200, {"architectures": architecture_names()})
+
+    def _route_catalog(self) -> None:
+        self._send_json(200, catalog_payload())
 
     def _route_cache_stats(self) -> None:
         self._send_json(200, self.server.state.cache_stats_payload())

@@ -56,14 +56,7 @@ __all__ = [
     "unregister_solver",
 ]
 
-for _solver in (
-    CLOSED_FORM_SOLVER,
-    LINEARIZED_SOLVER,
-    NUMERICAL_SOLVER,
-    NUMERICAL_SCALAR_SOLVER,
-    VECTORIZED_SOLVER,
-    BOUNDED_SOLVER,
-    AUTO_SOLVER,
-):
-    register_solver(_solver, overwrite=True)
-del _solver
+# The built-in solvers are registered by the catalog's builtin loader
+# (repro.catalog.builtin.register_builtins) the first time any lookup
+# touches the catalog — importing this package stays registration-free,
+# which keeps the repro.solvers ⇄ repro.catalog import graph acyclic.

@@ -1,13 +1,13 @@
-"""Name → :class:`Solver` registry.
+"""Name → :class:`Solver` registry — a thin wrapper over the model catalog.
 
-The registry is the single dispatch point of the :class:`repro.study.
-Study` facade and the CLI: every solve path — the paper's closed form,
-the linearised-constraint variant, the exact numerical reference, the
-vectorized batch kernel, the bounded extension and the ``"auto"`` policy
-— registers here under a stable name.  Third-party code can add its own
-solver (a different device model, a surrogate, a remote service) with
-:func:`register_solver` and immediately drive it through ``Study`` and
-the CLI without touching either.
+Historically this module owned its own dict; it is now a facade over the
+``solver`` namespace of :data:`repro.catalog.registry.DEFAULT_CATALOG`,
+so solvers share the catalog's normalisation (case and ``-``/``_``
+folding), provenance metadata and did-you-mean errors with every other
+entity kind, and ``repro list --json`` / ``GET /v1/catalog`` enumerate
+them for free.  The historical API is unchanged: third-party code adds
+a solver with :func:`register_solver` and immediately drives it through
+``Study`` and the CLI.
 """
 
 from __future__ import annotations
@@ -22,15 +22,17 @@ __all__ = [
     "unregister_solver",
 ]
 
-_REGISTRY: dict[str, Solver] = {}
+
+def _solvers():
+    """The catalog's solver namespace (imported lazily; keeps cycles out)."""
+    from ..catalog import default_catalog
+
+    return default_catalog().solvers
 
 
-def _normalise(name: str) -> str:
-    """The canonical registry key: ``-``/``_`` and case are equivalent."""
-    return name.replace("-", "_").lower()
-
-
-def register_solver(solver: Solver, overwrite: bool = False) -> Solver:
+def register_solver(
+    solver: Solver, overwrite: bool = False, provenance: str = "user"
+) -> Solver:
     """Add ``solver`` under ``solver.name``; returns it for chaining.
 
     The stored key is normalised exactly like :func:`get_solver`'s
@@ -42,19 +44,22 @@ def register_solver(solver: Solver, overwrite: bool = False) -> Solver:
     name = getattr(solver, "name", "")
     if not name or not isinstance(name, str):
         raise SolverError(f"solver {solver!r} has no usable .name")
-    key = _normalise(name)
-    if not overwrite and key in _REGISTRY:
-        raise SolverError(
-            f"solver name {name!r} is already registered; "
-            f"pass overwrite=True to replace it"
+    try:
+        _solvers().register(
+            name,
+            solver,
+            summary=getattr(solver, "summary", ""),
+            provenance=provenance,
+            overwrite=overwrite,
         )
-    _REGISTRY[key] = solver
+    except ValueError as error:
+        raise SolverError(str(error)) from None
     return solver
 
 
 def unregister_solver(name: str) -> None:
     """Remove a registered solver (mainly for tests)."""
-    _REGISTRY.pop(_normalise(name), None)
+    _solvers().unregister(name)
 
 
 def get_solver(name: str | Solver) -> Solver:
@@ -65,21 +70,19 @@ def get_solver(name: str | Solver) -> Solver:
     """
     if not isinstance(name, str):
         return name
+    from ..catalog import CatalogKeyError
+
     try:
-        return _REGISTRY[_normalise(name)]
-    except KeyError:
-        known = ", ".join(available_solvers())
-        raise SolverError(f"unknown solver {name!r}; known: {known}") from None
+        return _solvers().get(name)
+    except CatalogKeyError as error:
+        raise SolverError(str(error)) from None
 
 
 def available_solvers() -> tuple[str, ...]:
-    """Registered solver names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    """Registered solver names (normalised), sorted."""
+    return tuple(entry.key for entry in _solvers().entries())
 
 
 def solver_summaries() -> dict[str, str]:
     """``{name: one-line summary}`` for CLI/API listings."""
-    return {
-        name: getattr(_REGISTRY[name], "summary", "")
-        for name in available_solvers()
-    }
+    return _solvers().summaries()

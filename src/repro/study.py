@@ -187,10 +187,15 @@ class ResultSet:
 def _as_architecture(spec: Any) -> ArchitectureParameters:
     if isinstance(spec, ArchitectureParameters):
         return spec
+    if isinstance(spec, str):
+        from .catalog import default_catalog
+
+        return default_catalog().architectures.get(spec)
     if isinstance(spec, Mapping):
         return ArchitectureParameters(**spec)
     raise TypeError(
-        f"expected ArchitectureParameters or a field mapping, got {spec!r}"
+        f"expected ArchitectureParameters, a catalog name or a field "
+        f"mapping, got {spec!r}"
     )
 
 
@@ -200,8 +205,8 @@ def _as_technology(spec: Any) -> Technology:
     if isinstance(spec, str):
         return flavour(spec)
     raise TypeError(
-        f"expected Technology or a flavour label ('LL', 'HS', 'ULL'), "
-        f"got {spec!r}"
+        f"expected Technology or a catalog name ('LL', 'HS', 'ULL', or "
+        f"any registered technology), got {spec!r}"
     )
 
 
@@ -268,13 +273,18 @@ class Study:
         return self
 
     def architectures(self, *specs) -> "Study":
-        """Add candidate architectures (parameters or field mappings)."""
+        """Add candidate architectures.
+
+        Each spec is an :class:`ArchitectureParameters`, a field
+        mapping, or a bare catalog name (builtin demo entries and
+        pack-defined architectures alike).
+        """
         self._require_builder("architectures")
         self._architectures.extend(_as_architecture(spec) for spec in specs)
         return self
 
     def technologies(self, *specs) -> "Study":
-        """Add candidate technologies (objects or flavour labels)."""
+        """Add candidate technologies (objects or catalog names/aliases)."""
         self._require_builder("technologies")
         self._technologies.extend(_as_technology(spec) for spec in specs)
         return self

@@ -1,0 +1,57 @@
+"""Catalog test fixtures: default-catalog isolation and sample packs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import default_catalog
+
+
+@pytest.fixture
+def restored_catalog():
+    """The process-wide catalog, restored to its pre-test entries after."""
+    catalog = default_catalog()
+    state = catalog.snapshot()
+    try:
+        yield catalog
+    finally:
+        catalog.restore(state)
+
+
+TECH_PACK = {
+    "name": "test-foundry",
+    "description": "fixtures for the pack loader",
+    "technologies": [
+        {
+            "name": "FDX28-LP",
+            "io": 1.1e-6,
+            "zeta": 4.2e-12,
+            "alpha": 1.7,
+            "n": 1.35,
+            "vdd_nominal": 1.0,
+            "vth0_nominal": 0.42,
+            "summary": "28nm FD-SOI low power",
+            "aliases": ["FDX28"],
+        }
+    ],
+    "architectures": [
+        {
+            "name": "dsp-mac32",
+            "n_cells": 4100,
+            "activity": 0.21,
+            "logical_depth": 34,
+            "capacitance": 55e-15,
+            "summary": "32-bit MAC datapath summary",
+        }
+    ],
+}
+
+
+@pytest.fixture
+def pack_file(tmp_path):
+    """A valid two-entity JSON pack on disk."""
+    import json
+
+    path = tmp_path / "test_foundry.json"
+    path.write_text(json.dumps(TECH_PACK))
+    return path

@@ -1,0 +1,223 @@
+"""End-to-end: pack-defined entities by name through Study, CLI and HTTP.
+
+This is the PR's acceptance surface: a technology and an architecture
+defined *only* in a pack file must be usable by bare name through
+``Study``, ``repro optimize``/``repro list`` and the service, with the
+catalog endpoints enumerating all five namespaces including the user
+entries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Scenario, Study
+from repro.catalog import NAMESPACES, load_pack
+from repro.cli import main
+from repro.service.client import ServiceClient
+from repro.service.server import ExplorationServer, ServiceConfig
+
+#: A frequency the pack architecture comfortably closes timing at.
+FEASIBLE_HZ = 5e6
+
+
+@pytest.fixture
+def loaded_pack(restored_catalog, pack_file):
+    load_pack(pack_file, catalog=restored_catalog)
+    return pack_file
+
+
+@pytest.fixture
+def service(tmp_path, loaded_pack):
+    server = ExplorationServer(
+        ServiceConfig(port=0, workers=2, cache_dir=str(tmp_path / "cache"))
+    )
+    server.start_background()
+    try:
+        yield ServiceClient(server.url, timeout=60.0)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestStudyByName:
+    def test_pack_entities_run_by_bare_name(self, loaded_pack):
+        result = (
+            Study("pack-study")
+            .architectures("dsp-mac32")
+            .technologies("FDX28")  # the pack's alias
+            .frequencies(FEASIBLE_HZ)
+            .solver("numerical")
+            .run()
+        )
+        best = result.best()
+        assert best is not None
+        assert best.architecture == "dsp-mac32"
+        assert best.technology == "FDX28-LP"
+
+    def test_scenario_json_accepts_names_and_refs(self, loaded_pack):
+        scenario = Scenario.from_dict(
+            {
+                "name": "named",
+                "architectures": ["dsp_mac32", {"$ref": "RCA16"}],
+                "technologies": ["fdx28-lp", "LL"],
+                "frequencies": {"values": [FEASIBLE_HZ]},
+            }
+        )
+        assert [a.name for a in scenario.architectures] == ["dsp-mac32", "RCA16"]
+        assert [t.name for t in scenario.technologies] == [
+            "FDX28-LP",
+            "ST-CMOS09-LL",
+        ]
+
+    def test_unknown_architecture_name_has_did_you_mean(self, loaded_pack):
+        with pytest.raises(KeyError, match="did you mean") as excinfo:
+            Study("typo").architectures("dsp-mac23")
+        assert "dsp-mac32" in str(excinfo.value)
+
+
+class TestCliByName:
+    def test_optimize_with_pack_arch_and_tech(self, restored_catalog, pack_file, capsys):
+        code = main(
+            [
+                "optimize",
+                "--packs", str(pack_file),
+                "--arch", "dsp-mac32",
+                "--tech", "FDX28",
+                "--frequency", str(FEASIBLE_HZ),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "dsp-mac32" in captured.out
+        assert "optimum" in captured.out
+
+    def test_optimize_arch_conflicts_with_explicit_fields(self, capsys):
+        code = main(
+            ["optimize", "--arch", "RCA16", "--n-cells", "10",
+             "--activity", "0.5", "--logical-depth", "10"]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_optimize_arch_conflicts_with_every_architecture_knob(self, capsys):
+        # --capacitance/--io-factor/--zeta-factor/--name must not be
+        # silently dropped in favour of the catalog entry's values.
+        for flag, value in (
+            ("--capacitance", "999e-15"),
+            ("--io-factor", "5"),
+            ("--zeta-factor", "0.5"),
+            ("--name", "mine"),
+        ):
+            code = main(["optimize", "--arch", "RCA16", flag, value])
+            assert code == 2
+            assert flag in capsys.readouterr().err
+
+    def test_transform_override_in_catalog_reaches_scenarios(
+        self, restored_catalog
+    ):
+        from repro.explore.scenario import pipeline_step
+
+        calls = []
+
+        def my_pipeline(arch, stages, style="horizontal"):
+            calls.append(stages)
+            return arch
+
+        restored_catalog.transforms.register(
+            "pipeline", my_pipeline, overwrite=True
+        )
+        arch = restored_catalog.get("architecture", "RCA16")
+        pipeline_step(3).apply(arch)
+        assert calls == [3]
+
+    def test_optimize_missing_fields_without_arch(self, capsys):
+        code = main(["optimize", "--activity", "0.5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--n-cells" in err and "--arch" in err
+
+    def test_optimize_unknown_arch_exits_2(self, capsys):
+        code = main(["optimize", "--arch", "nope", "--frequency", "1e6"])
+        assert code == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+    def test_list_json_enumerates_all_namespaces_with_user_entries(
+        self, restored_catalog, pack_file, capsys
+    ):
+        code = main(["list", "--json", "--packs", str(pack_file)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == set(NAMESPACES)
+        assert payload["technology"]["fdx28_lp"]["provenance"] == "file"
+        assert payload["architecture"]["dsp_mac32"]["value"]["n_cells"] == 4100
+        assert "auto" in payload["solver"]
+        assert "pipeline" in payload["transform"]
+        assert "wallace" in payload["generator"]
+
+    def test_list_json_single_section(self, restored_catalog, pack_file, capsys):
+        code = main(["list", "technologies", "--json", "--packs", str(pack_file)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "fdx28_lp" in payload and "st_cmos09_ll" in payload
+
+    def test_list_human_sections_include_technologies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "technologies (" in out
+        assert "parameters (" in out
+
+    def test_broken_pack_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["list", "--packs", str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_missing_pack_path_exits_2(self, tmp_path, capsys):
+        assert main(["list", "--packs", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestServiceByName:
+    def test_catalog_endpoint_enumerates_everything(self, service):
+        payload = service.catalog()
+        assert set(payload) == set(NAMESPACES)
+        assert payload["technology"]["fdx28_lp"]["provenance"] == "file"
+        assert payload["generator"]["wallace"]["value"] == {"$ref": "Wallace"}
+
+    def test_optimize_with_bare_pack_names(self, service):
+        record = service.optimize(
+            architecture="dsp-mac32",
+            technology="FDX28",
+            frequency=FEASIBLE_HZ,
+        )
+        assert record.feasible
+        assert record.architecture == "dsp-mac32"
+        assert record.technology == "FDX28-LP"
+
+    def test_explore_scenario_with_names(self, service):
+        scenario = Scenario.from_dict(
+            {
+                "name": "remote-names",
+                "architectures": ["dsp-mac32"],
+                "technologies": ["fdx28"],
+                "frequencies": {"values": [FEASIBLE_HZ]},
+            }
+        )
+        result = service.explore(scenario, solver="numerical")
+        assert len(result) == 1
+        assert result[0].technology == "FDX28-LP"
+
+    def test_unknown_name_is_a_structured_400(self, service):
+        from repro.service.server import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            service.optimize(
+                architecture="dsp-mac99",
+                technology="LL",
+                frequency=FEASIBLE_HZ,
+            )
+        assert excinfo.value.status == 400
+        assert "dsp-mac99" in str(excinfo.value)

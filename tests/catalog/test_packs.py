@@ -1,0 +1,170 @@
+"""Unit tests for the plugin-pack loader (JSON/TOML, discovery, errors)."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    PackError,
+    discover_pack_files,
+    install_packs,
+    load_pack,
+    register_builtins,
+)
+
+from .conftest import TECH_PACK
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    register_builtins(catalog)
+    return catalog
+
+
+class TestLoadPack:
+    def test_json_pack_registers_with_file_provenance(self, catalog, pack_file):
+        report = load_pack(pack_file, catalog=catalog)
+        assert report.name == "test-foundry"
+        assert report.counts == {"technology": 1, "architecture": 1}
+        entry = catalog.entry("technology", "FDX28-LP")
+        assert entry.provenance == "file"
+        assert entry.source == str(pack_file)
+        assert catalog.get("technology", "fdx28").alpha == 1.7
+        assert catalog.get("architecture", "dsp_mac32").n_cells == 4100
+
+    def test_reloading_the_same_pack_is_idempotent(self, catalog, pack_file):
+        load_pack(pack_file, catalog=catalog)
+        load_pack(pack_file, catalog=catalog)
+        assert len([e for e in catalog.technologies if e.provenance == "file"]) == 1
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="stdlib tomllib needs Python 3.11"
+    )
+    def test_toml_pack(self, catalog, tmp_path):
+        path = tmp_path / "foundry.toml"
+        path.write_text(
+            'name = "toml-foundry"\n'
+            "[[technologies]]\n"
+            'name = "TOML-Tech"\n'
+            "io = 2.0e-6\nzeta = 5.0e-12\nalpha = 1.8\nn = 1.3\n"
+            "vdd_nominal = 1.1\nvth0_nominal = 0.35\n"
+        )
+        report = load_pack(path, catalog=catalog)
+        assert report.counts == {"technology": 1}
+        assert catalog.get("technology", "toml tech").io == 2.0e-6
+
+    def test_invalid_field_values_fail_with_path_and_index(self, catalog, tmp_path):
+        bad = dict(TECH_PACK, technologies=[
+            dict(TECH_PACK["technologies"][0], io=-1.0)
+        ])
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(PackError, match=r"technologies\[0\]") as excinfo:
+            load_pack(path, catalog=catalog)
+        assert "bad.json" in str(excinfo.value)
+        assert "io" in str(excinfo.value)
+
+    def test_typo_in_entry_field_fails_loud(self, catalog, tmp_path):
+        # A misspelled field must not silently fall back to the
+        # dataclass default — wrong physics would go unnoticed.
+        bad = dict(TECH_PACK, technologies=[
+            dict(TECH_PACK["technologies"][0], temprature=350.0)
+        ])
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(PackError, match="temprature"):
+            load_pack(path, catalog=catalog)
+
+    def test_string_aliases_rejected_not_exploded(self, catalog, tmp_path):
+        # "aliases": "FDX28" must not become per-character aliases.
+        bad = dict(TECH_PACK, technologies=[
+            dict(TECH_PACK["technologies"][0], aliases="FDX28")
+        ])
+        path = tmp_path / "aliases.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(PackError, match="'aliases' must be a list"):
+            load_pack(path, catalog=catalog)
+
+    def test_unknown_top_level_keys_rejected(self, catalog, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "solvers": []}))
+        with pytest.raises(PackError, match="unknown top-level keys"):
+            load_pack(path, catalog=catalog)
+
+    def test_malformed_json_rejected(self, catalog, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PackError, match="cannot parse"):
+            load_pack(path, catalog=catalog)
+
+    def test_wrong_suffix_rejected(self, catalog, tmp_path):
+        path = tmp_path / "pack.yaml"
+        path.write_text("{}")
+        with pytest.raises(PackError, match="must end in"):
+            load_pack(path, catalog=catalog)
+
+    def test_conflict_with_builtin_name_is_loud(self, catalog, tmp_path):
+        clash = {
+            "name": "clash",
+            "technologies": [
+                dict(TECH_PACK["technologies"][0], name="ST-CMOS09-LL")
+            ],
+        }
+        path = tmp_path / "clash.json"
+        path.write_text(json.dumps(clash))
+        with pytest.raises(PackError, match="already registered"):
+            load_pack(path, catalog=catalog)
+        # ... unless the user takes sides explicitly (the replaced
+        # entry's aliases go with it — "LL" no longer resolves).
+        load_pack(path, catalog=catalog, overwrite=True)
+        assert catalog.get("technology", "st-cmos09-ll").alpha == 1.7
+        assert "ll" not in catalog.technologies
+
+
+class TestDiscovery:
+    def test_explicit_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(PackError, match="does not exist"):
+            discover_pack_files([tmp_path / "nope.json"], environ={}, cwd=tmp_path)
+
+    def test_directory_expands_to_sorted_pack_files(self, tmp_path, pack_file):
+        (tmp_path / "z.json").write_text(json.dumps({"name": "z"}))
+        found = discover_pack_files([tmp_path], environ={}, cwd=tmp_path / "x")
+        names = [p.name for p in found]
+        assert names == sorted(names)
+        assert pack_file in found
+
+    def test_env_var_and_dropin_directory(self, tmp_path, pack_file):
+        dropin = tmp_path / "cwd" / "repro.d"
+        dropin.mkdir(parents=True)
+        (dropin / "local.json").write_text(json.dumps({"name": "local"}))
+        environ = {"REPRO_PACKS": str(pack_file)}
+        found = discover_pack_files([], environ=environ, cwd=tmp_path / "cwd")
+        assert pack_file in found
+        assert dropin / "local.json" in found
+
+    def test_env_var_pathsep_separated(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for p in (a, b):
+            p.write_text(json.dumps({"name": p.stem}))
+        environ = {"REPRO_PACKS": f"{a}{os.pathsep}{b}"}
+        found = discover_pack_files([], environ=environ, cwd=tmp_path)
+        assert [a, b] == [p for p in found if p.suffix == ".json"]
+
+    def test_duplicates_collapse(self, tmp_path, pack_file):
+        environ = {"REPRO_PACKS": str(pack_file)}
+        found = discover_pack_files([pack_file], environ=environ, cwd=tmp_path)
+        assert found.count(pack_file) == 1
+
+    def test_install_packs_loads_everything_found(self, catalog, tmp_path, pack_file):
+        reports = install_packs(
+            [pack_file], catalog=catalog, environ={}, cwd=tmp_path
+        )
+        assert [r.name for r in reports] == ["test-foundry"]
+        assert "fdx28_lp" in catalog.technologies

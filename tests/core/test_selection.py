@@ -97,3 +97,66 @@ class TestSelectionMatrix:
         candidate = matrix[("RCA", "ST-CMOS09-LL")]
         assert candidate.feasible
         assert candidate.ptot > 0
+
+
+class TestDeprecationShim:
+    """The module is a deprecated facade: lazy, warning, still correct."""
+
+    def test_plain_import_repro_does_not_import_selection(self):
+        import subprocess
+        import sys
+
+        # A fresh interpreter: `import repro` must neither load the shim
+        # nor emit its DeprecationWarning.
+        code = (
+            "import warnings, sys\n"
+            "with warnings.catch_warnings():\n"
+            "    warnings.simplefilter('error', DeprecationWarning)\n"
+            "    import repro\n"
+            "assert 'repro.core.selection' not in sys.modules\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=None,
+        )
+
+    def test_module_import_warns(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.core.selection", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.core.selection")
+        messages = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert any("repro.core.selection is deprecated" in m for m in messages)
+        assert any("repro.Study" in m for m in messages)
+
+    def test_lazy_top_level_access_resolves_the_shim(self):
+        import repro
+
+        assert repro.best_architecture is not None
+        assert repro.core.Candidate.__module__ == "repro.core.selection"
+
+    def test_shim_matches_study_numerics(self, multipliers):
+        """The delegated helpers agree with a direct Study run exactly."""
+        from repro import Study
+
+        ranked = rank_architectures(multipliers, ST_CMOS09_LL, PAPER_FREQUENCY)
+        records = (
+            Study("direct")
+            .architectures(*multipliers)
+            .technologies(ST_CMOS09_LL)
+            .frequencies(PAPER_FREQUENCY)
+            .solver("numerical")
+            .run()
+            .rank()
+        )
+        assert [c.architecture.name for c in ranked] == [
+            r.architecture for r in records
+        ]
+        assert [c.ptot for c in ranked] == [r.ptot for r in records]

@@ -92,3 +92,55 @@ class TestDerivedQuantities:
         text = ST_CMOS09_LL.describe()
         assert "ST-CMOS09-LL" in text
         assert "3.34" in text
+
+
+class TestScaledEdges:
+    """`Technology.scaled` must re-validate: derived flavours obey
+    __post_init__ exactly like hand-built ones."""
+
+    def test_scaled_applies_every_knob(self):
+        derived = ST_CMOS09_LL.scaled(
+            io_factor=2.0, zeta_factor=0.5, alpha_shift=-0.06, vth0_shift=0.01
+        )
+        assert derived.io == pytest.approx(2.0 * ST_CMOS09_LL.io)
+        assert derived.zeta == pytest.approx(0.5 * ST_CMOS09_LL.zeta)
+        assert derived.alpha == pytest.approx(ST_CMOS09_LL.alpha - 0.06)
+        assert derived.vth0_nominal == pytest.approx(
+            ST_CMOS09_LL.vth0_nominal + 0.01
+        )
+
+    def test_default_name_is_suffixed_and_override_wins(self):
+        assert ST_CMOS09_LL.scaled().name == "ST-CMOS09-LL-scaled"
+        assert ST_CMOS09_LL.scaled(name="mine").name == "mine"
+
+    def test_identity_scaling_preserves_equality(self):
+        assert ST_CMOS09_LL.scaled(name=ST_CMOS09_LL.name) == ST_CMOS09_LL
+
+    def test_zero_or_negative_factors_rejected(self):
+        with pytest.raises(ValueError, match="io"):
+            ST_CMOS09_LL.scaled(io_factor=0.0)
+        with pytest.raises(ValueError, match="zeta"):
+            ST_CMOS09_LL.scaled(zeta_factor=-1.0)
+
+    def test_alpha_shift_out_of_device_range_rejected(self):
+        # LL's alpha is 1.86: +0.2 leaves [1, 2] at the top, -0.9 at the bottom.
+        with pytest.raises(ValueError, match="alpha"):
+            ST_CMOS09_LL.scaled(alpha_shift=+0.2)
+        with pytest.raises(ValueError, match="alpha"):
+            ST_CMOS09_LL.scaled(alpha_shift=-0.9)
+
+    def test_vth0_shift_below_zero_rejected(self):
+        with pytest.raises(ValueError, match="vth0_nominal"):
+            ST_CMOS09_LL.scaled(vth0_shift=-(ST_CMOS09_LL.vth0_nominal + 0.01))
+
+    def test_validation_attribute_coverage(self):
+        # Every positivity-checked attribute fires its own message.
+        for attribute in ("io", "zeta", "n", "vdd_nominal", "temperature"):
+            with pytest.raises(ValueError, match=attribute):
+                dataclasses.replace(ST_CMOS09_LL, **{attribute: 0.0})
+
+    def test_negative_vth0_rejected_but_zero_allowed(self):
+        with pytest.raises(ValueError, match="vth0_nominal"):
+            dataclasses.replace(ST_CMOS09_LL, vth0_nominal=-0.01)
+        native = dataclasses.replace(ST_CMOS09_LL, vth0_nominal=0.0)
+        assert native.vth0_nominal == 0.0

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.core.architecture import ArchitectureParameters
 from repro.core.technology import ST_CMOS09_LL, Technology
 from repro.explore.scenario import (
     FrequencyGrid,
@@ -126,3 +127,71 @@ class TestScenario:
 
     def test_demo_scenario_is_large_enough(self):
         assert demo_scenario().size >= 1000
+
+
+class TestArchitectureFactorRoundTrips:
+    """io_factor / zeta_factor survive the Scenario JSON round-trip exactly
+    and actually change the evaluated optimum (they feed Eq. 13)."""
+
+    def _arch(self, io_factor, zeta_factor):
+        return ArchitectureParameters(
+            name="factors",
+            n_cells=729,
+            activity=0.2976,
+            logical_depth=17.0,
+            capacitance=70e-15,
+            io_factor=io_factor,
+            zeta_factor=zeta_factor,
+        )
+
+    def test_factors_round_trip_bit_exact(self, tech_ll):
+        # Deliberately awkward floats: the JSON round-trip must be repr-exact.
+        arch = self._arch(io_factor=18.000000000000004, zeta_factor=0.1 + 0.2)
+        scenario = Scenario(
+            name="factors",
+            architectures=(arch,),
+            technologies=(tech_ll,),
+            frequencies=FrequencyGrid.single(31.25e6),
+        )
+        rebuilt = Scenario.from_json(scenario.to_json())
+        assert rebuilt.architectures[0].io_factor == arch.io_factor
+        assert rebuilt.architectures[0].zeta_factor == arch.zeta_factor
+        assert rebuilt == scenario
+        assert rebuilt.content_hash() == scenario.content_hash()
+
+    def test_default_factors_survive_round_trip(self, tech_ll):
+        arch = ArchitectureParameters(
+            name="plain", n_cells=100, activity=0.3,
+            logical_depth=12, capacitance=50e-15,
+        )
+        scenario = Scenario(
+            name="defaults",
+            architectures=(arch,),
+            technologies=(tech_ll,),
+            frequencies=FrequencyGrid.single(10e6),
+        )
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.architectures[0].io_factor == 1.0
+        assert rebuilt.architectures[0].zeta_factor == 1.0
+
+    def test_factors_change_the_optimum_after_round_trip(self):
+        from repro.study import Study
+
+        def optimum(io_factor, zeta_factor):
+            arch = self._arch(io_factor, zeta_factor)
+            scenario = Scenario(
+                name="eval",
+                architectures=(arch,),
+                technologies=("LL",),  # catalog name, resolved on build
+                frequencies=FrequencyGrid.single(31.25e6),
+            )
+            rebuilt = Scenario.from_dict(scenario.to_dict())
+            (record,) = Study.from_scenario(rebuilt).solver("numerical").run()
+            assert record.feasible
+            return record.ptot
+
+        baseline = optimum(1.0, 1.0)
+        leakier = optimum(18.0, 1.0)
+        slower = optimum(1.0, 5.0)
+        assert leakier > baseline  # more per-cell leakage costs power
+        assert slower > baseline  # slower cells force higher Vdd

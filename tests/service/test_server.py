@@ -59,6 +59,15 @@ class TestIntrospectionRoutes:
         names = client.architectures()
         assert "Wallace" in names and len(names) == 13
 
+    def test_catalog_shares_the_cli_listing(self, service):
+        from repro.catalog import NAMESPACES
+        from repro.listing import catalog_payload
+
+        _, client = service
+        payload = client.catalog()
+        assert set(payload) == set(NAMESPACES)
+        assert payload == json.loads(json.dumps(catalog_payload()))
+
     def test_cache_stats_shape(self, service):
         _, client = service
         stats = client.cache_stats()

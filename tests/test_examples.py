@@ -53,6 +53,13 @@ def test_service_quickstart():
     assert "server stopped" in out
 
 
+def test_custom_technology_pack():
+    out = _run("custom_technology_pack.py")
+    assert "provenance: file" in out
+    assert "FDX28-LP" in out
+    assert "overall winner" in out
+
+
 def test_netlist_flow_default():
     out = _run("netlist_flow.py")
     assert "[6/6] optimal working point" in out

@@ -1,0 +1,185 @@
+"""Benchmark C1 — the columnar end-to-end pipeline vs the object engine.
+
+ISSUE 5's acceptance bar: on a ~100k-candidate *mixed* sweep (feasible
+interior + flagged boundary + infeasible tail), the columnar pipeline —
+array expansion, vectorized kernel, vectorized exact-numerical fallback,
+mask assembly into a ``ResultTable`` — must beat the pre-columnar engine
+path by ≥10x end to end.
+
+The baseline reproduces the old hot loop faithfully: expand to
+``DesignPoint`` objects, group by technology, run the kernel, build a
+``PointOutcome`` per trusted point, fan every flagged point through
+``executor.run_numerical`` (one scipy ``minimize_scalar`` per point,
+multiprocessing pool), and convert everything to ``PointResult``
+objects.  Running that on all ~100k points would take the better part
+of a minute, so it is timed on a stride-sampled subset (which preserves
+the feasible/flagged mix) and extrapolated by rate — exactly how
+``bench_explore`` treats the scalar loop.
+
+A second section times serialisation: column-wise NDJSON chunking vs
+per-record object ``json.dumps`` — the serving path's hot loop.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep ~8x for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import smoke_mode
+
+from repro.explore.engine import (
+    EvaluationStats,
+    FALLBACK_METHOD,
+    PointOutcome,
+    PointResult,
+    _group_indices_by_technology,
+    _vectorized_outcome,
+    evaluate_table,
+)
+from repro.explore.executor import run_numerical
+from repro.explore.scenario import FrequencyGrid, Scenario, demo_scenario
+from repro.explore.vectorized import batch_arrays_for_points, closed_form_batch
+
+#: Acceptance floor for the end-to-end columnar speedup.
+SPEEDUP_FLOOR = 10.0
+
+#: Target size of the legacy-path timing sample.
+LEGACY_SAMPLE = 2500
+
+
+def mixed_scenario() -> Scenario:
+    """A ~100k-candidate sweep spanning every evaluation regime.
+
+    The frequency grid runs deep into infeasible territory for the slow
+    transform chains while staying comfortable for the fast ones, so
+    the sweep mixes trusted-vectorized, flagged-fallback and infeasible
+    points (roughly 64/36 vectorized/fallback with the full grid).
+    """
+    base = demo_scenario()
+    frequency_points = 500 if smoke_mode() else 4200
+    return Scenario(
+        name="bench-columnar",
+        architectures=base.architectures,
+        technologies=base.technologies,
+        frequencies=FrequencyGrid.logspace(2e6, 1.5e9, frequency_points),
+        transform_chains=base.transform_chains,
+    )
+
+
+def legacy_evaluate(points) -> list[PointResult]:
+    """The pre-columnar engine hot loop, verbatim."""
+    outcomes: list[PointOutcome | None] = [None] * len(points)
+    fallback_indices: list[int] = []
+    for tech, indices in _group_indices_by_technology(points).items():
+        group = [points[i] for i in indices]
+        batch = closed_form_batch(tech, **batch_arrays_for_points(group))
+        for position, index in enumerate(indices):
+            trusted = bool(batch.feasible[position]) and not bool(
+                batch.needs_fallback[position]
+            )
+            if trusted:
+                outcomes[index] = _vectorized_outcome(
+                    points[index], batch, position
+                )
+            else:
+                fallback_indices.append(index)
+    for index, (result, reason) in zip(
+        fallback_indices,
+        run_numerical([points[i] for i in fallback_indices]),
+    ):
+        outcomes[index] = PointOutcome(
+            point=points[index],
+            result=result,
+            reason=reason,
+            method=FALLBACK_METHOD,
+        )
+    return [PointResult.from_outcome(outcome) for outcome in outcomes]
+
+
+def test_columnar_end_to_end_speedup(save_artifact, record_benchmark):
+    scenario = mixed_scenario()
+    n_points = scenario.size
+    assert n_points >= (10_000 if smoke_mode() else 100_000)
+
+    # -- columnar pipeline, full sweep ------------------------------------
+    started = time.perf_counter()
+    table = evaluate_table(scenario, method="auto")
+    columnar_seconds = time.perf_counter() - started
+    stats = EvaluationStats.from_table(table, columnar_seconds)
+    columnar_rate = n_points / columnar_seconds
+
+    # -- legacy object path, sampled + extrapolated ------------------------
+    points = scenario.expand()
+    stride = max(1, n_points // LEGACY_SAMPLE)
+    sample = points[::stride]
+    started = time.perf_counter()
+    legacy_records = legacy_evaluate(sample)
+    legacy_sample_seconds = time.perf_counter() - started
+    legacy_rate = len(sample) / legacy_sample_seconds
+    legacy_seconds = n_points / legacy_rate
+    speedup = legacy_seconds / columnar_seconds
+
+    # -- serialisation: columns vs per-record objects ----------------------
+    # The object side is what the pre-columnar NDJSON stream did per
+    # request: materialise every record, introspect it to a dict, dump.
+    started = time.perf_counter()
+    chunk_bytes = sum(
+        len(chunk) for chunk in table.iter_ndjson_chunks(chunk_rows=2048)
+    )
+    columnar_serialise_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    object_bytes = sum(
+        len(json.dumps({"kind": "record", **record.to_dict()}, sort_keys=True))
+        for record in table.rows()  # fresh lazy view: materialises each row
+    )
+    object_serialise_seconds = time.perf_counter() - started
+    serialise_speedup = object_serialise_seconds / columnar_serialise_seconds
+
+    lines = [
+        "Benchmark C1 — columnar end-to-end pipeline",
+        f"sweep: {scenario.describe()}",
+        f"mix:   {stats.n_vectorized} vectorized, {stats.n_fallback} "
+        f"exact-numerical fallback, {n_points - stats.n_feasible} infeasible",
+        "",
+        f"{'path':<36} {'points':>8} {'seconds':>9} {'cand/s':>12}",
+        "-" * 70,
+        f"{'columnar (arrays end to end)':<36} {n_points:>8} "
+        f"{columnar_seconds:>9.3f} {columnar_rate:>12,.0f}",
+        f"{'legacy objects + scipy pool (sample)':<36} {len(sample):>8} "
+        f"{legacy_sample_seconds:>9.3f} {legacy_rate:>12,.0f}",
+        f"{'legacy extrapolated to full sweep':<36} {n_points:>8} "
+        f"{legacy_seconds:>9.3f} {legacy_rate:>12,.0f}",
+        "-" * 70,
+        f"end-to-end speedup:      {speedup:,.1f}x (floor {SPEEDUP_FLOOR:g}x)",
+        f"NDJSON serialisation:    {serialise_speedup:,.1f}x "
+        f"({chunk_bytes} bytes streamed)",
+    ]
+    save_artifact("bench_columnar", "\n".join(lines))
+    record_benchmark(
+        "columnar",
+        n_points=n_points,
+        n_fallback=stats.n_fallback,
+        n_feasible=stats.n_feasible,
+        columnar_seconds=round(columnar_seconds, 4),
+        columnar_rate=round(columnar_rate),
+        legacy_sample_points=len(sample),
+        legacy_seconds_extrapolated=round(legacy_seconds, 2),
+        speedup=round(speedup, 1),
+        serialise_speedup=round(serialise_speedup, 1),
+        smoke=smoke_mode(),
+    )
+
+    # Sanity: both sides evaluated the same problem the same way.
+    rows = table.rows()
+    for offset, record in zip(range(0, n_points, stride), legacy_records):
+        columnar_record = rows[offset]
+        assert columnar_record.feasible == record.feasible
+        if record.feasible:
+            assert abs(columnar_record.ptot - record.ptot) <= 1e-9 * record.ptot
+    assert object_bytes > 0
+    # Acceptance: >= 10x end to end on the mixed sweep.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"columnar speedup {speedup:.1f}x below the {SPEEDUP_FLOOR:g}x floor"
+    )

@@ -17,12 +17,17 @@ from __future__ import annotations
 
 import time
 
+from conftest import smoke_mode
+
 from repro.core.numerical import numerical_optimum
 from repro.explore.engine import evaluate_points
 from repro.explore.scenario import FrequencyGrid, Scenario, demo_scenario
 
 #: How many points of the sweep the scalar reference loop times.
 SCALAR_SAMPLE = 120
+
+#: Scalar sample in CI smoke mode (the scalar loop is the slow side).
+SCALAR_SAMPLE_SMOKE = 40
 
 
 def interior_scenario() -> Scenario:
@@ -43,7 +48,7 @@ def _rate(n_points: int, seconds: float) -> float:
     return n_points / seconds if seconds > 0 else float("inf")
 
 
-def test_vectorized_vs_scalar_throughput(save_artifact):
+def test_vectorized_vs_scalar_throughput(save_artifact, record_benchmark):
     scenario = interior_scenario()
     points = scenario.expand()
     assert len(points) >= 1000
@@ -60,7 +65,8 @@ def test_vectorized_vs_scalar_throughput(save_artifact):
 
     # The scalar reference loop: one scipy solve per point, exactly the
     # pre-engine evaluate_candidates inner loop.
-    sample = points[:: max(1, len(points) // SCALAR_SAMPLE)][:SCALAR_SAMPLE]
+    scalar_sample = SCALAR_SAMPLE_SMOKE if smoke_mode() else SCALAR_SAMPLE
+    sample = points[:: max(1, len(points) // scalar_sample)][:scalar_sample]
     started = time.perf_counter()
     scalar_results = [
         numerical_optimum(p.architecture, p.technology, p.frequency)
@@ -86,6 +92,14 @@ def test_vectorized_vs_scalar_throughput(save_artifact):
         f"vectorized / scalar speedup: {speedup:,.0f}x",
     ]
     save_artifact("bench_explore", "\n".join(lines))
+    record_benchmark(
+        "explore",
+        n_points=len(points),
+        vectorized_rate=round(vectorized_rate),
+        auto_rate=round(auto_rate),
+        scalar_rate=round(scalar_rate),
+        speedup=round(speedup, 1),
+    )
 
     # Sanity: both sides actually evaluated the same problem.
     assert all(outcome.feasible for outcome in vectorized)

@@ -2,16 +2,33 @@
 
 Every benchmark regenerates one paper artefact (table or figure), prints
 its rows, and archives the rendered text under ``benchmarks/output/`` so
-the regenerated artefacts survive the run.
+the regenerated artefacts survive the run.  Performance benchmarks
+additionally record machine-readable metrics as
+``benchmarks/output/BENCH_<name>.json`` via :func:`record_benchmark`,
+which is what the CI speedup gate consumes.
+
+``REPRO_BENCH_SMOKE=1`` switches the heavy benchmarks to a reduced
+problem size (same code path, smaller grids) so CI can run them on
+every push.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Environment switch for CI-sized benchmark runs.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when benchmarks should run at CI (reduced) problem size."""
+    return os.environ.get(SMOKE_ENV, "").strip() not in ("", "0", "false")
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +47,21 @@ def save_artifact(artifact_dir):
         print(f"\n{text}\n[saved to {path}]")
 
     return _save
+
+
+@pytest.fixture
+def record_benchmark(artifact_dir):
+    """``record_benchmark(name, **metrics)`` — write ``BENCH_<name>.json``.
+
+    Metrics are plain JSON scalars (throughput, seconds, speedup, …);
+    the CI gate loads these files and fails the build when a speedup
+    regresses below its floor.
+    """
+
+    def _record(name: str, **metrics) -> Path:
+        path = artifact_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        print(f"[benchmark metrics saved to {path}]")
+        return path
+
+    return _record

@@ -184,6 +184,14 @@ def _cmd_explore(args) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.export and not args.export.endswith((".json", ".csv")):
+        # Checked before the sweep runs: a bad suffix must not cost a
+        # (potentially minutes-long) evaluation.
+        print(
+            f"--export must end in .json or .csv, got {args.export!r}",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.save_scenario:
         try:
@@ -210,6 +218,20 @@ def _cmd_explore(args) -> int:
     if not args.no_cache and result.cache_path is not None:
         state = "hit" if result.cache_hit else "stored"
         print(f"  cache {state}: {result.cache_path}")
+    if args.export:
+        # Serialised straight from the columnar result table — a
+        # million-point sweep exports without materialising records.
+        if args.export.endswith(".csv"):
+            rendered = result.to_csv()
+        else:
+            rendered = result.to_json() + "\n"
+        try:
+            with open(args.export, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        except OSError as error:
+            print(f"cannot write export: {error}", file=sys.stderr)
+            return 2
+        print(f"  exported {len(result)} records to {args.export}")
     print()
     print(result.table(top=args.top))
     return 0
@@ -482,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--save-scenario", default=None,
         help="write the (demo or loaded) scenario JSON to this path",
+    )
+    explore.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the full result set to PATH (.json or .csv)",
     )
     explore.add_argument(
         "--dry-run", action="store_true",

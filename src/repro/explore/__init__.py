@@ -10,13 +10,17 @@ one-at-a-time optimizer into a batch service:
     Declarative :class:`Scenario` sweep specification (architectures ×
     transform chains × technologies × frequency grid) with dict/JSON
     round-trip and a stable content hash.
+``columnar``
+    Structure-of-arrays spine: :class:`ResultTable` (one numpy array
+    per result column, lazy per-row ``PointResult`` views) and the
+    array-native scenario expansion the batch path runs on.
 ``vectorized``
     Numpy kernel evaluating the Eq. 9–13 closed-form chain over whole
     candidate grids at once — no per-point scipy calls.
 ``executor``
-    ``multiprocessing``-based parallel runner for the exact-numerical
-    fallback points (near the feasibility boundary the closed form is
-    not trustworthy).
+    ``multiprocessing``-based parallel runner for the ``numerical``
+    reference method (one scipy call per point, on purpose); the auto
+    fallback is vectorized and no longer touches it.
 ``cache``
     Content-hash → JSON-on-disk result cache; repeated sweeps are free.
 ``engine``
@@ -31,12 +35,14 @@ from types import ModuleType as _ModuleType
 
 from .analysis import pareto_frontier, rank_points, report
 from .cache import ResultCache, content_hash
+from .columnar import ExpandedColumns, ResultRows, ResultTable, expand_columns
 from .engine import (
     EvaluationStats,
     ExplorationResult,
     PointOutcome,
     PointResult,
     evaluate_points,
+    evaluate_table,
     explore,
 )
 from .executor import run_numerical
@@ -56,11 +62,14 @@ __all__ = [
     "BatchResult",
     "DesignPoint",
     "EvaluationStats",
+    "ExpandedColumns",
     "ExplorationResult",
     "FrequencyGrid",
     "PointOutcome",
     "PointResult",
     "ResultCache",
+    "ResultRows",
+    "ResultTable",
     "Scenario",
     "TransformStep",
     "chi_batch",
@@ -68,6 +77,8 @@ __all__ = [
     "content_hash",
     "demo_scenario",
     "evaluate_points",
+    "evaluate_table",
+    "expand_columns",
     "explore",
     "parallelize_step",
     "pareto_frontier",

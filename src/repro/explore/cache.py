@@ -20,7 +20,12 @@ from typing import Any
 #: equations, fallback thresholds — so old entries miss instead of
 #: silently serving stale numbers.  The engine additionally folds the
 #: package version and the kernel's fallback constants into the key.
-CACHE_SCHEMA_VERSION = 1
+#: v2: columnar payload ("columns": one list per PointResult field)
+#: replaces the row-wise "points"/"records" lists.  Readers accept both
+#: layouts (ResultTable.from_cache_payload), so v1 entries still *load*;
+#: the bump (plus the version folded into the key) means engine lookups
+#: deliberately miss them after an upgrade instead of trusting them.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_EXPLORE_CACHE"

@@ -1,0 +1,457 @@
+"""Structure-of-arrays results: the columnar spine of the explore engine.
+
+A 100k-point sweep through the object pipeline pays for every point
+three times: a :class:`~.scenario.DesignPoint` on expansion, a
+``PointOutcome`` after evaluation and a ``PointResult`` for analysis and
+serialisation — none of which do arithmetic.  :class:`ResultTable` keeps
+the whole evaluated sweep as one numpy array per ``PointResult`` column
+instead, so the engine, the Pareto ranking, the cache payload and the
+NDJSON stream all operate on contiguous arrays, and per-row objects are
+materialised only when a caller actually indexes one
+(:class:`ResultRows` is the lazy, list-compatible view).
+
+:func:`expand_columns` is the matching front door: it materialises a
+:class:`~.scenario.Scenario`'s cartesian candidate grid directly as
+column arrays (``np.repeat``/``np.tile`` over the small per-axis value
+lists), skipping the per-point ``DesignPoint`` list entirely on the
+batch path.
+
+Numeric record fields live in float64 columns — the type the
+``PointResult`` schema declares.  Integer-typed inputs (an architecture
+built with ``n_cells=608``) therefore serialise as ``608.0`` where the
+pre-columnar object path leaked the ``int`` through; values are
+unchanged, only the JSON spelling of integral constants moves.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.architecture import ArchitectureParameters
+from ..core.technology import Technology
+from .scenario import DesignPoint, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import PointOutcome, PointResult
+
+__all__ = [
+    "ExpandedColumns",
+    "ResultRows",
+    "ResultTable",
+    "expand_columns",
+]
+
+#: String-valued ``PointResult`` columns (kept as numpy object arrays so
+#: fancy indexing and equality masks work; elements are plain ``str``).
+STRING_COLUMNS = ("architecture", "technology", "method", "reason")
+
+#: Always-present float columns (the Eq. 13 inputs plus the area proxy).
+FLOAT_COLUMNS = (
+    "frequency",
+    "n_cells",
+    "activity",
+    "logical_depth",
+    "capacitance",
+    "area",
+)
+
+#: Operating-point columns that are ``None`` on infeasible rows; stored
+#: as float64 with NaN standing in for the missing value.
+OPTIONAL_FLOAT_COLUMNS = ("vdd", "vth", "pdyn", "pstat", "ptot")
+
+BOOL_COLUMNS = ("feasible",)
+
+
+def _record_cls() -> "type[PointResult]":
+    # Late import: engine imports this module at top level, so the
+    # reverse edge must resolve through sys.modules at call time.
+    from .engine import PointResult
+
+    return PointResult
+
+
+def _field_names() -> tuple[str, ...]:
+    return _record_cls()._FIELD_NAMES
+
+
+class ResultTable:
+    """One evaluated sweep as structure-of-arrays, row-aligned.
+
+    ``columns`` maps every ``PointResult`` field name to a numpy array
+    of equal length: object arrays of ``str`` for the string columns,
+    float64 for the numeric ones (NaN marking ``None`` in the optional
+    operating-point columns) and bool for ``feasible``.  The table is
+    the native output of the columnar engine and the native input of
+    the analysis helpers, the cache payload and the NDJSON stream;
+    :meth:`rows` provides the backward-compatible lazy list of
+    ``PointResult`` views.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        names = _field_names()
+        missing = sorted(set(names) - set(columns))
+        if missing:
+            raise ValueError(f"result table is missing columns: {missing}")
+        lengths = {name: len(columns[name]) for name in names}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged result table columns: {lengths}")
+        self.columns = {name: columns[name] for name in names}
+
+    # -- basic container -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns["feasible"])
+
+    @property
+    def feasible(self) -> np.ndarray:
+        return self.columns["feasible"]
+
+    def column(self, name: str) -> np.ndarray:
+        """A column by field name, or one of the derived analysis columns.
+
+        ``ptot_or_inf`` (total power with +inf on infeasible rows) and
+        ``area_proxy`` (layout area, falling back to the cell count)
+        mirror the identically named ``PointResult`` properties.
+        """
+        if name == "ptot_or_inf":
+            ptot = self.columns["ptot"]
+            with np.errstate(invalid="ignore"):
+                return np.where(np.isnan(ptot), np.inf, ptot)
+        if name == "area_proxy":
+            area = self.columns["area"]
+            return np.where(area > 0.0, area, self.columns["n_cells"])
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown result column {name!r}; known: "
+                f"{', '.join(self.columns)} plus ptot_or_inf, area_proxy"
+            ) from None
+
+    # -- row views ------------------------------------------------------------
+    def row(self, index: int) -> "PointResult":
+        """Materialise one row as a ``PointResult`` (a fresh object per call)."""
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"row {index} out of range for {n}-row table")
+        c = self.columns
+
+        def optional(name: str) -> float | None:
+            value = c[name][index]
+            return None if math.isnan(value) else float(value)
+
+        return _record_cls()(
+            architecture=c["architecture"][index],
+            technology=c["technology"][index],
+            frequency=float(c["frequency"][index]),
+            n_cells=float(c["n_cells"][index]),
+            activity=float(c["activity"][index]),
+            logical_depth=float(c["logical_depth"][index]),
+            capacitance=float(c["capacitance"][index]),
+            area=float(c["area"][index]),
+            feasible=bool(c["feasible"][index]),
+            method=c["method"][index],
+            vdd=optional("vdd"),
+            vth=optional("vth"),
+            pdyn=optional("pdyn"),
+            pstat=optional("pstat"),
+            ptot=optional("ptot"),
+            reason=c["reason"][index],
+        )
+
+    def rows(self) -> "ResultRows":
+        """The lazy, list-compatible sequence of per-row views."""
+        return ResultRows(self)
+
+    def take(self, indices) -> "ResultTable":
+        """A new table of the selected rows (fancy-indexing every column)."""
+        indices = np.asarray(indices)
+        return ResultTable(
+            {name: array[indices] for name, array in self.columns.items()}
+        )
+
+    # -- analysis helpers ----------------------------------------------------
+    @property
+    def n_feasible(self) -> int:
+        return int(np.count_nonzero(self.columns["feasible"]))
+
+    def best_index(self) -> int | None:
+        """Row index of the cheapest feasible candidate (None if none)."""
+        ptot = self.column("ptot_or_inf")
+        if not len(ptot) or not self.columns["feasible"].any():
+            return None
+        return int(np.argmin(ptot))
+
+    # -- serialisation --------------------------------------------------------
+    def _python_columns(self) -> dict[str, list]:
+        """Every column as a plain python list, ``None`` replacing NaN."""
+        out: dict[str, list] = {}
+        for name in _field_names():
+            array = self.columns[name]
+            values = array.tolist()
+            if name in OPTIONAL_FLOAT_COLUMNS:
+                for index in np.flatnonzero(np.isnan(array)).tolist():
+                    values[index] = None
+            out[name] = values
+        return out
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """One JSON-ready dict per row, keys in ``PointResult`` field order.
+
+        Column-wise: the per-row path (materialise a ``PointResult``,
+        ``getattr`` sixteen fields) costs ~10x more than zipping the
+        sixteen column lists once.
+        """
+        names = _field_names()
+        columns = self._python_columns()
+        return [
+            dict(zip(names, values))
+            for values in zip(*(columns[name] for name in names))
+        ]
+
+    def to_payload_columns(self) -> dict[str, list]:
+        """The compact columnar cache payload (field name → value list)."""
+        return self._python_columns()
+
+    def iter_ndjson_chunks(
+        self, chunk_rows: int = 2048, kind: str = "record"
+    ) -> Iterator[str]:
+        """NDJSON record lines in multi-row chunks (no trailing newline).
+
+        Each yielded string holds up to ``chunk_rows`` newline-joined
+        ``{"kind": "record", ...}`` documents serialised straight from
+        the column lists — byte-identical to ``json.dumps(record.
+        to_dict(), sort_keys=True)`` per row, without materialising the
+        rows.
+        """
+        names = _field_names()
+        columns = self._python_columns()
+        column_lists = [columns[name] for name in names]
+        dumps = json.dumps
+        n = len(self)
+        for start in range(0, n, chunk_rows):
+            stop = min(start + chunk_rows, n)
+            rows = zip(*(values[start:stop] for values in column_lists))
+            yield "\n".join(
+                dumps({"kind": kind, **dict(zip(names, row))}, sort_keys=True)
+                for row in rows
+            )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Sequence["PointResult"]) -> "ResultTable":
+        records = list(records)
+        columns: dict[str, np.ndarray] = {}
+        for name in STRING_COLUMNS:
+            columns[name] = np.array(
+                [getattr(r, name) for r in records], dtype=object
+            )
+        for name in FLOAT_COLUMNS:
+            columns[name] = np.array(
+                [getattr(r, name) for r in records], dtype=float
+            )
+        for name in OPTIONAL_FLOAT_COLUMNS:
+            columns[name] = np.array(
+                [
+                    np.nan if getattr(r, name) is None else getattr(r, name)
+                    for r in records
+                ],
+                dtype=float,
+            )
+        columns["feasible"] = np.array(
+            [r.feasible for r in records], dtype=bool
+        )
+        return cls(columns)
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Sequence["PointOutcome"]) -> "ResultTable":
+        record = _record_cls()
+        return cls.from_records([record.from_outcome(o) for o in outcomes])
+
+    @classmethod
+    def from_payload_columns(cls, payload: Mapping[str, list]) -> "ResultTable":
+        columns: dict[str, np.ndarray] = {}
+        for name in STRING_COLUMNS:
+            columns[name] = np.array(payload[name], dtype=object)
+        for name in FLOAT_COLUMNS:
+            columns[name] = np.array(payload[name], dtype=float)
+        for name in OPTIONAL_FLOAT_COLUMNS:
+            columns[name] = np.array(
+                [np.nan if value is None else value for value in payload[name]],
+                dtype=float,
+            )
+        columns["feasible"] = np.array(payload["feasible"], dtype=bool)
+        return cls(columns)
+
+    @classmethod
+    def from_cache_payload(cls, payload: Mapping[str, Any]) -> "ResultTable":
+        """Rebuild a table from a cache entry, old row-wise schema included.
+
+        New entries store ``"columns"`` (one list per field); entries
+        written before the columnar pipeline store ``"points"`` (engine)
+        or ``"records"`` (Study registry path) as lists of row dicts.
+        Both shapes load to identical tables.
+        """
+        if "columns" in payload:
+            return cls.from_payload_columns(payload["columns"])
+        rows = payload.get("points")
+        if rows is None:
+            rows = payload.get("records", [])
+        record = _record_cls()
+        return cls.from_records([record.from_dict(row) for row in rows])
+
+
+class ResultRows(Sequence):
+    """Lazy list of ``PointResult`` views over a :class:`ResultTable`.
+
+    Indexing materialises one row and memoises it, so repeated access
+    to the same index returns the same object (list-identity semantics
+    for consumers that compare rows by ``is``); untouched rows cost
+    nothing.  Equality compares by value against other row views and
+    plain lists, so ``result.points == cached.points`` keeps working
+    across the columnar rewrite.
+    """
+
+    __slots__ = ("table", "_materialised")
+
+    def __init__(self, table: ResultTable) -> None:
+        self.table = table
+        self._materialised: list | None = None
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def _row(self, index: int) -> "PointResult":
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"row {index} out of range for {n}-row view")
+        if self._materialised is None:
+            self._materialised = [None] * n
+        row = self._materialised[index]
+        if row is None:
+            row = self.table.row(index)
+            self._materialised[index] = row
+        return row
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._row(i) for i in range(*index.indices(len(self)))]
+        return self._row(index)
+
+    def __iter__(self) -> Iterator["PointResult"]:
+        return (self._row(i) for i in range(len(self)))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultRows):
+            if other.table is self.table:
+                return True
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self) and list(self) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable-backed, list-like: unhashable on purpose
+
+    def __repr__(self) -> str:
+        return f"ResultRows({len(self)} rows)"
+
+
+@dataclass(frozen=True)
+class ExpandedColumns:
+    """A scenario's candidate grid as column arrays, expansion-ordered.
+
+    ``arch_index``/``tech_index`` point into the (small) derived
+    architecture and technology tuples; every per-point model input is
+    pre-broadcast to one flat float array so the batch kernel and the
+    fallback solver index straight into them.  Row ``i`` corresponds
+    exactly to ``scenario.expand()[i]``.
+    """
+
+    architectures: tuple[ArchitectureParameters, ...]
+    technologies: tuple[Technology, ...]
+    arch_index: np.ndarray
+    tech_index: np.ndarray
+    arch_name: np.ndarray
+    tech_name: np.ndarray
+    frequency: np.ndarray
+    n_cells: np.ndarray
+    activity: np.ndarray
+    logical_depth: np.ndarray
+    capacitance: np.ndarray
+    area: np.ndarray
+    io_factor: np.ndarray
+    zeta_factor: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.frequency)
+
+    def design_point(self, index: int) -> DesignPoint:
+        """Materialise one candidate as an object (parity checks, rescue)."""
+        return DesignPoint(
+            architecture=self.architectures[int(self.arch_index[index])],
+            technology=self.technologies[int(self.tech_index[index])],
+            frequency=float(self.frequency[index]),
+        )
+
+
+def expand_columns(scenario: Scenario) -> ExpandedColumns:
+    """Materialise a scenario's cartesian grid straight to column arrays.
+
+    Same candidate order as :meth:`Scenario.expand` (architecture-major,
+    then technology, then frequency) without building the per-point
+    object list: each per-architecture scalar is repeated over the
+    technology × frequency block, the frequency grid is tiled across
+    the rest.
+    """
+    architectures = tuple(scenario.derived_architectures())
+    technologies = tuple(scenario.technologies)
+    frequencies = np.array(tuple(scenario.frequencies), dtype=float)
+    n_arch, n_tech, n_freq = (
+        len(architectures),
+        len(technologies),
+        len(frequencies),
+    )
+    block = n_tech * n_freq
+
+    def per_architecture(attribute: str) -> np.ndarray:
+        values = np.array(
+            [getattr(arch, attribute) for arch in architectures], dtype=float
+        )
+        return np.repeat(values, block)
+
+    return ExpandedColumns(
+        architectures=architectures,
+        technologies=technologies,
+        arch_index=np.repeat(np.arange(n_arch), block),
+        tech_index=np.tile(np.repeat(np.arange(n_tech), n_freq), n_arch),
+        arch_name=np.repeat(
+            np.array([arch.name for arch in architectures], dtype=object),
+            block,
+        ),
+        tech_name=np.tile(
+            np.repeat(
+                np.array([tech.name for tech in technologies], dtype=object),
+                n_freq,
+            ),
+            n_arch,
+        ),
+        frequency=np.tile(frequencies, n_arch * n_tech),
+        n_cells=per_architecture("n_cells"),
+        activity=per_architecture("activity"),
+        logical_depth=per_architecture("logical_depth"),
+        capacitance=per_architecture("capacitance"),
+        area=per_architecture("area"),
+        io_factor=per_architecture("io_factor"),
+        zeta_factor=per_architecture("zeta_factor"),
+    )

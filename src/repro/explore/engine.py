@@ -1,38 +1,59 @@
 """Orchestration: expand a scenario, vectorize, fall back, cache.
 
-:func:`evaluate_points` is the batch core — it groups a candidate list
-by technology, runs the vectorized Eq. 9–13 kernel per group, and sends
-only the points the kernel distrusts (plus every closed-form-infeasible
-point, so the reported reason comes from the reference solver) through
-the parallel exact-numerical executor.  A parity check compares sampled
-vectorized results against the scalar closed form on every run, so a
-drift between the two implementations cannot pass silently.
+The batch core is columnar end to end: :func:`explore` expands a
+scenario straight to column arrays (:func:`~.columnar.expand_columns`),
+runs the vectorized Eq. 9–13 kernel per technology group, solves every
+flagged point with the vectorized exact-numerical solver
+(:mod:`repro.solvers.batch_numerical` — a lockstep port of the bounded
+scipy search, bit-identical results without per-point scipy calls), and
+assembles the outcome by array masking into a
+:class:`~.columnar.ResultTable`.  Per-row ``PointResult`` objects are
+lazy views, materialised only when a caller indexes one.
 
-:func:`explore` wraps that core with the scenario spec and the on-disk
-result cache: hash the sweep definition, return the stored result on a
-hit, evaluate and store on a miss.
+:func:`evaluate_points` keeps the historical object contract — a list
+of :class:`PointOutcome` aligned with the input ``DesignPoint`` list —
+for the solver registry and direct callers; its fallback rides the same
+vectorized solver.  The multiprocessing pool survives exclusively
+behind ``method="numerical"``, the reference path that runs scipy on
+every point on purpose.
+
+A parity check compares sampled vectorized results against the scalar
+closed form on every run, so a drift between the two implementations
+cannot pass silently.  :func:`explore` wraps the core with the scenario
+spec and the on-disk result cache: hash the sweep definition, return
+the stored result on a hit (old row-wise entries load transparently),
+evaluate and store the compact columnar payload on a miss.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, ClassVar, Mapping, Sequence
 
 import numpy as np
 
 from ..core.closed_form import closed_form_optimum
+from ..core.numerical import DEFAULT_VDD_SPAN
 from ..core.optimum import OperatingPoint, OptimizationResult
 from ..core.technology import Technology
 from . import executor as executor_module
 from ..service.memcache import TieredCache, as_cache
 from .cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
+from .columnar import ExpandedColumns, ResultTable, expand_columns
 from .scenario import DesignPoint, Scenario
-from .vectorized import batch_arrays_for_points, closed_form_batch
+from .vectorized import (
+    batch_arrays_for_columns,
+    batch_arrays_for_points,
+    closed_form_batch,
+)
 
 #: Method tag on vectorized operating points.
 VECTORIZED_METHOD = "vectorized-closed-form"
+
+#: Method tag on points the auto policy re-solved exactly.
+FALLBACK_METHOD = "numerical-fallback"
 
 #: Relative tolerance of the engine's built-in vectorized-vs-scalar
 #: parity check (the arithmetic is identical, so real agreement is at
@@ -69,7 +90,8 @@ class PointOutcome:
 class PointResult:
     """Flat, JSON-serialisable record of one evaluated candidate.
 
-    This is what the cache stores and the analysis helpers consume: the
+    This is what the analysis helpers consume and what one row of the
+    columnar :class:`~.columnar.ResultTable` materialises to: the
     architecture summary is inlined (names plus the Eq. 13 inputs and
     the area proxy) so a cached sweep is self-contained.
     """
@@ -176,9 +198,13 @@ class EvaluationStats:
     elapsed_seconds: float
 
     def to_dict(self) -> dict[str, Any]:
-        from dataclasses import asdict
-
-        return asdict(self)
+        return {
+            "n_candidates": self.n_candidates,
+            "n_feasible": self.n_feasible,
+            "n_vectorized": self.n_vectorized,
+            "n_fallback": self.n_fallback,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationStats":
@@ -198,7 +224,25 @@ class EvaluationStats:
             n_fallback=sum(
                 1
                 for o in outcomes
-                if o.method in ("numerical-fallback", "numerical")
+                if o.method in (FALLBACK_METHOD, "numerical")
+            ),
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    @classmethod
+    def from_table(
+        cls, table: ResultTable, elapsed_seconds: float
+    ) -> "EvaluationStats":
+        """Tally a columnar sweep without materialising any rows."""
+        method = table.column("method")
+        return cls(
+            n_candidates=len(table),
+            n_feasible=table.n_feasible,
+            n_vectorized=int(np.count_nonzero(method == VECTORIZED_METHOD)),
+            n_fallback=int(
+                np.count_nonzero(
+                    (method == FALLBACK_METHOD) | (method == "numerical")
+                )
             ),
             elapsed_seconds=elapsed_seconds,
         )
@@ -214,16 +258,23 @@ class EvaluationStats:
 
 @dataclass
 class ExplorationResult:
-    """A fully evaluated scenario plus provenance."""
+    """A fully evaluated scenario plus provenance.
+
+    ``points`` is a lazy, list-compatible view over the columnar
+    ``table`` (one ``PointResult`` materialised per index access);
+    ``table`` carries the structure-of-arrays representation the
+    analysis, caching and serving layers operate on directly.
+    """
 
     scenario: Scenario
     method: str
-    points: list[PointResult]
+    points: Sequence[PointResult]
     stats: EvaluationStats
     cache_hit: bool = False
     cache_key: str = ""
     cache_path: Path | None = None
     parity_checked: bool = False
+    table: ResultTable | None = field(default=None, repr=False, compare=False)
 
     @property
     def feasible_points(self) -> list[PointResult]:
@@ -232,6 +283,9 @@ class ExplorationResult:
     @property
     def best(self) -> PointResult | None:
         """Cheapest feasible candidate, or None when nothing closes timing."""
+        if self.table is not None:
+            index = self.table.best_index()
+            return None if index is None else self.table.row(index)
         feasible = self.feasible_points
         if not feasible:
             return None
@@ -277,10 +331,10 @@ def _vectorized_outcome(point: DesignPoint, batch, position: int) -> PointOutcom
     )
 
 
-def _closed_form_reason(point: DesignPoint, batch, position: int) -> str:
+def _closed_form_reason_values(
+    name: str, margin: float, log_argument: float
+) -> str:
     """Reason string mirroring the scalar chain's exception messages."""
-    name = point.architecture.name
-    margin = float(batch.margin[position])
     if margin <= 0.0:
         chi_a = 1.0 - margin
         return (
@@ -288,24 +342,30 @@ def _closed_form_reason(point: DesignPoint, batch, position: int) -> str:
             f"meet timing in this technology at this frequency"
         )
     return (
-        f"{name}: ln argument {float(batch.log_argument[position]):.3e} <= 1 "
+        f"{name}: ln argument {log_argument:.3e} <= 1 "
         f"implies a non-positive optimal threshold"
     )
 
 
-def _check_parity(
-    points: Sequence[DesignPoint],
-    batch,
-    positions: Sequence[int],
-    indices: Sequence[int],
-) -> None:
+def _closed_form_reason(point: DesignPoint, batch, position: int) -> str:
+    return _closed_form_reason_values(
+        point.architecture.name,
+        float(batch.margin[position]),
+        float(batch.log_argument[position]),
+    )
+
+
+def _check_parity(points, batch, positions, indices) -> None:
     """Spot-check vectorized values against the scalar closed form.
 
     ``positions`` index into the batch arrays, ``indices`` into the
-    original point list; both are aligned.  Raises ``RuntimeError`` on
-    drift — this is an internal-consistency invariant, not user error.
+    original point list; both are aligned.  ``points`` may be a list of
+    :class:`DesignPoint` or anything indexable that yields them (the
+    columnar path passes a materialising shim).  Raises ``RuntimeError``
+    on drift — this is an internal-consistency invariant, not user
+    error.
     """
-    if not positions:
+    if not len(positions):
         return
     picks = sorted({0, len(positions) // 2, len(positions) - 1})
     for pick in picks[:PARITY_SAMPLES]:
@@ -324,6 +384,167 @@ def _check_parity(
             )
 
 
+class _ColumnPoints:
+    """Indexable shim materialising :class:`DesignPoint` on demand.
+
+    Lets the columnar path share :func:`_check_parity` (which touches
+    only the few sampled indices) without expanding the object list.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: ExpandedColumns) -> None:
+        self.columns = columns
+
+    def __getitem__(self, index: int) -> DesignPoint:
+        return self.columns.design_point(index)
+
+
+def _fallback_task(columns: ExpandedColumns, indices: np.ndarray):
+    """Batch-numerical task for the flagged subset of a columnar grid.
+
+    χ is recomputed with :func:`~repro.solvers.batch_numerical.
+    exact_chi` rather than reused from the kernel: the kernel's array
+    ``pow`` may differ from scalar libm by 1 ULP, and the fallback
+    solver's contract is bit-parity with the scalar reference.
+    """
+    from ..solvers.batch_numerical import (
+        BatchNumericalTask,
+        chi_denominator,
+        exact_chi,
+    )
+
+    technologies = columns.technologies
+    tech_io = np.array([t.io for t in technologies], dtype=float)
+    tech_zeta = np.array([t.zeta for t in technologies], dtype=float)
+    tech_inv_alpha = np.array(
+        [1.0 / t.alpha for t in technologies], dtype=float
+    )
+    tech_n_ut = np.array([t.n_ut for t in technologies], dtype=float)
+    tech_nominal = np.array(
+        [t.vdd_nominal for t in technologies], dtype=float
+    )
+    tech_denominator = np.array(
+        [chi_denominator(t) for t in technologies], dtype=float
+    )
+    tech_index = columns.tech_index[indices]
+    inv_alpha = tech_inv_alpha[tech_index]
+    return BatchNumericalTask(
+        name=columns.arch_name[indices],
+        n_cells=columns.n_cells[indices],
+        activity=columns.activity[indices],
+        capacitance=columns.capacitance[indices],
+        frequency=columns.frequency[indices],
+        chi=exact_chi(
+            columns.logical_depth[indices],
+            columns.frequency[indices],
+            tech_zeta[tech_index] * columns.zeta_factor[indices],
+            tech_denominator[tech_index],
+            inv_alpha,
+        ),
+        io_power=tech_io[tech_index] * columns.io_factor[indices],
+        inv_alpha=inv_alpha,
+        n_ut=tech_n_ut[tech_index],
+        vdd_lo=DEFAULT_VDD_SPAN[0] * tech_nominal[tech_index],
+        vdd_hi=DEFAULT_VDD_SPAN[1] * tech_nominal[tech_index],
+    )
+
+
+def _evaluate_columns(
+    columns: ExpandedColumns, method: str, parity_check: bool
+) -> ResultTable:
+    """The columnar batch core for ``auto`` and ``closed-form``.
+
+    One vectorized kernel call per technology group, one vectorized
+    exact-numerical solve for the whole flagged set, results assembled
+    by mask assignment into the table's column arrays — no per-point
+    Python objects anywhere on this path.
+    """
+    n = columns.n
+    vdd = np.full(n, np.nan)
+    vth = np.full(n, np.nan)
+    pdyn = np.full(n, np.nan)
+    pstat = np.full(n, np.nan)
+    ptot = np.full(n, np.nan)
+    feasible = np.zeros(n, dtype=bool)
+    method_column = np.empty(n, dtype=object)
+    method_column.fill(VECTORIZED_METHOD)
+    reason = np.empty(n, dtype=object)
+    reason.fill("")
+    flagged = np.zeros(n, dtype=bool)
+
+    for tech_position, tech in enumerate(columns.technologies):
+        indices = np.flatnonzero(columns.tech_index == tech_position)
+        if not indices.size:
+            continue
+        batch = closed_form_batch(
+            tech, **batch_arrays_for_columns(columns, indices)
+        )
+        trusted = batch.feasible & ~batch.needs_fallback
+        keep = batch.feasible if method == "closed-form" else trusted
+        kept = indices[keep]
+        vdd[kept] = batch.vdd[keep]
+        vth[kept] = batch.vth[keep]
+        pdyn[kept] = batch.pdyn[keep]
+        pstat[kept] = batch.pstat[keep]
+        ptot[kept] = batch.ptot[keep]
+        feasible[kept] = True
+        if method == "closed-form":
+            for position, index in zip(
+                np.flatnonzero(~batch.feasible).tolist(),
+                indices[~batch.feasible].tolist(),
+            ):
+                reason[index] = _closed_form_reason_values(
+                    columns.arch_name[index],
+                    float(batch.margin[position]),
+                    float(batch.log_argument[position]),
+                )
+        else:
+            flagged[indices[~trusted]] = True
+        if parity_check:
+            _check_parity(
+                _ColumnPoints(columns),
+                batch,
+                np.flatnonzero(trusted),
+                indices[trusted],
+            )
+
+    if flagged.any():
+        from ..solvers.batch_numerical import solve_batch
+
+        flagged_indices = np.flatnonzero(flagged)
+        solution = solve_batch(_fallback_task(columns, flagged_indices))
+        vdd[flagged_indices] = solution.vdd
+        vth[flagged_indices] = solution.vth
+        pdyn[flagged_indices] = solution.pdyn
+        pstat[flagged_indices] = solution.pstat
+        ptot[flagged_indices] = solution.ptot
+        feasible[flagged_indices] = solution.feasible
+        method_column[flagged_indices] = FALLBACK_METHOD
+        reason[flagged_indices] = solution.reason
+
+    return ResultTable(
+        {
+            "architecture": columns.arch_name,
+            "technology": columns.tech_name,
+            "frequency": columns.frequency,
+            "n_cells": columns.n_cells,
+            "activity": columns.activity,
+            "logical_depth": columns.logical_depth,
+            "capacitance": columns.capacitance,
+            "area": columns.area,
+            "feasible": feasible,
+            "method": method_column,
+            "vdd": vdd,
+            "vth": vth,
+            "pdyn": pdyn,
+            "pstat": pstat,
+            "ptot": ptot,
+            "reason": reason,
+        }
+    )
+
+
 def evaluate_points(
     points: Sequence[DesignPoint],
     method: str = "auto",
@@ -335,13 +556,14 @@ def evaluate_points(
     Methods
     -------
     ``"auto"``
-        Vectorized closed form for the trusted interior; exact numerical
-        solve (parallel, chunked) for flagged and infeasible points.
+        Vectorized closed form for the trusted interior; vectorized
+        exact-numerical solve for flagged and infeasible points (no
+        scipy calls, no process pool).
     ``"closed-form"``
         Vectorized closed form everywhere it is defined; no scipy calls.
     ``"numerical"``
-        The reference solver for every point — the historical
-        ``evaluate_candidates`` behaviour, now parallel.
+        The reference solver for every point — one scipy call each,
+        chunked over the multiprocessing pool.
     """
     if method not in EVALUATION_METHODS:
         raise ValueError(
@@ -392,18 +614,68 @@ def evaluate_points(
             _check_parity(points, batch, vectorized_positions, vectorized_indices)
 
     if fallback_indices:
+        from ..solvers.batch_numerical import (
+            METHOD as BATCH_METHOD,
+            solve_points,
+        )
+
         fallback_points = [points[i] for i in fallback_indices]
-        for index, (result, reason) in zip(
-            fallback_indices,
-            executor_module.run_numerical(fallback_points, jobs=jobs),
-        ):
+        solution = solve_points(fallback_points)
+        for position, index in enumerate(fallback_indices):
+            point = points[index]
+            if solution.feasible[position]:
+                operating_point = OperatingPoint(
+                    vdd=float(solution.vdd[position]),
+                    vth=float(solution.vth[position]),
+                    pdyn=float(solution.pdyn[position]),
+                    pstat=float(solution.pstat[position]),
+                    method=BATCH_METHOD,
+                )
+                result = OptimizationResult(
+                    architecture=point.architecture,
+                    technology=point.technology,
+                    frequency=point.frequency,
+                    point=operating_point,
+                )
+                reason = ""
+            else:
+                result = None
+                reason = solution.reason[position]
             outcomes[index] = PointOutcome(
-                point=points[index],
+                point=point,
                 result=result,
                 reason=reason,
-                method="numerical-fallback",
+                method=FALLBACK_METHOD,
             )
     return outcomes  # type: ignore[return-value]
+
+
+def evaluate_table(
+    scenario: Scenario,
+    method: str = "auto",
+    jobs: int | None = None,
+    parity_check: bool = True,
+) -> ResultTable:
+    """Evaluate a scenario straight to a columnar :class:`ResultTable`.
+
+    The batch front door: ``auto`` and ``closed-form`` never build a
+    per-point object; ``numerical`` (the scipy-per-point reference)
+    still expands to ``DesignPoint`` objects for the pool and converts
+    once at the end.
+    """
+    if method not in EVALUATION_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {EVALUATION_METHODS}"
+        )
+    if method == "numerical":
+        outcomes = evaluate_points(
+            scenario.expand(), method=method, jobs=jobs,
+            parity_check=parity_check,
+        )
+        return ResultTable.from_outcomes(outcomes)
+    return _evaluate_columns(
+        expand_columns(scenario), method=method, parity_check=parity_check
+    )
 
 
 def cache_key_payload(scenario: Scenario) -> dict[str, Any]:
@@ -450,7 +722,8 @@ def explore(
     method:
         ``"auto"`` (default), ``"closed-form"`` or ``"numerical"``.
     jobs:
-        Worker processes for the exact-numerical points.
+        Worker processes for the ``"numerical"`` reference method (the
+        auto fallback is vectorized and needs none).
     cache:
         A :class:`~repro.service.memcache.TieredCache`, a bare
         :class:`ResultCache`, a directory for one, or None for the
@@ -461,7 +734,7 @@ def explore(
     use_cache:
         When False, neither reads nor writes the cache.
     parity_check:
-        Forwarded to :func:`evaluate_points`.
+        Forwarded to the evaluation core.
     """
     cache = as_cache(cache)
     key = _cache_key(scenario, method)
@@ -469,25 +742,26 @@ def explore(
     if use_cache:
         stored = cache.get(key)
         if stored is not None:
+            table = ResultTable.from_cache_payload(stored)
             return ExplorationResult(
                 scenario=scenario,
                 method=method,
-                points=[PointResult.from_dict(p) for p in stored["points"]],
+                points=table.rows(),
                 stats=EvaluationStats.from_dict(stored["stats"]),
                 cache_hit=True,
                 cache_key=key,
                 cache_path=cache.path_for(key),
                 parity_checked=bool(stored.get("parity_checked", False)),
+                table=table,
             )
 
     started = time.perf_counter()
-    outcomes = evaluate_points(
-        scenario.expand(), method=method, jobs=jobs, parity_check=parity_check
+    table = evaluate_table(
+        scenario, method=method, jobs=jobs, parity_check=parity_check
     )
     elapsed = time.perf_counter() - started
 
-    point_results = [PointResult.from_outcome(o) for o in outcomes]
-    stats = EvaluationStats.from_outcomes(outcomes, elapsed)
+    stats = EvaluationStats.from_table(table, elapsed)
     cache_path = None
     if use_cache:
         cache_path = cache.put(
@@ -498,16 +772,17 @@ def explore(
                 "scenario": scenario.to_dict(),
                 "stats": stats.to_dict(),
                 "parity_checked": parity_check and method != "numerical",
-                "points": [p.to_dict() for p in point_results],
+                "columns": table.to_payload_columns(),
             },
         )
     return ExplorationResult(
         scenario=scenario,
         method=method,
-        points=point_results,
+        points=table.rows(),
         stats=stats,
         cache_hit=False,
         cache_key=key,
         cache_path=cache_path,
         parity_checked=parity_check and method != "numerical",
+        table=table,
     )

@@ -72,13 +72,31 @@ def run_numerical(
         Tasks per pool dispatch.
     """
     tasks = [(p.architecture, p.technology, p.frequency) for p in points]
-    jobs = resolve_jobs(jobs, len(tasks))
-    if jobs <= 1 or len(tasks) < PARALLEL_THRESHOLD:
-        return [solve_point(task) for task in tasks]
+    # Grids with repeated candidates (duplicate architectures, repeated
+    # frequencies, merged scenarios) solve each unique task once and fan
+    # the result back out — the dataclasses are frozen/hashable, so the
+    # (architecture, technology, frequency) tuple is its own key.
+    position_of: dict[tuple, int] = {}
+    unique_tasks: list[tuple] = []
+    positions: list[int] = []
+    for task in tasks:
+        position = position_of.get(task)
+        if position is None:
+            position = len(unique_tasks)
+            position_of[task] = position
+            unique_tasks.append(task)
+        positions.append(position)
 
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-    with context.Pool(processes=jobs) as pool:
-        return pool.map(solve_point, tasks, chunksize=chunk_size)
+    jobs = resolve_jobs(jobs, len(unique_tasks))
+    if jobs <= 1 or len(unique_tasks) < PARALLEL_THRESHOLD:
+        unique_results = [solve_point(task) for task in unique_tasks]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        with context.Pool(processes=jobs) as pool:
+            unique_results = pool.map(
+                solve_point, unique_tasks, chunksize=chunk_size
+            )
+    return [unique_results[position] for position in positions]

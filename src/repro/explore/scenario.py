@@ -264,6 +264,18 @@ class Scenario:
             for freq in self.frequencies
         ]
 
+    def expand_columns(self):
+        """The same grid as :meth:`expand`, as column arrays.
+
+        Returns an :class:`~repro.explore.columnar.ExpandedColumns` —
+        the engine's batch path consumes this directly and never builds
+        the per-point object list.  Row ``i`` of the columns equals
+        ``expand()[i]``.
+        """
+        from .columnar import expand_columns
+
+        return expand_columns(self)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,

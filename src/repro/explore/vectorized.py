@@ -185,11 +185,25 @@ def closed_form_batch(
     )
 
 
+#: The ``closed_form_batch`` keyword for each per-point input column.
+BATCH_INPUTS = (
+    "n_cells",
+    "activity",
+    "logical_depth",
+    "capacitance",
+    "frequency",
+    "io_factor",
+    "zeta_factor",
+)
+
+
 def batch_arrays_for_points(points) -> dict[str, np.ndarray]:
     """Column arrays for a list of :class:`~.scenario.DesignPoint`.
 
-    The engine's bridge from object-land to array-land: one flat array
-    per Eq. 13 input, aligned with ``points``.
+    The object-path bridge from point lists to array-land: one flat
+    array per Eq. 13 input, aligned with ``points``.  The columnar
+    path uses :func:`batch_arrays_for_columns` instead and never
+    materialises the objects.
     """
     return {
         "n_cells": np.array([p.architecture.n_cells for p in points]),
@@ -201,4 +215,16 @@ def batch_arrays_for_points(points) -> dict[str, np.ndarray]:
         "frequency": np.array([p.frequency for p in points]),
         "io_factor": np.array([p.architecture.io_factor for p in points]),
         "zeta_factor": np.array([p.architecture.zeta_factor for p in points]),
+    }
+
+
+def batch_arrays_for_columns(columns, indices) -> dict[str, np.ndarray]:
+    """The kernel's input slice for a subset of an expanded columnar grid.
+
+    ``columns`` is an :class:`~repro.explore.columnar.ExpandedColumns`;
+    ``indices`` selects the rows of one technology group.  Pure fancy
+    indexing — no per-point Python work.
+    """
+    return {
+        name: getattr(columns, name)[indices] for name in BATCH_INPUTS
     }

@@ -39,6 +39,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..explore.cache import content_hash
+from ..explore.columnar import ResultRows
 from ..explore.engine import cache_key_payload
 from ..explore.scenario import FrequencyGrid, Scenario
 from ..listing import architecture_names, catalog_payload, listing_payload
@@ -333,18 +334,32 @@ def resultset_payload(result: ResultSet, coalesced: bool) -> dict[str, Any]:
     return {**_header_payload(result, coalesced), "records": result.to_dicts()}
 
 
+#: Records serialised per chunk of the NDJSON stream (one socket write
+#: per chunk instead of one per record).
+NDJSON_CHUNK_ROWS = 2048
+
+
 def ndjson_lines(result: ResultSet, coalesced: bool) -> "Iterator[str]":
     """The same response as NDJSON: one header line, one line per record.
 
-    A generator so large sweeps stream for real — the response is
-    serialized and written one record at a time, never materialised as
-    a whole.
+    A generator of newline-joined chunks, so large sweeps stream for
+    real — the response is never materialised as a whole.  Table-backed
+    result sets (every engine run) serialise straight from the column
+    arrays, :data:`NDJSON_CHUNK_ROWS` records per chunk, without
+    materialising a single record object; the wire format is unchanged
+    (one JSON document per line, sorted keys).
     """
     yield json.dumps(
         {"kind": "header", **_header_payload(result, coalesced)},
         sort_keys=True,
     )
-    for record in result.records:
+    records = result.records
+    if isinstance(records, ResultRows):
+        yield from records.table.iter_ndjson_chunks(
+            chunk_rows=NDJSON_CHUNK_ROWS
+        )
+        return
+    for record in records:
         yield json.dumps(
             {"kind": "record", **record.to_dict()}, sort_keys=True
         )

@@ -17,10 +17,23 @@ All of them honour the same contract (see :mod:`repro.solvers.base`):
 with infeasibility reported as data rather than raised.  Register your
 own with :func:`register_solver` and it becomes addressable from
 ``Study(...).solver("your-name")`` and the CLI immediately.
+
+:mod:`repro.solvers.batch_numerical` is not a registry entry but the
+vectorized kernel underneath ``auto``'s exact-numerical fallback: a
+lockstep numpy port of the bounded scipy search that solves the whole
+flagged set at once, bit-identical to ``numerical_optimum`` — the
+per-point scipy pool now serves only the ``numerical`` reference
+method.
 """
 
 from .base import Solver, SolverError, check_options
 from .batch import AUTO_SOLVER, EngineSolver, NUMERICAL_SOLVER, VECTORIZED_SOLVER
+from .batch_numerical import (
+    BatchNumericalSolution,
+    BatchNumericalTask,
+    solve_batch,
+    task_for_points,
+)
 from .registry import (
     available_solvers,
     get_solver,
@@ -39,6 +52,8 @@ from .scalar import (
 __all__ = [
     "AUTO_SOLVER",
     "BOUNDED_SOLVER",
+    "BatchNumericalSolution",
+    "BatchNumericalTask",
     "CLOSED_FORM_SOLVER",
     "EngineSolver",
     "LINEARIZED_SOLVER",
@@ -52,7 +67,9 @@ __all__ = [
     "check_options",
     "get_solver",
     "register_solver",
+    "solve_batch",
     "solver_summaries",
+    "task_for_points",
     "unregister_solver",
 ]
 

@@ -50,6 +50,7 @@ from .explore.analysis import (
     report,
 )
 from .explore.cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
+from .explore.columnar import ResultRows, ResultTable
 from .service.memcache import TieredCache, as_cache
 from .explore.engine import EvaluationStats, PointResult, cache_key_payload
 from .explore.engine import explore as explore_scenario
@@ -68,13 +69,18 @@ Record = PointResult
 class ResultSet:
     """Evaluated candidates plus provenance, with analysis built in.
 
-    The record list is aligned with ``scenario.expand()`` order.  All
-    derived views (:meth:`feasible`, :meth:`rank`, :meth:`pareto`)
-    return new ``ResultSet`` instances over a subset of the records, so
+    The record list is aligned with ``scenario.expand()`` order.  For
+    engine-backed runs it is a lazy :class:`~repro.explore.columnar.
+    ResultRows` view over the columnar ``ResultTable`` — list-compatible
+    (indexing, iteration, equality) but materialising a ``Record`` only
+    where one is actually read, while serialisation and the analysis
+    fast paths use the backing column arrays directly.  All derived
+    views (:meth:`feasible`, :meth:`rank`, :meth:`pareto`) return new
+    ``ResultSet`` instances over a plain-list subset of the records, so
     the analysis methods compose: ``study.run().pareto().table()``.
     """
 
-    records: list[Record]
+    records: Sequence[Record]
     solver: str
     scenario: Scenario | None = None
     stats: EvaluationStats | None = None
@@ -95,9 +101,18 @@ class ResultSet:
     def _subset(self, records: Sequence[Record]) -> "ResultSet":
         return replace(self, records=list(records))
 
+    @property
+    def _table(self) -> "ResultTable | None":
+        """The columnar table behind the records, if they are a lazy view."""
+        records = self.records
+        return records.table if isinstance(records, ResultRows) else None
+
     # -- analysis -----------------------------------------------------------
     @property
     def n_feasible(self) -> int:
+        table = self._table
+        if table is not None:
+            return table.n_feasible
         return sum(1 for record in self.records if record.feasible)
 
     def feasible(self) -> "ResultSet":
@@ -114,6 +129,10 @@ class ResultSet:
 
     def best(self) -> Record | None:
         """Cheapest feasible candidate, or None when nothing is feasible."""
+        table = self._table
+        if table is not None:
+            index = table.best_index()
+            return None if index is None else table.row(index)
         candidates = [r for r in self.records if r.feasible]
         if not candidates:
             return None
@@ -136,7 +155,15 @@ class ResultSet:
 
     # -- serialisation ------------------------------------------------------
     def to_dicts(self) -> list[dict[str, Any]]:
-        """One plain dict per record (JSON-ready)."""
+        """One plain dict per record (JSON-ready).
+
+        Table-backed result sets serialise column-wise (zip sixteen
+        lists once) instead of materialising and introspecting every
+        record object.
+        """
+        table = self._table
+        if table is not None:
+            return table.to_dicts()
         return [record.to_dict() for record in self.records]
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -153,14 +180,10 @@ class ResultSet:
 
     def to_csv(self) -> str:
         """The records as CSV (header + one row per candidate)."""
-        from dataclasses import fields as dataclass_fields
-
-        columns = [f.name for f in dataclass_fields(Record)]
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer = csv.DictWriter(buffer, fieldnames=list(Record._FIELD_NAMES))
         writer.writeheader()
-        for record in self.records:
-            writer.writerow(record.to_dict())
+        writer.writerows(self.to_dicts())
         return buffer.getvalue()
 
     def table(
@@ -447,8 +470,11 @@ class Study:
             key = self._cache_key(scenario)
             stored = cache.get(key)
             if stored is not None:
+                # Old entries store a row-wise "records" list, new ones
+                # the compact columnar payload; both load identically.
+                table = ResultTable.from_cache_payload(stored)
                 return ResultSet(
-                    records=[Record.from_dict(p) for p in stored["records"]],
+                    records=table.rows(),
                     solver=solver.name,
                     scenario=scenario,
                     stats=EvaluationStats.from_dict(stored["stats"]),
@@ -463,7 +489,7 @@ class Study:
         )
         elapsed = time.perf_counter() - started
 
-        records = [Record.from_outcome(outcome) for outcome in outcomes]
+        table = ResultTable.from_outcomes(outcomes)
         stats = EvaluationStats.from_outcomes(outcomes, elapsed)
         cache_path = None
         if cache is not None:
@@ -474,11 +500,11 @@ class Study:
                     "solver": solver.name,
                     "scenario": scenario.to_dict(),
                     "stats": stats.to_dict(),
-                    "records": [record.to_dict() for record in records],
+                    "columns": table.to_payload_columns(),
                 },
             )
         return ResultSet(
-            records=records,
+            records=table.rows(),
             solver=solver.name,
             scenario=scenario,
             stats=stats,

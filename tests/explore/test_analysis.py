@@ -100,3 +100,93 @@ class TestReport:
     def test_report_counts(self, candidates):
         text = report(candidates, top=10)
         assert "5 candidates: 4 feasible, 1 infeasible" in text
+
+
+def _brute_force_mask(points, objectives):
+    """O(n²) oracle with the documented domination semantics."""
+    import numpy as np
+
+    values = []
+    for p in points:
+        row = []
+        for attribute, sense in objectives:
+            v = float(getattr(p, attribute))
+            row.append(v if sense == "min" else -v)
+        values.append(row)
+    values = np.asarray(values)
+    mask = np.zeros(len(points), dtype=bool)
+    for i, p in enumerate(points):
+        if not p.feasible:
+            continue
+        dominated = False
+        for j, q in enumerate(points):
+            if i == j or not q.feasible:
+                continue
+            if (values[j] <= values[i]).all() and (values[j] < values[i]).any():
+                dominated = True
+                break
+        mask[i] = not dominated
+    return mask
+
+
+class TestVectorizedParetoOracle:
+    """The lexsort/sweep implementation vs the brute-force pairwise test."""
+
+    OBJECTIVES = (("ptot_or_inf", "min"), ("frequency", "max"),
+                  ("area_proxy", "min"))
+
+    def _random_points(self, rng, n):
+        points = []
+        for k in range(n):
+            feasible = rng.random() > 0.15
+            # Coarse value grid on purpose: collisions and exact
+            # duplicates must keep the historical tie semantics.
+            ptot = float(rng.integers(1, 6)) * 1e-4
+            points.append(_point(
+                f"p{k}",
+                ptot=ptot,
+                frequency=float(rng.integers(1, 5)) * 1e7,
+                area=float(rng.integers(1, 4)) * 100.0,
+                feasible=feasible,
+            ))
+        return points
+
+    def test_matches_oracle_on_random_grids(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for n in (1, 2, 17, 60, 151):
+            points = self._random_points(rng, n)
+            expected = _brute_force_mask(points, self.OBJECTIVES)
+            actual = pareto_mask(points, self.OBJECTIVES)
+            assert np.array_equal(actual, expected), f"n={n}"
+
+    def test_table_input_matches_list_input(self):
+        import numpy as np
+
+        from repro.explore.columnar import ResultTable
+
+        rng = np.random.default_rng(11)
+        points = self._random_points(rng, 80)
+        table = ResultTable.from_records(points)
+        assert np.array_equal(pareto_mask(table.rows()), pareto_mask(points))
+        assert pareto_frontier(table.rows()) == pareto_frontier(points)
+        assert rank_points(table.rows()) == rank_points(points)
+        assert report(table.rows()) == report(points)
+
+    def test_continuous_random_values(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        points = [
+            _point(
+                f"c{k}",
+                ptot=float(rng.uniform(1e-5, 1e-3)),
+                frequency=float(rng.uniform(1e6, 1e8)),
+                area=float(rng.uniform(50, 500)),
+                feasible=bool(rng.random() > 0.1),
+            )
+            for k in range(120)
+        ]
+        expected = _brute_force_mask(points, self.OBJECTIVES)
+        assert np.array_equal(pareto_mask(points, self.OBJECTIVES), expected)

@@ -66,3 +66,56 @@ class TestRunNumerical:
             assert s_reason == p_reason
             if s_result is not None:
                 assert p_result.ptot == pytest.approx(s_result.ptot, rel=1e-12)
+
+
+class TestTaskDeduplication:
+    def test_duplicates_solve_once_and_fan_out(
+        self, wallace_arch, tech_ll, monkeypatch
+    ):
+        from repro.explore import executor as executor_module
+        from repro.explore.scenario import DesignPoint
+
+        calls = []
+        original = executor_module.solve_point
+
+        def counting(task):
+            calls.append(task)
+            return original(task)
+
+        monkeypatch.setattr(executor_module, "solve_point", counting)
+        unique = [
+            DesignPoint(wallace_arch, tech_ll, 31.25e6),
+            DesignPoint(wallace_arch, tech_ll, 62.5e6),
+        ]
+        repeated = [unique[0], unique[1], unique[0], unique[0], unique[1]]
+        results = executor_module.run_numerical(repeated, jobs=1)
+        assert len(calls) == 2
+        assert len(results) == 5
+        assert results[0] == results[2] == results[3]
+        assert results[1] == results[4]
+        assert results[0][0].point.ptot != results[1][0].point.ptot
+
+    def test_equal_but_distinct_objects_deduplicate(
+        self, wallace_arch, tech_ll, monkeypatch
+    ):
+        import dataclasses
+
+        from repro.explore import executor as executor_module
+        from repro.explore.scenario import DesignPoint
+
+        calls = []
+        original = executor_module.solve_point
+
+        def counting(task):
+            calls.append(task)
+            return original(task)
+
+        monkeypatch.setattr(executor_module, "solve_point", counting)
+        twin = dataclasses.replace(wallace_arch)
+        points = [
+            DesignPoint(wallace_arch, tech_ll, 31.25e6),
+            DesignPoint(twin, tech_ll, 31.25e6),
+        ]
+        results = executor_module.run_numerical(points, jobs=1)
+        assert len(calls) == 1
+        assert results[0] == results[1]

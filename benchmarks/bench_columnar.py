@@ -104,10 +104,15 @@ def test_columnar_end_to_end_speedup(save_artifact, record_benchmark):
     assert n_points >= (10_000 if smoke_mode() else 100_000)
 
     # -- columnar pipeline, full sweep ------------------------------------
+    from repro import obs
+
+    timer = obs.PhaseTimer("engine")
     started = time.perf_counter()
-    table = evaluate_table(scenario, method="auto")
+    table = evaluate_table(scenario, method="auto", timer=timer)
     columnar_seconds = time.perf_counter() - started
-    stats = EvaluationStats.from_table(table, columnar_seconds)
+    stats = EvaluationStats.from_table(
+        table, columnar_seconds, phases=timer.phases
+    )
     columnar_rate = n_points / columnar_seconds
 
     # -- legacy object path, sampled + extrapolated ------------------------
@@ -169,6 +174,7 @@ def test_columnar_end_to_end_speedup(save_artifact, record_benchmark):
         speedup=round(speedup, 1),
         serialise_speedup=round(serialise_speedup, 1),
         smoke=smoke_mode(),
+        phases=stats.phases,
     )
 
     # Sanity: both sides evaluated the same problem the same way.

@@ -55,12 +55,21 @@ def record_benchmark(artifact_dir):
 
     Metrics are plain JSON scalars (throughput, seconds, speedup, …);
     the CI gate loads these files and fails the build when a speedup
-    regresses below its floor.
+    regresses below its floor.  A ``phases`` keyword (an engine
+    phase → wall-seconds mapping, e.g. ``EvaluationStats.phases``) is
+    embedded as a rounded snapshot, so the archived metrics say *where*
+    a regression happened, not just that one did.
     """
 
-    def _record(name: str, **metrics) -> Path:
+    def _record(name: str, phases=None, **metrics) -> Path:
+        payload = dict(metrics)
+        if phases:
+            payload["phases"] = {
+                phase: round(float(seconds), 6)
+                for phase, seconds in dict(phases).items()
+            }
         path = artifact_dir / f"BENCH_{name}.json"
-        path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"[benchmark metrics saved to {path}]")
         return path
 

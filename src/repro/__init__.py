@@ -74,7 +74,7 @@ from importlib import metadata as _metadata
 
 #: Fallback for source checkouts that were never pip-installed (the
 #: tier-1 ``PYTHONPATH=src`` workflow); keep in sync with pyproject.toml.
-_FALLBACK_VERSION = "1.2.0"
+_FALLBACK_VERSION = "1.3.0"
 
 try:  # installed: the single source of truth is the package metadata
     __version__ = _metadata.version("repro")
@@ -88,6 +88,10 @@ from .core import _SELECTION_EXPORTS  # noqa: E402
 # The model catalog: one registry for technologies, architectures,
 # solvers, transforms and generators, plus the plugin-pack loader.
 from . import catalog  # noqa: F401,E402
+
+# Telemetry (spans, metrics, exporters) — stdlib-only, no-op until
+# enabled via repro.obs.enable() / REPRO_TELEMETRY=1 / --profile.
+from . import obs  # noqa: F401,E402
 from .catalog import default_catalog, load_pack  # noqa: E402
 
 # NOTE: the name ``explore`` is intentionally *not* from-imported: the
@@ -140,6 +144,7 @@ __all__ = list(_core_all) + [
     "explore",
     "get_solver",
     "load_pack",
+    "obs",
     "pareto_frontier",
     "register_solver",
     "__version__",

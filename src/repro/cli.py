@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import __version__
+from . import __version__, obs
 from .core.architecture import ArchitectureParameters
 from .core.closed_form import ptot_eq13_adaptive
 from .core.optimum import approximation_error_percent
@@ -113,7 +113,55 @@ def _resolve_architecture(args):
     return ArchitectureParameters(**values)
 
 
+def _start_profile(args) -> "obs.SpanTracer | None":
+    """Arm telemetry for ``--profile``/``--profile-json``; None when off.
+
+    Enables the metrics registry and installs a fresh span tracer as the
+    process default, so spans from engine worker threads land in the
+    same tree the CLI prints at the end.
+    """
+    if not (getattr(args, "profile", False) or getattr(args, "profile_json", None)):
+        return None
+    obs.enable()
+    return obs.install_tracer(obs.SpanTracer(), default=True)
+
+
+def _finish_profile(args, tracer, stats, total_seconds: float) -> None:
+    """Print / write the profile collected since :func:`_start_profile`."""
+    if tracer is None:
+        return
+    obs.uninstall_tracer()
+    phases = dict(stats.phases) if stats is not None else {}
+    if getattr(args, "profile", False):
+        print()
+        print("profile: span tree")
+        print(obs.render_span_tree(tracer))
+        print()
+        print("profile: phase breakdown")
+        print(obs.render_phases(phases, total_seconds=total_seconds))
+    path = getattr(args, "profile_json", None)
+    if path:
+        import json as json_module
+
+        payload = {
+            "total_seconds": total_seconds,
+            "phases": phases,
+            "spans": tracer.to_dict(),
+            "metrics": obs.snapshot(),
+        }
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json_module.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write profile: {error}", file=sys.stderr)
+            return
+        print(f"profile written to {path}")
+
+
 def _cmd_optimize(args) -> int:
+    import time
+
     if not _install_packs(args):
         return 2
     arch = _resolve_architecture(args)
@@ -122,6 +170,8 @@ def _cmd_optimize(args) -> int:
     tech = _resolve_flavour(args.tech)
     if tech is None:
         return 2
+    tracer = _start_profile(args)
+    started = time.perf_counter()
     resultset = (
         Study("cli-optimize")
         .architectures(arch)
@@ -130,11 +180,13 @@ def _cmd_optimize(args) -> int:
         .solver(args.solver)
         .run()
     )
+    total_seconds = time.perf_counter() - started
     record = resultset[0]
     print(arch.describe())
     print(tech.describe())
     if not record.feasible:
         print(f"infeasible: {record.reason}", file=sys.stderr)
+        _finish_profile(args, tracer, resultset.stats, total_seconds)
         return 1
     print(
         f"{args.solver} optimum: Vdd={record.vdd:.3f} V, Vth={record.vth:.3f} V, "
@@ -147,6 +199,7 @@ def _cmd_optimize(args) -> int:
         f"(error {approximation_error_percent(record.ptot, eq13):+.2f} %, "
         f"A/B fit on {fit.vdd_min:.2f}-{fit.vdd_max:.2f} V)"
     )
+    _finish_profile(args, tracer, resultset.stats, total_seconds)
     return 0
 
 
@@ -207,13 +260,18 @@ def _cmd_explore(args) -> int:
         print(f"content hash: {scenario.content_hash()}")
         return 0
 
+    import time
+
     study = (
         Study.from_scenario(scenario)
         .solver(_EXPLORE_METHOD_SOLVERS[args.method])
         .jobs(args.jobs)
         .cached(args.cache_dir, enabled=not args.no_cache)
     )
+    tracer = _start_profile(args)
+    started = time.perf_counter()
     result = study.run()
+    total_seconds = time.perf_counter() - started
     print(result.describe())
     if not args.no_cache and result.cache_path is not None:
         state = "hit" if result.cache_hit else "stored"
@@ -234,6 +292,7 @@ def _cmd_explore(args) -> int:
         print(f"  exported {len(result)} records to {args.export}")
     print()
     print(result.table(top=args.top))
+    _finish_profile(args, tracer, result.stats, total_seconds)
     return 0
 
 
@@ -370,6 +429,7 @@ def _cmd_serve(args) -> int:
             cache_dir=args.cache_dir,
             cache_size=args.cache_size,
             use_cache=not args.no_cache,
+            telemetry=not args.no_telemetry,
         )
         server = ExplorationServer(config)
     except (ValueError, OSError) as error:
@@ -389,9 +449,11 @@ def _cmd_serve(args) -> int:
 def _cmd_cache(args) -> int:
     import json as json_module
 
-    from .explore.cache import ResultCache
+    from .service.memcache import as_cache
 
-    cache = ResultCache(args.cache_dir)
+    # The tiered view: disk entry counts/sizes plus the process-global
+    # memory tier's hit/miss/eviction counters.
+    cache = as_cache(args.cache_dir)
     if args.action == "stats":
         print(json_module.dumps(cache.stats(), indent=2, sort_keys=True))
     elif args.action == "clear":
@@ -409,6 +471,17 @@ def _cmd_cache(args) -> int:
             f"(keeping the {args.max_entries} newest)"
         )
     return 0
+
+
+def _add_profile_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--profile", action="store_true",
+        help="print a span tree and per-phase breakdown after the run",
+    )
+    command.add_argument(
+        "--profile-json", default=None, metavar="PATH", dest="profile_json",
+        help="write the profile (spans, phases, metrics) as JSON to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -468,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default="numerical", choices=list(available_solvers()),
         help="solve path from the solver registry (default: numerical)",
     )
+    _add_profile_flags(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     explore = commands.add_parser(
@@ -513,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="print the candidate count and content hash without evaluating",
     )
+    _add_profile_flags(explore)
     explore.set_defaults(handler=_cmd_explore)
 
     table = commands.add_parser("table", help="regenerate a paper table")
@@ -593,6 +668,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-cache", action="store_true",
         help="serve without either cache tier (coalescing still applies)",
+    )
+    serve.add_argument(
+        "--no-telemetry", action="store_true", dest="no_telemetry",
+        help="disable the metrics registry (/v1/metrics serves empty)",
     )
     serve.add_argument(
         "-v", "--verbose", action="store_true", help="debug-level logging"

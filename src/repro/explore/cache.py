@@ -16,6 +16,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from .. import obs
+
 #: Bump whenever cached *results* could change — payload layout, model
 #: equations, fallback thresholds — so old entries miss instead of
 #: silently serving stale numbers.  The engine additionally folds the
@@ -64,9 +66,12 @@ class ResultCache:
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
+            obs.inc("cache.disk.misses")
             return None
+        obs.inc("cache.disk.hits")
+        return payload
 
     def put(self, key: str, payload: dict) -> Path:
         """Atomically store ``payload`` under ``key``; returns the path.
@@ -89,6 +94,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        obs.inc("cache.disk.puts")
         return path
 
     def entries(self) -> list[Path]:

@@ -28,12 +28,13 @@ evaluate and store the compact columnar payload on a miss.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, ClassVar, Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.closed_form import closed_form_optimum
 from ..core.numerical import DEFAULT_VDD_SPAN
 from ..core.optimum import OperatingPoint, OptimizationResult
@@ -189,13 +190,23 @@ PointResult._FIELD_NAMES = tuple(f.name for f in fields(PointResult))
 
 @dataclass(frozen=True)
 class EvaluationStats:
-    """Where the work went in one sweep."""
+    """Where the work went in one sweep.
+
+    ``phases`` maps engine phase names (``expand``, ``kernel``,
+    ``fallback``, ``analysis``, ``cache_read``, ``cache_write``) to wall
+    seconds — the per-sweep breakdown behind ``--profile``, the service
+    ``stats`` payload and the benchmark snapshots.  It is empty for
+    stats built by callers that did not time phases (old cache entries,
+    hand-rolled tallies); consumers must treat missing keys as "not
+    measured", not zero.
+    """
 
     n_candidates: int
     n_feasible: int
     n_vectorized: int
     n_fallback: int
     elapsed_seconds: float
+    phases: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -204,6 +215,7 @@ class EvaluationStats:
             "n_vectorized": self.n_vectorized,
             "n_fallback": self.n_fallback,
             "elapsed_seconds": self.elapsed_seconds,
+            "phases": dict(self.phases),
         }
 
     @classmethod
@@ -212,7 +224,10 @@ class EvaluationStats:
 
     @classmethod
     def from_outcomes(
-        cls, outcomes: Sequence["PointOutcome"], elapsed_seconds: float
+        cls,
+        outcomes: Sequence["PointOutcome"],
+        elapsed_seconds: float,
+        phases: Mapping[str, float] | None = None,
     ) -> "EvaluationStats":
         """Tally one evaluated batch (shared by ``explore`` and ``Study``)."""
         return cls(
@@ -227,11 +242,15 @@ class EvaluationStats:
                 if o.method in (FALLBACK_METHOD, "numerical")
             ),
             elapsed_seconds=elapsed_seconds,
+            phases=dict(phases or {}),
         )
 
     @classmethod
     def from_table(
-        cls, table: ResultTable, elapsed_seconds: float
+        cls,
+        table: ResultTable,
+        elapsed_seconds: float,
+        phases: Mapping[str, float] | None = None,
     ) -> "EvaluationStats":
         """Tally a columnar sweep without materialising any rows."""
         method = table.column("method")
@@ -245,6 +264,7 @@ class EvaluationStats:
                 )
             ),
             elapsed_seconds=elapsed_seconds,
+            phases=dict(phases or {}),
         )
 
     def describe(self) -> str:
@@ -451,15 +471,21 @@ def _fallback_task(columns: ExpandedColumns, indices: np.ndarray):
 
 
 def _evaluate_columns(
-    columns: ExpandedColumns, method: str, parity_check: bool
+    columns: ExpandedColumns,
+    method: str,
+    parity_check: bool,
+    timer: "obs.PhaseTimer | None" = None,
 ) -> ResultTable:
     """The columnar batch core for ``auto`` and ``closed-form``.
 
     One vectorized kernel call per technology group, one vectorized
     exact-numerical solve for the whole flagged set, results assembled
     by mask assignment into the table's column arrays — no per-point
-    Python objects anywhere on this path.
+    Python objects anywhere on this path.  ``timer`` accumulates the
+    ``kernel`` and ``fallback`` phase durations (and mirrors them as
+    spans when a tracer is active).
     """
+    timer = timer if timer is not None else obs.PhaseTimer("engine")
     n = columns.n
     vdd = np.full(n, np.nan)
     vth = np.full(n, np.nan)
@@ -473,47 +499,49 @@ def _evaluate_columns(
     reason.fill("")
     flagged = np.zeros(n, dtype=bool)
 
-    for tech_position, tech in enumerate(columns.technologies):
-        indices = np.flatnonzero(columns.tech_index == tech_position)
-        if not indices.size:
-            continue
-        batch = closed_form_batch(
-            tech, **batch_arrays_for_columns(columns, indices)
-        )
-        trusted = batch.feasible & ~batch.needs_fallback
-        keep = batch.feasible if method == "closed-form" else trusted
-        kept = indices[keep]
-        vdd[kept] = batch.vdd[keep]
-        vth[kept] = batch.vth[keep]
-        pdyn[kept] = batch.pdyn[keep]
-        pstat[kept] = batch.pstat[keep]
-        ptot[kept] = batch.ptot[keep]
-        feasible[kept] = True
-        if method == "closed-form":
-            for position, index in zip(
-                np.flatnonzero(~batch.feasible).tolist(),
-                indices[~batch.feasible].tolist(),
-            ):
-                reason[index] = _closed_form_reason_values(
-                    columns.arch_name[index],
-                    float(batch.margin[position]),
-                    float(batch.log_argument[position]),
-                )
-        else:
-            flagged[indices[~trusted]] = True
-        if parity_check:
-            _check_parity(
-                _ColumnPoints(columns),
-                batch,
-                np.flatnonzero(trusted),
-                indices[trusted],
+    with timer.phase("kernel"):
+        for tech_position, tech in enumerate(columns.technologies):
+            indices = np.flatnonzero(columns.tech_index == tech_position)
+            if not indices.size:
+                continue
+            batch = closed_form_batch(
+                tech, **batch_arrays_for_columns(columns, indices)
             )
+            trusted = batch.feasible & ~batch.needs_fallback
+            keep = batch.feasible if method == "closed-form" else trusted
+            kept = indices[keep]
+            vdd[kept] = batch.vdd[keep]
+            vth[kept] = batch.vth[keep]
+            pdyn[kept] = batch.pdyn[keep]
+            pstat[kept] = batch.pstat[keep]
+            ptot[kept] = batch.ptot[keep]
+            feasible[kept] = True
+            if method == "closed-form":
+                for position, index in zip(
+                    np.flatnonzero(~batch.feasible).tolist(),
+                    indices[~batch.feasible].tolist(),
+                ):
+                    reason[index] = _closed_form_reason_values(
+                        columns.arch_name[index],
+                        float(batch.margin[position]),
+                        float(batch.log_argument[position]),
+                    )
+            else:
+                flagged[indices[~trusted]] = True
+            if parity_check:
+                _check_parity(
+                    _ColumnPoints(columns),
+                    batch,
+                    np.flatnonzero(trusted),
+                    indices[trusted],
+                )
 
     if flagged.any():
         from ..solvers.batch_numerical import solve_batch
 
         flagged_indices = np.flatnonzero(flagged)
-        solution = solve_batch(_fallback_task(columns, flagged_indices))
+        with timer.phase("fallback", points=int(flagged_indices.size)):
+            solution = solve_batch(_fallback_task(columns, flagged_indices))
         vdd[flagged_indices] = solution.vdd
         vth[flagged_indices] = solution.vth
         pdyn[flagged_indices] = solution.pdyn
@@ -655,26 +683,36 @@ def evaluate_table(
     method: str = "auto",
     jobs: int | None = None,
     parity_check: bool = True,
+    timer: "obs.PhaseTimer | None" = None,
 ) -> ResultTable:
     """Evaluate a scenario straight to a columnar :class:`ResultTable`.
 
     The batch front door: ``auto`` and ``closed-form`` never build a
     per-point object; ``numerical`` (the scipy-per-point reference)
     still expands to ``DesignPoint`` objects for the pool and converts
-    once at the end.
+    once at the end.  Pass an :class:`~repro.obs.PhaseTimer` to collect
+    the per-phase wall-time breakdown (``expand``, ``kernel``,
+    ``fallback``; the numerical path records ``expand``, ``solve``,
+    ``assemble``).
     """
     if method not in EVALUATION_METHODS:
         raise ValueError(
             f"unknown method {method!r}; expected one of {EVALUATION_METHODS}"
         )
+    timer = timer if timer is not None else obs.PhaseTimer("engine")
     if method == "numerical":
-        outcomes = evaluate_points(
-            scenario.expand(), method=method, jobs=jobs,
-            parity_check=parity_check,
-        )
-        return ResultTable.from_outcomes(outcomes)
+        with timer.phase("expand"):
+            points = scenario.expand()
+        with timer.phase("solve"):
+            outcomes = evaluate_points(
+                points, method=method, jobs=jobs, parity_check=parity_check
+            )
+        with timer.phase("assemble"):
+            return ResultTable.from_outcomes(outcomes)
+    with timer.phase("expand"):
+        columns = expand_columns(scenario)
     return _evaluate_columns(
-        expand_columns(scenario), method=method, parity_check=parity_check
+        columns, method=method, parity_check=parity_check, timer=timer
     )
 
 
@@ -736,53 +774,70 @@ def explore(
     parity_check:
         Forwarded to the evaluation core.
     """
-    cache = as_cache(cache)
-    key = _cache_key(scenario, method)
+    timer = obs.PhaseTimer("engine")
+    with obs.span("engine.explore", method=method):
+        cache = as_cache(cache)
+        key = _cache_key(scenario, method)
 
-    if use_cache:
-        stored = cache.get(key)
-        if stored is not None:
-            table = ResultTable.from_cache_payload(stored)
-            return ExplorationResult(
-                scenario=scenario,
-                method=method,
-                points=table.rows(),
-                stats=EvaluationStats.from_dict(stored["stats"]),
-                cache_hit=True,
-                cache_key=key,
-                cache_path=cache.path_for(key),
-                parity_checked=bool(stored.get("parity_checked", False)),
-                table=table,
-            )
+        if use_cache:
+            with timer.phase("cache_read"):
+                stored = cache.get(key)
+            if stored is not None:
+                table = ResultTable.from_cache_payload(stored)
+                obs.inc("engine.runs", method=method, outcome="cache_hit")
+                return ExplorationResult(
+                    scenario=scenario,
+                    method=method,
+                    points=table.rows(),
+                    stats=EvaluationStats.from_dict(stored["stats"]),
+                    cache_hit=True,
+                    cache_key=key,
+                    cache_path=cache.path_for(key),
+                    parity_checked=bool(stored.get("parity_checked", False)),
+                    table=table,
+                )
 
-    started = time.perf_counter()
-    table = evaluate_table(
-        scenario, method=method, jobs=jobs, parity_check=parity_check
-    )
-    elapsed = time.perf_counter() - started
-
-    stats = EvaluationStats.from_table(table, elapsed)
-    cache_path = None
-    if use_cache:
-        cache_path = cache.put(
-            key,
-            {
-                "schema": CACHE_SCHEMA_VERSION,
-                "method": method,
-                "scenario": scenario.to_dict(),
-                "stats": stats.to_dict(),
-                "parity_checked": parity_check and method != "numerical",
-                "columns": table.to_payload_columns(),
-            },
+        started = time.perf_counter()
+        table = evaluate_table(
+            scenario, method=method, jobs=jobs, parity_check=parity_check,
+            timer=timer,
         )
-    return ExplorationResult(
-        scenario=scenario,
-        method=method,
-        points=table.rows(),
-        stats=stats,
-        cache_hit=False,
-        cache_key=key,
-        cache_path=cache_path,
-        parity_checked=parity_check and method != "numerical",
-        table=table,
-    )
+        elapsed = time.perf_counter() - started
+
+        with timer.phase("analysis"):
+            stats = EvaluationStats.from_table(
+                table, elapsed, phases=timer.phases
+            )
+        cache_path = None
+        if use_cache:
+            with timer.phase("cache_write"):
+                cache_path = cache.put(
+                    key,
+                    {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "method": method,
+                        "scenario": scenario.to_dict(),
+                        "stats": stats.to_dict(),
+                        "parity_checked": parity_check and method != "numerical",
+                        "columns": table.to_payload_columns(),
+                    },
+                )
+        # The returned stats carry the complete phase map (including
+        # cache_write, which the stored payload necessarily cannot).
+        stats = replace(stats, phases=dict(timer.phases))
+        obs.inc("engine.runs", method=method, outcome="computed")
+        obs.inc("engine.points_evaluated", stats.n_candidates)
+        obs.inc("engine.kernel_seconds", timer.phases.get("kernel", 0.0))
+        if stats.n_fallback:
+            obs.inc("engine.fallback_points", stats.n_fallback)
+        return ExplorationResult(
+            scenario=scenario,
+            method=method,
+            points=table.rows(),
+            stats=stats,
+            cache_hit=False,
+            cache_key=key,
+            cache_path=cache_path,
+            parity_checked=parity_check and method != "numerical",
+            table=table,
+        )

@@ -1,0 +1,177 @@
+"""Exporters: Prometheus text exposition, span-tree and phase rendering.
+
+One module owns every human- and scraper-facing rendering of the
+telemetry state, so the service endpoint, the CLI ``--profile`` output
+and the tests all agree on the format:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4): dotted instrument names become underscore metric
+  names, counters gain the ``_total`` suffix, histograms expose
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``, and
+  label values are escaped per the spec (backslash, double quote,
+  newline).
+* :func:`render_span_tree` — the indented wall/CPU profile of a
+  :class:`~repro.obs.spans.SpanTracer`'s roots.
+* :func:`render_phases` — the per-phase breakdown table printed under
+  ``--profile`` (and embedded in benchmark snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "prometheus_text",
+    "render_phases",
+    "render_span_tree",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """Dotted instrument name → Prometheus metric name.
+
+    Dots and dashes fold to underscores; anything else non-alphanumeric
+    folds too, so every exposed name matches ``[a-zA-Z_][a-zA-Z0-9_]*``.
+    """
+    folded = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+    if folded and folded[0].isdigit():
+        folded = "_" + folded
+    return folded + suffix
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _labels_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{metric_name(k)}="{escape_label_value(v)}"' for k, v in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            name = metric_name(instrument.name, "_total")
+            type_line(name, "counter")
+            lines.append(
+                f"{name}{_labels_text(instrument.labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Gauge):
+            name = metric_name(instrument.name)
+            type_line(name, "gauge")
+            lines.append(
+                f"{name}{_labels_text(instrument.labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            name = metric_name(instrument.name)
+            type_line(name, "histogram")
+            for bound, cumulative in instrument.cumulative():
+                le = "+Inf" if bound == float("inf") else _format_value(bound)
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(instrument.labels, (('le', le),))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_labels_text(instrument.labels)} "
+                f"{repr(instrument.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_labels_text(instrument.labels)} "
+                f"{instrument.count}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Span / phase rendering (the --profile output).
+# ---------------------------------------------------------------------------
+
+
+def _render_span(span: Span, depth: int, lines: list[str]) -> None:
+    label_text = ""
+    if span.labels:
+        rendered = ", ".join(f"{k}={v}" for k, v in span.labels.items())
+        label_text = f"  [{rendered}]"
+    marker = "" if span.status == "ok" else f"  !! {span.error}"
+    indent = "  " * depth
+    name_field = f"{indent}{span.name}{label_text}"
+    lines.append(
+        f"{name_field:<48} {span.wall_seconds * 1e3:>10.2f} ms wall "
+        f"{span.cpu_seconds * 1e3:>10.2f} ms cpu{marker}"
+    )
+    for child in span.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_span_tree(tracer: SpanTracer) -> str:
+    """Indented per-span wall/CPU profile of every completed root span."""
+    lines: list[str] = []
+    for root in tracer.roots:
+        _render_span(root, 0, lines)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def render_phases(
+    phases: Mapping[str, float], total_seconds: float | None = None
+) -> str:
+    """The phase breakdown table: seconds and share per engine phase.
+
+    ``total_seconds`` defaults to the sum of the phases; passing the
+    externally measured total instead makes the share column honest
+    about unattributed time (the residual is printed as ``(other)``).
+    """
+    if not phases:
+        return "(no phases recorded)"
+    phase_sum = sum(phases.values())
+    total = total_seconds if total_seconds is not None else phase_sum
+    lines = [f"{'phase':<16} {'seconds':>10} {'share':>8}"]
+    for name, seconds in sorted(
+        phases.items(), key=lambda item: item[1], reverse=True
+    ):
+        share = seconds / total if total > 0 else 0.0
+        lines.append(f"{name:<16} {seconds:>10.4f} {share:>7.1%}")
+    if total_seconds is not None and total > 0:
+        residual = max(0.0, total - phase_sum)
+        lines.append(f"{'(other)':<16} {residual:>10.4f} {residual / total:>7.1%}")
+        lines.append(
+            f"{'total':<16} {total:>10.4f} {1.0:>7.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,303 @@
+"""Process-global metrics: thread-safe counters, gauges and histograms.
+
+The registry is a flat namespace of *instruments*, each identified by a
+dotted name (``cache.memory.hits``, ``http.latency_seconds``) plus an
+optional label set (``route="/v1/explore", status="200"``) — the same
+(name, labels) pair always returns the same instrument object, so hot
+paths can hold a reference and skip the lookup entirely.  Every mutation
+takes the instrument's own lock: Python's ``+=`` on an attribute is a
+read-modify-write across bytecodes, and the serving layer increments
+from many handler threads at once.
+
+Three instrument kinds cover the repository's needs:
+
+* :class:`Counter` — monotonically increasing float (events, points,
+  accumulated seconds).
+* :class:`Gauge` — a value that goes both ways (entries in a cache,
+  uptime refreshed at scrape time).
+* :class:`Histogram` — fixed cumulative buckets plus sum and count
+  (request latency).  Buckets are chosen at creation and never change.
+
+The registry renders to a JSON-ready snapshot (:meth:`MetricsRegistry.
+snapshot`) and to the Prometheus text exposition format
+(:mod:`repro.obs.export`).  Nothing here imports outside the standard
+library, and nothing here decides *whether* telemetry is on — that is
+the facade's job (:mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram buckets, tuned for request/sweep latencies in
+#: seconds: sub-millisecond cache hits up to multi-second cold sweeps.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Label values rendered into instrument keys and exposition output are
+#: always strings; anything else is coerced with ``str()`` at the call
+#: site so `status=200` and `status="200"` name the same series.
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, Any]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared identity: a dotted name plus a sorted label tuple."""
+
+    __slots__ = ("name", "labels", "_lock")
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> str:
+        """The display key: ``name{label=value,...}`` or the bare name."""
+        if not self.labels:
+            return self.name
+        rendered = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{rendered}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.key}>"
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value; negative increments are rejected."""
+
+    __slots__ = ("_value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.key} cannot decrease (inc {amount!r})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (set/add semantics)."""
+
+    __slots__ = ("_value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket cumulative histogram with sum and count.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit +Inf bucket always exists, so ``observe`` never loses a
+    sample.  Bucket counts are stored per-bucket (non-cumulative) and
+    accumulated at snapshot time, matching Prometheus's cumulative
+    ``_bucket{le=...}`` exposition.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram {name!r} buckets must be non-empty and "
+                f"strictly increasing, got {bounds}"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        position = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[position] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        total = 0
+        out: list[tuple[float, int]] = []
+        for bound, count in zip(
+            (*self.buckets, float("inf")), counts
+        ):
+            total += count
+            out.append((bound, total))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip((*self.buckets, float("inf")), counts):
+            running += count
+            label = "+Inf" if bound == float("inf") else f"{bound:g}"
+            cumulative[label] = running
+        return {"count": total_count, "sum": total_sum, "buckets": cumulative}
+
+
+class MetricsRegistry:
+    """Thread-safe, process-wide instrument store.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; asking for an existing name with a different kind (or a
+    histogram with different buckets) is a programming error and raises
+    rather than silently forking the series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, Labels], _Instrument] = {}
+
+    def _get_or_create(
+        self, cls, name: str, labels: Mapping[str, Any], **kwargs
+    ):
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+                return instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"instrument {instrument.key} is a {instrument.kind}, "
+                f"not a {cls.kind}"
+            )
+        return instrument
+
+    # -- instrument access ---------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        kwargs = {} if buckets is None else {"buckets": buckets}
+        histogram = self._get_or_create(Histogram, name, labels, **kwargs)
+        if buckets is not None and histogram.buckets != tuple(
+            float(b) for b in buckets
+        ):
+            raise ValueError(
+                f"histogram {histogram.key} already exists with buckets "
+                f"{histogram.buckets}; cannot redefine"
+            )
+        return histogram
+
+    # -- one-shot conveniences (the facade's hot-path surface) ---------------
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauge(name, **labels).set(value)
+
+    # -- introspection -------------------------------------------------------
+    def instruments(self) -> list[_Instrument]:
+        """Every instrument, sorted by display key (stable exposition)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return sorted(instruments, key=lambda i: (i.name, i.labels))
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: ``{counters: {...}, gauges: {...}, histograms: {...}}``."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, Any] = {}
+        for instrument in self.instruments():
+            if isinstance(instrument, Counter):
+                counters[instrument.key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.key] = instrument.value
+            elif isinstance(instrument, Histogram):
+                histograms[instrument.key] = instrument.to_dict()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived processes only)."""
+        with self._lock:
+            self._instruments.clear()

@@ -1,0 +1,197 @@
+"""Nestable timing spans: where a request or a run spends its time.
+
+A :class:`Span` is a context manager measuring wall time
+(``perf_counter``) and CPU time (``thread_time``) for one named phase,
+with free-form string labels.  Spans nest: a :class:`SpanTracer` keeps a
+per-thread stack, so a span opened while another is active becomes its
+child, and each thread's completed top-level spans accumulate as roots.
+The finished tree exports as JSON (:meth:`SpanTracer.to_dict`) and
+renders as an indented text profile (:func:`repro.obs.export.
+render_span_tree`) — the ``repro explore --profile`` output.
+
+A span records an exception passing through it (``status="error"`` plus
+the exception's repr) and re-raises — tracing never swallows failures.
+
+Tracers are explicit objects: whoever wants a tree (the ``--profile``
+code path, a test) creates one and installs it on the current thread via
+the facade (:func:`repro.obs.install_tracer`).  With no tracer
+installed, :func:`repro.obs.span` hands out a shared no-op span, so
+instrumented code pays one thread-local read on the disabled path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Mapping
+
+__all__ = ["NULL_SPAN", "Span", "SpanTracer"]
+
+
+def _thread_cpu() -> float:
+    # thread_time is POSIX/Windows; fall back for exotic platforms.
+    try:
+        return time.thread_time()
+    except (AttributeError, OSError):  # pragma: no cover - platform gap
+        return time.process_time()
+
+
+class Span:
+    """One timed phase: name, labels, wall/CPU seconds, children."""
+
+    __slots__ = (
+        "name",
+        "labels",
+        "children",
+        "status",
+        "error",
+        "wall_seconds",
+        "cpu_seconds",
+        "_tracer",
+        "_wall_start",
+        "_cpu_start",
+        "_parented",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, Any] | None = None,
+        tracer: "SpanTracer | None" = None,
+    ) -> None:
+        self.name = name
+        self.labels = {k: str(v) for k, v in (labels or {}).items()}
+        self.children: list[Span] = []
+        self.status = "ok"
+        self.error = ""
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self._tracer = tracer
+        self._wall_start = 0.0
+        self._cpu_start = 0.0
+        self._parented = False
+
+    # -- context manager ------------------------------------------------------
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        self._cpu_start = _thread_cpu()
+        self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_seconds = time.perf_counter() - self._wall_start
+        self.cpu_seconds = _thread_cpu() - self._cpu_start
+        if exc is not None:
+            self.status = "error"
+            self.error = f"{type(exc).__name__}: {exc}"
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False  # never swallow
+
+    # -- export ---------------------------------------------------------------
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not accounted for by child spans."""
+        return max(
+            0.0,
+            self.wall_seconds - sum(c.wall_seconds for c in self.children),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+        }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        if self.error:
+            payload["error"] = self.error
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+
+class _NullSpan:
+    """The shared disabled span: enter/exit do nothing, times read 0."""
+
+    __slots__ = ()
+
+    name = "null"
+    labels: dict[str, str] = {}
+    children: list = []
+    status = "ok"
+    error = ""
+    wall_seconds = 0.0
+    cpu_seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Per-thread span stacks feeding one shared list of root spans.
+
+    Each thread nests its own spans independently (a server handler
+    thread cannot become a child of another request); completed
+    top-level spans from every thread land in :attr:`roots`, guarded by
+    a lock.  One tracer is meant to cover one logical unit — a CLI run,
+    a test, a request — then be read and discarded.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+        self.roots: list[Span] = []
+
+    # -- span lifecycle (driven by Span.__enter__/__exit__) -------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+            span._parented = True
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Normally span is the top; an unbalanced exit drops through to it.
+        while stack:
+            if stack.pop() is span:
+                break
+        if not span._parented:
+            with self._roots_lock:
+                self.roots.append(span)
+
+    # -- span factory ----------------------------------------------------------
+    def span(self, name: str, **labels: Any) -> Span:
+        """A new span bound to this tracer (use as a context manager)."""
+        return Span(name, labels, tracer=self)
+
+    # -- export ----------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        with self._roots_lock:
+            roots = list(self.roots)
+        return {"roots": [root.to_dict() for root in roots]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        with self._roots_lock:
+            self.roots.clear()
+        self._local = threading.local()

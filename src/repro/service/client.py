@@ -109,6 +109,16 @@ class ServiceClient:
     def cache_stats(self) -> dict[str, Any]:
         return self._get("/v1/cache/stats")
 
+    def metrics(self) -> dict[str, Any]:
+        """The telemetry registry snapshot (the JSON form of ``/v1/metrics``)."""
+        return self._get("/v1/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """``/v1/metrics`` in the Prometheus text exposition format."""
+        request = urllib_request.Request(self.base_url + "/v1/metrics")
+        with self._open(request) as response:
+            return response.read().decode("utf-8")
+
     # -- the Study surface ---------------------------------------------------
     def study(self, name: str = "remote-study") -> "RemoteStudy":
         """A fluent Study builder whose ``run()`` executes server-side."""

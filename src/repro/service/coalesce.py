@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, TypeVar
 
+from .. import obs
+
 __all__ = ["Coalescer"]
 
 T = TypeVar("T")
@@ -61,6 +63,7 @@ class Coalescer:
             else:
                 leader = False
                 self._coalesced += 1
+        obs.inc("coalescer.leaders" if leader else "coalescer.merged")
 
         if not leader:
             flight.done.wait()

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..explore.cache import ResultCache
 
 __all__ = [
@@ -69,12 +70,19 @@ class MemoryCache:
                 payload = self._entries[key]
             except KeyError:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return payload
+                payload = None
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        # Mirror into the global registry outside the LRU lock.
+        if payload is None:
+            obs.inc("cache.memory.misses")
+        else:
+            obs.inc("cache.memory.hits")
+        return payload
 
     def put(self, key: str, payload: Any) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = payload
             self._entries.move_to_end(key)
@@ -82,6 +90,10 @@ class MemoryCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        obs.inc("cache.memory.puts")
+        if evicted:
+            obs.inc("cache.memory.evictions", evicted)
 
     def clear(self) -> int:
         """Drop every entry (counters survive); returns the number dropped."""

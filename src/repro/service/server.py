@@ -17,8 +17,15 @@ Routes
 ``GET  /v1/catalog``       the full model catalog (all five namespaces,
                            provenance included — pack entries show here)
 ``GET  /v1/cache/stats``   both cache tiers + coalescer counters
+``GET  /v1/metrics``       telemetry registry: Prometheus text (default)
+                           or JSON (``?format=json``)
 ``POST /v1/explore``       Scenario JSON in → records out (NDJSON optional)
 ``POST /v1/optimize``      one (architecture, technology, frequency) solve
+
+Every response carries an ``X-Request-Id`` header (the client's, when
+it sent a well-formed one; minted otherwise); the same id appears in
+the structured JSON access log line and in error bodies, so one grep
+connects a client-side failure to the server-side record.
 
 ``/v1/explore`` and ``/v1/optimize`` accept bare catalog names (builtin
 or plugin-pack) anywhere a scenario accepts an architecture/technology
@@ -32,12 +39,13 @@ import json
 import logging
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Iterator
 from urllib.parse import parse_qs, urlsplit
 
-from .. import __version__
+from .. import __version__, obs
 from ..explore.cache import content_hash
 from ..explore.columnar import ResultRows
 from ..explore.engine import cache_key_payload
@@ -100,6 +108,10 @@ class ServiceConfig:
     cache_dir: str | None = None
     cache_size: int = DEFAULT_MEMORY_ENTRIES
     use_cache: bool = True
+    #: Enable the process-global metrics registry (``/v1/metrics``).
+    #: On by default for servers — a serving process is exactly where
+    #: counters earn their keep; ``repro serve --no-telemetry`` opts out.
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,7 +142,13 @@ class ServiceState:
         )
         self.coalescer = Coalescer()
         self.work_semaphore = threading.BoundedSemaphore(self.config.workers)
-        self.started = time.time()
+        # Two clocks on purpose: the wall clock says *when* the service
+        # started (for humans and log correlation); the monotonic clock
+        # measures uptime, immune to NTP steps and DST.
+        self.started_at = time.time()
+        self.started_monotonic = time.monotonic()
+        if self.config.telemetry:
+            obs.enable()
         self._counters_lock = threading.Lock()
         self.requests = 0
         self.errors = 0
@@ -204,13 +222,17 @@ class ServiceState:
             "status": "ok",
             "service": "repro",
             "version": __version__,
-            "uptime_seconds": round(time.time() - self.started, 3),
+            "started_at": round(self.started_at, 3),
+            "uptime_seconds": round(
+                time.monotonic() - self.started_monotonic, 3
+            ),
             "workers": self.config.workers,
             "requests": requests,
             "errors": errors,
             "engine_runs": engine_runs,
             "coalescer": self.coalescer.stats(),
             "cache_enabled": self.config.use_cache,
+            "telemetry": self.config.telemetry,
         }
 
     def cache_stats_payload(self) -> dict[str, Any]:
@@ -222,6 +244,17 @@ class ServiceState:
             "coalescer": self.coalescer.stats(),
             **self.cache.stats(),
         }
+
+    def refresh_gauges(self) -> None:
+        """Point-in-time gauges, refreshed at scrape time (not per event)."""
+        if not obs.is_enabled():
+            return
+        obs.set_gauge(
+            "service.uptime_seconds",
+            time.monotonic() - self.started_monotonic,
+        )
+        obs.set_gauge("cache.memory.entries", len(self.cache.memory))
+        obs.set_gauge("coalescer.in_flight", self.coalescer.in_flight)
 
 
 # ---------------------------------------------------------------------------
@@ -369,6 +402,24 @@ def ndjson_lines(result: ResultSet, coalesced: bool) -> "Iterator[str]":
 # HTTP plumbing.
 # ---------------------------------------------------------------------------
 
+#: Characters allowed through from a client-supplied X-Request-Id; the
+#: id lands in headers and log lines, so anything else is dropped.
+_REQUEST_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+_REQUEST_ID_MAX = 64
+
+
+def _request_id_from(header: str | None) -> str:
+    """Propagate a sane client-supplied request id, else mint one."""
+    if header:
+        candidate = "".join(
+            c for c in header[:_REQUEST_ID_MAX] if c in _REQUEST_ID_SAFE
+        )
+        if candidate:
+            return candidate
+    return uuid.uuid4().hex[:16]
+
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
@@ -383,6 +434,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/architectures": self._route_architectures,
                 "/v1/catalog": self._route_catalog,
                 "/v1/cache/stats": self._route_cache_stats,
+                "/v1/metrics": self._route_metrics,
             }
         )
 
@@ -399,14 +451,16 @@ class _Handler(BaseHTTPRequestHandler):
         state.count_request()
         self._started = time.perf_counter()
         self._note = ""
+        self._request_id = _request_id_from(self.headers.get("X-Request-Id"))
         split = urlsplit(self.path)
         self._query = parse_qs(split.query)
-        route = routes.get(split.path.rstrip("/") or "/")
+        self._route_label = split.path.rstrip("/") or "/"
+        route = routes.get(self._route_label)
         try:
             if route is None:
                 known = "/v1/healthz, /v1/solvers, /v1/architectures, " \
-                    "/v1/catalog, /v1/cache/stats, /v1/explore (POST), " \
-                    "/v1/optimize (POST)"
+                    "/v1/catalog, /v1/cache/stats, /v1/metrics, " \
+                    "/v1/explore (POST), /v1/optimize (POST)"
                 raise ServiceError(
                     404 if self._path_known(split.path) is None else 405,
                     "not-found",
@@ -415,7 +469,7 @@ class _Handler(BaseHTTPRequestHandler):
             route()
         except ServiceError as error:
             state.count_error()
-            self._send_json(error.status, error.to_payload())
+            self._send_json(error.status, self._error_payload(error))
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass
         except Exception as error:  # noqa: BLE001 — the 5xx boundary
@@ -423,10 +477,17 @@ class _Handler(BaseHTTPRequestHandler):
             logger.exception("internal error on %s %s", self.command, self.path)
             self._send_json(
                 500,
-                ServiceError(
-                    500, "internal", f"{type(error).__name__}: {error}"
-                ).to_payload(),
+                self._error_payload(
+                    ServiceError(
+                        500, "internal", f"{type(error).__name__}: {error}"
+                    )
+                ),
             )
+
+    def _error_payload(self, error: ServiceError) -> dict[str, Any]:
+        payload = error.to_payload()
+        payload["error"]["request_id"] = self._request_id
+        return payload
 
     _ALL_ROUTES = {
         "/v1/healthz": ("GET",),
@@ -434,6 +495,7 @@ class _Handler(BaseHTTPRequestHandler):
         "/v1/architectures": ("GET",),
         "/v1/catalog": ("GET",),
         "/v1/cache/stats": ("GET",),
+        "/v1/metrics": ("GET",),
         "/v1/explore": ("POST",),
         "/v1/optimize": ("POST",),
     }
@@ -456,6 +518,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_cache_stats(self) -> None:
         self._send_json(200, self.server.state.cache_stats_payload())
+
+    def _route_metrics(self) -> None:
+        """Prometheus text by default; ``?format=json`` (or an Accept
+        header preferring JSON) returns the registry snapshot instead."""
+        self.server.state.refresh_gauges()
+        wants_json = self._query.get("format", [""])[0].lower() == "json" or (
+            JSON_CONTENT_TYPE in self.headers.get("Accept", "")
+        )
+        if wants_json:
+            self._send_json(200, obs.snapshot())
+            return
+        registry = obs.get_registry()
+        text = obs.prometheus_text(registry) if registry is not None else ""
+        self._send_text(200, text, obs.PROMETHEUS_CONTENT_TYPE)
 
     def _route_explore(self) -> None:
         scenario, solver, jobs, options = parse_explore_request(
@@ -543,6 +619,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", JSON_CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id)
+        self.end_headers()
+        self.wfile.write(body)
+        self._log_request(status, len(body))
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
         self._log_request(status, len(body))
@@ -550,6 +637,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_ndjson(self, lines: "Iterator[str]") -> None:
         self.send_response(200)
         self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
+        self.send_header("X-Request-Id", self._request_id)
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
@@ -563,17 +651,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- logging -------------------------------------------------------------
     def _log_request(self, status: int, body_bytes: int) -> None:
-        elapsed_ms = (time.perf_counter() - self._started) * 1e3
-        note = f" ({self._note})" if self._note else ""
-        logger.info(
-            "%s %s -> %d in %.1f ms, %d bytes%s",
-            self.command,
-            self.path,
-            status,
-            elapsed_ms,
-            body_bytes,
-            note,
+        elapsed = time.perf_counter() - self._started
+        obs.inc("http.requests", route=self._route_label, status=status)
+        obs.observe(
+            "http.latency_seconds", elapsed, route=self._route_label
         )
+        entry: dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "request_id": self._request_id,
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "ms": round(elapsed * 1e3, 2),
+            "bytes": body_bytes,
+        }
+        if self._note:
+            entry["note"] = self._note
+        logger.info("%s", json.dumps(entry, sort_keys=True))
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         # BaseHTTPRequestHandler's stderr chatter → the service logger

@@ -70,8 +70,10 @@ def get_solver(name: str | Solver) -> Solver:
     """
     if not isinstance(name, str):
         return name
+    from .. import obs
     from ..catalog import CatalogKeyError
 
+    obs.inc("solver.lookups")
     try:
         return _solvers().get(name)
     except CatalogKeyError as error:

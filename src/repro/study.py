@@ -41,6 +41,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from . import obs
 from .core.architecture import ArchitectureParameters
 from .core.technology import Technology, flavour
 from .explore.analysis import (
@@ -436,9 +437,11 @@ class Study:
         """
         scenario = self.scenario()
         solver = get_solver(self._solver)
-        if isinstance(solver, EngineSolver) and not self._solver_options:
-            return self._run_through_engine(scenario, solver)
-        return self._run_through_registry(scenario, solver)
+        obs.inc("solver.calls", solver=solver.name)
+        with obs.span("study.run", study=self._name, solver=solver.name):
+            if isinstance(solver, EngineSolver) and not self._solver_options:
+                return self._run_through_engine(scenario, solver)
+            return self._run_through_registry(scenario, solver)
 
     def _run_through_engine(
         self, scenario: Scenario, solver: EngineSolver
@@ -483,26 +486,35 @@ class Study:
                     cache_path=cache.path_for(key),
                 )
 
+        timer = obs.PhaseTimer("solver")
         started = time.perf_counter()
-        outcomes = solver.solve(
-            scenario.expand(), jobs=self._jobs, **self._solver_options
-        )
+        with timer.phase("expand"):
+            points = scenario.expand()
+        with timer.phase("solve", solver=solver.name):
+            outcomes = solver.solve(
+                points, jobs=self._jobs, **self._solver_options
+            )
         elapsed = time.perf_counter() - started
 
-        table = ResultTable.from_outcomes(outcomes)
-        stats = EvaluationStats.from_outcomes(outcomes, elapsed)
+        with timer.phase("analysis"):
+            table = ResultTable.from_outcomes(outcomes)
+            stats = EvaluationStats.from_outcomes(
+                outcomes, elapsed, phases=timer.phases
+            )
         cache_path = None
         if cache is not None:
-            cache_path = cache.put(
-                key,
-                {
-                    "schema": CACHE_SCHEMA_VERSION,
-                    "solver": solver.name,
-                    "scenario": scenario.to_dict(),
-                    "stats": stats.to_dict(),
-                    "columns": table.to_payload_columns(),
-                },
-            )
+            with timer.phase("cache_write"):
+                cache_path = cache.put(
+                    key,
+                    {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "solver": solver.name,
+                        "scenario": scenario.to_dict(),
+                        "stats": stats.to_dict(),
+                        "columns": table.to_payload_columns(),
+                    },
+                )
+            stats = replace(stats, phases=dict(timer.phases))
         return ResultSet(
             records=table.rows(),
             solver=solver.name,

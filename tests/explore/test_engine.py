@@ -119,7 +119,14 @@ class TestExploreCache:
         second = explore(small_scenario, cache=tmp_path, jobs=1)
         assert second.cache_hit
         assert second.points == first.points
-        assert second.stats == first.stats
+        # Phase timings are per-run wall clocks: the computed run's map
+        # includes cache_write, the replayed one only what was stored.
+        import dataclasses
+
+        assert dataclasses.replace(
+            second.stats, phases={}
+        ) == dataclasses.replace(first.stats, phases={})
+        assert "kernel" in second.stats.phases
 
     def test_hit_does_no_reevaluation(
         self, small_scenario, tmp_path, monkeypatch

@@ -1,0 +1,176 @@
+"""Metrics registry: thread safety, kinds, Prometheus exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    prometheus_text,
+)
+from repro.obs.export import escape_label_value, metric_name
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("engine.runs")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("http.requests", route="/v1/explore", status=200)
+        b = registry.counter("http.requests", status="200", route="/v1/explore")
+        assert a is b
+        assert a.key == "http.requests{route=/v1/explore,status=200}"
+
+    def test_different_labels_different_series(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("http.requests", status=200)
+        bad = registry.counter("http.requests", status=500)
+        ok.inc()
+        assert bad.value == 0
+
+    def test_thread_safety_exact_totals(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("contended")
+        per_thread, n_threads = 10_000, 8
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == per_thread * n_threads
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("cache.memory.entries")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.1, 0.5, 5.0):
+            histogram.observe(value)
+        cumulative = dict(histogram.cumulative())
+        # le semantics: 0.1 itself counts in the 0.1 bucket.
+        assert cumulative[0.1] == 2
+        assert cumulative[1.0] == 3
+        assert cumulative[float("inf")] == 4
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.65)
+
+    def test_thread_safety_exact_count(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+        per_thread, n_threads = 10_000, 8
+
+        def work():
+            for _ in range(per_thread):
+                histogram.observe(0.5)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == per_thread * n_threads
+        assert dict(histogram.cumulative())[1.0] == per_thread * n_threads
+
+    def test_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h2", buckets=())
+
+    def test_bucket_redefinition_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="cannot redefine"):
+            registry.histogram("h", buckets=(5.0,))
+        # Same buckets (or defaulted) is fine.
+        assert registry.histogram("h", buckets=(1.0, 2.0)).buckets == (1.0, 2.0)
+
+    def test_default_buckets(self):
+        histogram = MetricsRegistry().histogram("http.latency_seconds")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.2, route="/v1/explore")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+        histogram = snapshot["histograms"]["h{route=/v1/explore}"]
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.inc("engine.points_evaluated", 72)
+        registry.set_gauge("cache.memory.entries", 3)
+        registry.observe("http.latency_seconds", 0.05, route="/v1/explore")
+        text = prometheus_text(registry)
+        assert "# TYPE engine_points_evaluated_total counter" in text
+        assert "engine_points_evaluated_total 72" in text
+        assert "cache_memory_entries 3" in text
+        assert (
+            'http_latency_seconds_bucket{route="/v1/explore",le="0.05"} 1'
+            in text
+        )
+        assert 'http_latency_seconds_count{route="/v1/explore"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.inc("c", label='quote " backslash \\ newline \n end')
+        text = prometheus_text(registry)
+        assert r'label="quote \" backslash \\ newline \n end"' in text
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == r'a\"b'
+        assert escape_label_value("a\\b") == r"a\\b"
+        assert escape_label_value("a\nb") == r"a\nb"
+
+    def test_metric_name_folding(self):
+        assert metric_name("cache.memory.hits", "_total") == (
+            "cache_memory_hits_total"
+        )
+        assert metric_name("9lives") == "_9lives"

@@ -1,0 +1,183 @@
+"""Span tracer, PhaseTimer and the obs facade on/off switch."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, PhaseTimer, SpanTracer
+from repro.obs.export import render_phases, render_span_tree
+
+
+@pytest.fixture()
+def clean_facade():
+    """Leave the process-global telemetry state as this test found it."""
+    was_enabled = obs.is_enabled()
+    registry = obs.get_registry()
+    yield
+    obs.uninstall_tracer()
+    if was_enabled:
+        obs.enable(registry)
+    else:
+        obs.disable()
+
+
+class TestSpanTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("outer", method="auto"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert outer.labels == {"method": "auto"}
+        assert [child.name for child in outer.children] == [
+            "inner", "sibling",
+        ]
+        assert outer.wall_seconds >= sum(
+            child.wall_seconds for child in outer.children
+        )
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        outer = tracer.roots[0]
+        assert outer.status == "error"
+        assert outer.children[0].status == "error"
+        assert "ValueError: boom" in outer.children[0].error
+
+    def test_threads_do_not_interleave(self):
+        tracer = SpanTracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()  # both spans open concurrently
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Two roots (one per thread), each with exactly its own child.
+        assert sorted(root.name for root in tracer.roots) == ["t0", "t1"]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+
+    def test_to_dict_and_render(self):
+        tracer = SpanTracer()
+        with tracer.span("root", method="auto"):
+            with tracer.span("child"):
+                pass
+        payload = tracer.to_dict()
+        assert payload["roots"][0]["name"] == "root"
+        assert payload["roots"][0]["children"][0]["name"] == "child"
+        rendered = render_span_tree(tracer)
+        assert "root" in rendered and "  child" in rendered
+        assert "ms wall" in rendered
+
+    def test_reset(self):
+        tracer = SpanTracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestFacade:
+    def test_disabled_by_default_helpers_are_noops(self, clean_facade):
+        obs.disable()
+        obs.inc("never.recorded")
+        obs.observe("never.observed", 1.0)
+        obs.set_gauge("never.set", 1.0)
+        assert obs.snapshot() == {
+            "enabled": False, "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_span_without_tracer_is_null(self, clean_facade):
+        obs.uninstall_tracer()
+        assert obs.span("anything") is NULL_SPAN
+
+    def test_enable_routes_helpers(self, clean_facade):
+        registry = obs.enable(obs.MetricsRegistry())
+        obs.inc("c", 2, kind="x")
+        assert registry.snapshot()["counters"] == {"c{kind=x}": 2}
+        assert obs.snapshot()["enabled"] is True
+
+    def test_installed_tracer_receives_spans(self, clean_facade):
+        tracer = obs.install_tracer(SpanTracer())
+        with obs.span("s", key="v"):
+            pass
+        assert tracer.roots[0].name == "s"
+
+    def test_default_tracer_covers_other_threads(self, clean_facade):
+        tracer = obs.install_tracer(SpanTracer(), default=True)
+
+        def work():
+            with obs.span("worker"):
+                pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert [root.name for root in tracer.roots] == ["worker"]
+
+    def test_env_switch(self, clean_facade):
+        from repro.obs import _env_enabled
+
+        assert _env_enabled({"REPRO_TELEMETRY": "1"})
+        assert _env_enabled({"REPRO_TELEMETRY": "TRUE"})
+        assert not _env_enabled({"REPRO_TELEMETRY": "0"})
+        assert not _env_enabled({})
+
+
+class TestPhaseTimer:
+    def test_accumulates_and_reenters(self):
+        timer = PhaseTimer("engine")
+        with timer.phase("kernel"):
+            pass
+        with timer.phase("kernel"):
+            pass
+        with timer.phase("fallback"):
+            pass
+        assert set(timer.phases) == {"kernel", "fallback"}
+        assert timer.phases["kernel"] > 0
+        assert timer.total() == pytest.approx(sum(timer.phases.values()))
+
+    def test_mirrors_phases_as_spans(self, clean_facade):
+        tracer = obs.install_tracer(SpanTracer())
+        timer = PhaseTimer("engine")
+        with timer.phase("kernel", technology="LL"):
+            pass
+        assert tracer.roots[0].name == "engine.kernel"
+        assert tracer.roots[0].labels == {"technology": "LL"}
+
+    def test_exception_still_records_time(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("doomed"):
+                raise RuntimeError("nope")
+        assert timer.phases["doomed"] >= 0
+
+
+class TestRenderPhases:
+    def test_share_and_residual(self):
+        text = render_phases(
+            {"kernel": 0.6, "expand": 0.2}, total_seconds=1.0
+        )
+        assert "kernel" in text and "60.0%" in text
+        assert "(other)" in text and "20.0%" in text
+        assert "total" in text and "100.0%" in text
+
+    def test_empty(self):
+        assert render_phases({}) == "(no phases recorded)"

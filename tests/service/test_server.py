@@ -99,7 +99,13 @@ class TestExploreRoute:
         streamed = client.explore(scenario, solver="auto", jobs=1, stream=True)
         assert streamed.records == plain.records
         assert streamed.solver == plain.solver
-        assert streamed.stats == plain.stats
+        # Phase timings are per-run (the first request computed, the
+        # second replayed the cache); compare everything else.
+        import dataclasses
+
+        assert dataclasses.replace(
+            streamed.stats, phases={}
+        ) == dataclasses.replace(plain.stats, phases={})
 
     def test_ndjson_wire_format(self, service):
         server, client = service

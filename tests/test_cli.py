@@ -114,6 +114,61 @@ class TestExplore:
         assert "content hash" in out
 
 
+class TestProfile:
+    def test_explore_profile_prints_spans_and_phases(self, tmp_path, capsys):
+        code = main([
+            "explore", "--frequency-points", "3", "--jobs", "1",
+            "--cache-dir", str(tmp_path), "--top", "1", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile: span tree" in out
+        assert "engine.kernel" in out
+        assert "profile: phase breakdown" in out
+        assert "total" in out
+
+    def test_explore_profile_phases_cover_the_total(self, tmp_path, capsys):
+        """The printed phases account for >=90% of the measured total."""
+        import json
+
+        profile_path = tmp_path / "profile.json"
+        assert main([
+            "explore", "--frequency-points", "3", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"), "--top", "1",
+            "--profile-json", str(profile_path),
+        ]) == 0
+        capsys.readouterr()
+        profile = json.loads(profile_path.read_text())
+        phase_sum = sum(profile["phases"].values())
+        assert phase_sum <= profile["total_seconds"]
+        assert phase_sum >= 0.9 * profile["total_seconds"]
+
+    def test_profile_json_payload_shape(self, tmp_path, capsys):
+        import json
+
+        profile_path = tmp_path / "profile.json"
+        assert main([
+            "explore", "--frequency-points", "3", "--jobs", "1",
+            "--no-cache", "--top", "1",
+            "--profile-json", str(profile_path),
+        ]) == 0
+        capsys.readouterr()
+        profile = json.loads(profile_path.read_text())
+        assert {"total_seconds", "phases", "spans", "metrics"} <= set(profile)
+        assert {"expand", "kernel"} <= set(profile["phases"])
+        root_names = [r["name"] for r in profile["spans"]["roots"]]
+        assert "study.run" in root_names
+
+    def test_optimize_profile(self, capsys):
+        code = main([
+            "optimize", "--arch", "wallace16", "--tech", "LL", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile: span tree" in out
+        assert "study.run" in out
+
+
 class TestErrorPaths:
     """Every user mistake must exit with code 2 and a stderr message."""
 
@@ -254,9 +309,12 @@ class TestCacheCommand:
         import json
 
         stats = json.loads(capsys.readouterr().out)
-        assert stats == {
+        assert stats["disk"] == {
             "directory": str(tmp_path), "entries": 0, "total_bytes": 0,
         }
+        assert {"hits", "misses", "evictions", "entries"} <= set(
+            stats["memory"]
+        )
 
     def test_stats_after_a_sweep(self, tmp_path, capsys):
         assert main([
@@ -268,7 +326,8 @@ class TestCacheCommand:
         import json
 
         stats = json.loads(capsys.readouterr().out)
-        assert stats["entries"] == 1 and stats["total_bytes"] > 0
+        disk = stats["disk"]
+        assert disk["entries"] == 1 and disk["total_bytes"] > 0
 
     def test_clear(self, tmp_path, capsys):
         from repro.explore.cache import ResultCache

@@ -5,6 +5,8 @@ Commands
 ``optimize``        optimal working point for explicit parameters
 ``explore``         batch design-space exploration (scenario JSON or demo)
 ``serve``           HTTP/JSON exploration service (coalescing + tiered cache)
+``jobs``            async sharded jobs on a service: submit / status /
+                    result / cancel / list
 ``cache``           inspect / clear / prune the on-disk result cache
 ``table``           regenerate a paper table (1-4; 1 also in native mode)
 ``figure``          regenerate a paper figure (1, 2 or 34)
@@ -430,6 +432,7 @@ def _cmd_serve(args) -> int:
             cache_size=args.cache_size,
             use_cache=not args.no_cache,
             telemetry=not args.no_telemetry,
+            jobs_dir=args.jobs_dir,
         )
         server = ExplorationServer(config)
     except (ValueError, OSError) as error:
@@ -444,6 +447,114 @@ def _cmd_serve(args) -> int:
     finally:
         server.server_close()
     return 0
+
+
+def _load_jobs_scenario(args):
+    """The ``jobs submit`` scenario: a JSON file or the demo sweep."""
+    from .explore.scenario import Scenario, demo_scenario
+
+    if args.scenario:
+        try:
+            with open(args.scenario, "r", encoding="utf-8") as handle:
+                return Scenario.from_json(handle.read())
+        except OSError as error:
+            print(f"cannot read scenario: {error}", file=sys.stderr)
+        except (KeyError, TypeError, ValueError) as error:
+            print(
+                f"invalid scenario file {args.scenario}: {error!r}",
+                file=sys.stderr,
+            )
+        return None
+    return demo_scenario(frequency_points=args.frequency_points)
+
+
+def _cmd_jobs(args) -> int:
+    import json as json_module
+
+    from .jobs.manager import JobTimeout
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, retries=args.retries)
+    try:
+        if args.jobs_action == "submit":
+            scenario = _load_jobs_scenario(args)
+            if scenario is None:
+                return 2
+            handle = client.submit(
+                scenario, solver=args.solver, shards=args.shards
+            )
+            print(
+                f"job {handle.id} submitted "
+                f"({scenario.size} candidates, solver {args.solver})"
+            )
+            if not args.wait:
+                print(f"poll with: repro jobs status {handle.id} --url {args.url}")
+                return 0
+            final = handle.wait(timeout=args.timeout, poll=args.poll)
+            state = final.get("state")
+            print(f"job {handle.id} {state} — progress {final.get('progress')}")
+            if state != "done":
+                if final.get("error"):
+                    print(final["error"], file=sys.stderr)
+                return 1
+            print(client.job_result(handle.id).describe())
+            return 0
+        if args.jobs_action == "status":
+            payload = client.job(args.id)
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if args.jobs_action == "result":
+            result = client.job_result(args.id)
+            print(result.describe())
+            if args.export:
+                if not args.export.endswith((".json", ".csv")):
+                    print(
+                        f"--export must end in .json or .csv, "
+                        f"got {args.export!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                rendered = (
+                    result.to_csv()
+                    if args.export.endswith(".csv")
+                    else result.to_json() + "\n"
+                )
+                with open(args.export, "w", encoding="utf-8") as handle:
+                    handle.write(rendered)
+                print(f"exported {len(result)} records to {args.export}")
+            else:
+                print()
+                print(result.table(top=args.top))
+            return 0
+        if args.jobs_action == "cancel":
+            payload = client.cancel(args.id)
+            print(f"job {args.id} {payload.get('state')}")
+            return 0
+        # list
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for payload in jobs:
+            progress = payload.get("progress", {})
+            print(
+                f"{payload['id']}  {payload['state']:<9}  "
+                f"{payload.get('scenario_name', ''):<24}  "
+                f"shards {progress.get('shards_done', 0)}"
+                f"/{progress.get('shards_total', 0)}  "
+                f"points {progress.get('points_done', 0)}"
+                f"/{progress.get('points_total', 0)}"
+            )
+        return 0
+    except JobTimeout as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"service error ({error.kind}): {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"cannot write export: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_cache(args) -> int:
@@ -674,9 +785,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the metrics registry (/v1/metrics serves empty)",
     )
     serve.add_argument(
+        "--jobs-dir", default=None, dest="jobs_dir",
+        help="job store directory (default: <cache-dir>/jobs, or "
+             "~/.cache/repro/jobs without a cache dir)",
+    )
+    serve.add_argument(
         "-v", "--verbose", action="store_true", help="debug-level logging"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    jobs_cmd = commands.add_parser(
+        "jobs",
+        help="async sharded exploration jobs on a running service",
+    )
+    jobs_sub = jobs_cmd.add_subparsers(dest="jobs_action", required=True)
+    url_parent = argparse.ArgumentParser(add_help=False)
+    url_parent.add_argument(
+        "--url", default="http://127.0.0.1:8731",
+        help="base URL of the repro service (default: the serve default)",
+    )
+    url_parent.add_argument(
+        "--retries", type=int, default=2,
+        help="client retries on connection errors / 503s (default 2)",
+    )
+
+    jobs_submit = jobs_sub.add_parser(
+        "submit", parents=[url_parent],
+        help="POST a scenario as an async job (demo sweep when omitted)",
+    )
+    jobs_submit.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario JSON file; omit to submit the built-in demo sweep",
+    )
+    jobs_submit.add_argument(
+        "--solver", default="auto",
+        help="solver registry name forwarded to the job (default auto)",
+    )
+    jobs_submit.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: up to 8, clamped to the sweep axes)",
+    )
+    jobs_submit.add_argument(
+        "--frequency-points", type=int, default=42, dest="frequency_points",
+        help="frequency grid size of the demo scenario",
+    )
+    jobs_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print the result summary",
+    )
+    jobs_submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait gives up after this many seconds",
+    )
+    jobs_submit.add_argument(
+        "--poll", type=float, default=0.5,
+        help="--wait polling interval [s]",
+    )
+    jobs_submit.set_defaults(handler=_cmd_jobs)
+
+    jobs_status = jobs_sub.add_parser(
+        "status", parents=[url_parent], help="print one job's status JSON"
+    )
+    jobs_status.add_argument("id", help="job id")
+    jobs_status.set_defaults(handler=_cmd_jobs)
+
+    jobs_result = jobs_sub.add_parser(
+        "result", parents=[url_parent],
+        help="fetch a finished job's merged result",
+    )
+    jobs_result.add_argument("id", help="job id")
+    jobs_result.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the full result set to PATH (.json or .csv)",
+    )
+    jobs_result.add_argument(
+        "--top", type=int, default=15, help="ranking rows to print"
+    )
+    jobs_result.set_defaults(handler=_cmd_jobs)
+
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", parents=[url_parent], help="cancel a queued or running job"
+    )
+    jobs_cancel.add_argument("id", help="job id")
+    jobs_cancel.set_defaults(handler=_cmd_jobs)
+
+    jobs_list = jobs_sub.add_parser(
+        "list", parents=[url_parent], help="list all jobs, newest first"
+    )
+    jobs_list.set_defaults(handler=_cmd_jobs)
 
     cache = commands.add_parser(
         "cache", help="inspect / clear / prune the on-disk result cache"

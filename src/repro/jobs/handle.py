@@ -1,0 +1,91 @@
+"""``AsyncResult`` — one handle over a job, local or remote.
+
+Both backends — an in-process :class:`~.manager.JobManager` and a
+:class:`~repro.service.client.ServiceClient` pointed at a remote
+``repro serve`` — expose the same four calls (``job`` / ``wait`` /
+``cancel`` / ``job_result``), so the handle returned by
+``Study.submit()`` and ``ServiceClient.submit()`` is the same class
+and user code does not care where the shards actually ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from ..study import ResultSet
+
+__all__ = ["AsyncResult", "JobBackend"]
+
+
+class JobBackend(Protocol):
+    """What a job handle needs from whoever runs the job."""
+
+    def job(self, job_id: str) -> dict[str, Any]: ...
+
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 1.0
+    ) -> dict[str, Any]: ...
+
+    def cancel(self, job_id: str) -> dict[str, Any]: ...
+
+    def job_result(self, job_id: str) -> ResultSet: ...
+
+
+class AsyncResult:
+    """A submitted job: poll its status, await its ResultSet, cancel it."""
+
+    def __init__(self, backend: JobBackend, job_id: str) -> None:
+        self._backend = backend
+        self.id = job_id
+
+    def __repr__(self) -> str:
+        return f"AsyncResult(id={self.id!r}, state={self.state!r})"
+
+    # -- status --------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """The job's current status payload (state, progress, stats…)."""
+        return self._backend.job(self.id)
+
+    @property
+    def state(self) -> str:
+        return str(self.status().get("state", ""))
+
+    @property
+    def done(self) -> bool:
+        """True once the job is terminal (done, failed or cancelled)."""
+        return self.status().get("state") in ("done", "failed", "cancelled")
+
+    @property
+    def progress(self) -> dict[str, int]:
+        return dict(self.status().get("progress", {}))
+
+    # -- outcome -------------------------------------------------------------
+    def wait(
+        self, timeout: float | None = None, poll: float = 1.0
+    ) -> dict[str, Any]:
+        """Block until terminal; returns the final status payload."""
+        return self._backend.wait(self.id, timeout=timeout, poll=poll)
+
+    def result(
+        self, timeout: float | None = None, poll: float = 1.0
+    ) -> ResultSet:
+        """Wait for completion and return the merged ResultSet.
+
+        Raises :class:`~.manager.JobError` (or the transport's
+        ``ServiceError``) when the job failed or was cancelled instead
+        of completing.
+        """
+        final = self.wait(timeout=timeout, poll=poll)
+        state = final.get("state")
+        if state != "done":
+            from .manager import JobStateError
+
+            raise JobStateError(
+                f"job {self.id} finished as {state!r}"
+                + (f": {final['error']}" if final.get("error") else "")
+            )
+        return self._backend.job_result(self.id)
+
+    def cancel(self) -> dict[str, Any]:
+        """Request cancellation; returns the job's new status payload."""
+        return self._backend.cancel(self.id)

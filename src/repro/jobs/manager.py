@@ -1,0 +1,624 @@
+"""Job orchestration: queue, shard, evaluate, merge, persist.
+
+:class:`JobManager` is the execution half of the job subsystem.  One
+dispatcher thread drains the submit queue job by job; each job's
+scenario is split by :func:`~.sharder.shard_scenario` and its shards
+evaluated concurrently on a :class:`WorkerPool` through the columnar
+engine (numpy releases the GIL, so threads scale the kernel across
+cores), then scatter-merged back into one
+:class:`~repro.explore.columnar.ResultTable` that is bit-identical to
+the unsharded run.
+
+Jobs share the service's single-flight :class:`~repro.service.coalesce.
+Coalescer` under the same :func:`flight_key` the inline ``/v1/explore``
+path computes, so an identical sweep submitted as a job while an inline
+request is in flight (or vice versa) costs one engine run.  The merged
+result is also written to the engine's result cache under the inline
+key, so later inline explores of the same scenario are cache hits.
+
+Every lifecycle edge is instrumented (``jobs.submitted`` /
+``jobs.completed`` / ``jobs.failed`` / ``jobs.cancelled`` counters, a
+``jobs.queue_depth`` gauge, a ``jobs.shard_seconds`` histogram and a
+per-job span tree) and persisted through the crash-safe
+:class:`~.store.JobStore`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from .. import obs
+from ..explore.cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
+from ..explore.columnar import ResultTable
+from ..explore.engine import (
+    EvaluationStats,
+    ExplorationResult,
+    cache_key_payload,
+    explore,
+)
+from ..explore.scenario import Scenario
+from ..service.coalesce import Coalescer
+from ..service.memcache import TieredCache, as_cache
+from ..solvers import EngineSolver, get_solver
+from ..study import ResultSet, Study
+from .sharder import Shard, merge_stats, merge_tables, shard_scenario
+from .store import JobRecord, JobStore
+
+__all__ = [
+    "JobCancelled",
+    "JobError",
+    "JobStateError",
+    "JobTimeout",
+    "JobManager",
+    "WorkerPool",
+    "flight_key",
+]
+
+#: How long the dispatcher sleeps between queue checks while idle.
+_DISPATCH_IDLE_SECONDS = 0.5
+
+
+class JobError(Exception):
+    """Base class for job-subsystem failures."""
+
+
+class JobCancelled(JobError):
+    """Raised inside a job's producer when its cancel flag is set."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id} was cancelled")
+        self.job_id = job_id
+
+
+class JobStateError(JobError):
+    """The job exists but is in the wrong state for the operation."""
+
+
+class JobTimeout(JobError):
+    """``wait()`` gave up before the job reached a terminal state."""
+
+
+def flight_key(
+    scenario: Scenario, solver: str, options: Mapping[str, Any]
+) -> str:
+    """The single-flight key a (scenario, solve policy) request shares.
+
+    Exactly the key :meth:`repro.service.server.ServiceState.run_scenario`
+    computes for inline requests — identical sweeps submitted as a job
+    and posted to ``/v1/explore`` concurrently therefore join one
+    coalescer flight and cost one engine run.
+    """
+    return content_hash(
+        {
+            **cache_key_payload(scenario),
+            "solver": solver,
+            "options": dict(options),
+        }
+    )
+
+
+def _default_pool_size() -> int:
+    # Enough threads to cover the default shard fan-out even on small
+    # machines (the kernel releases the GIL, so oversubscription on one
+    # core costs little and tests still exercise real concurrency).
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+class WorkerPool:
+    """Lazily started thread pool evaluating shards for the manager."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or _default_pool_size()
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any):
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-job-shard",
+                )
+            return self._executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+#: Signature of the pluggable shard evaluator: (shard scenario, engine
+#: method) in, ExplorationResult out.  Tests inject gates/counters here
+#: without monkey-patching the engine.
+EvaluateShard = Callable[[Scenario, str], ExplorationResult]
+
+
+class JobManager:
+    """Submit/poll/cancel/stream lifecycle over a persistent store.
+
+    Jobs are dispatched strictly one at a time (a job's parallelism is
+    its shards, not its siblings — the bounded worker pool is the
+    concurrency budget), which keeps per-job latency predictable under
+    a queue and makes the queue-depth gauge meaningful.
+    """
+
+    def __init__(
+        self,
+        store: JobStore | str | Path | None = None,
+        cache: TieredCache | ResultCache | str | Path | None = None,
+        use_cache: bool = True,
+        coalescer: Coalescer | None = None,
+        pool: WorkerPool | None = None,
+        evaluate_shard: EvaluateShard | None = None,
+        recover: bool = True,
+    ) -> None:
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self.cache = as_cache(cache)
+        self.use_cache = use_cache
+        self.coalescer = coalescer or Coalescer()
+        self.pool = pool or WorkerPool()
+        self._evaluate_shard = evaluate_shard or self._explore_shard
+        self._lock = threading.Lock()
+        self._queue: deque[str] = deque()
+        self._queue_cond = threading.Condition(self._lock)
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._stopping = False
+        self._dispatcher: threading.Thread | None = None
+        if recover:
+            self.recover()
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        scenario: Scenario | Mapping[str, Any],
+        solver: str = "auto",
+        options: Mapping[str, Any] | None = None,
+        shards: int | None = None,
+    ) -> JobRecord:
+        """Persist a new queued job and wake the dispatcher.
+
+        Raises :class:`~repro.solvers.SolverError` on an unknown solver
+        name and ``ValueError`` on a bad shard count — both before
+        anything is persisted, so a rejected submit leaves no record.
+        """
+        if not isinstance(scenario, Scenario):
+            scenario = Scenario.from_dict(dict(scenario))
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        options = dict(options or {})
+        solver_obj = get_solver(solver)
+        solver = solver_obj.name
+        planned = (
+            len(shard_scenario(scenario, shards))
+            if isinstance(solver_obj, EngineSolver) and not options
+            else 1
+        )
+        record = self.store.create(
+            scenario.to_dict(),
+            solver=solver,
+            options=options,
+            shards=shards,
+            progress={
+                "shards_total": planned,
+                "shards_done": 0,
+                "points_total": scenario.size,
+                "points_done": 0,
+            },
+        )
+        obs.inc("jobs.submitted", solver=solver)
+        self._enqueue(record.id)
+        return record
+
+    def _enqueue(self, job_id: str) -> None:
+        with self._queue_cond:
+            self._cancel_events.setdefault(job_id, threading.Event())
+            self._queue.append(job_id)
+            self._set_queue_gauge_locked()
+            self._ensure_dispatcher_locked()
+            self._queue_cond.notify_all()
+
+    def recover(self) -> list[str]:
+        """Re-queue every non-terminal job found on disk (oldest first).
+
+        Safe to replay: finished shards are cache hits, so a job killed
+        mid-run re-runs only the shards it had not completed.  Terminal
+        jobs are left exactly as persisted.
+        """
+        requeued: list[str] = []
+        for record in reversed(self.store.list()):
+            if record.terminal:
+                continue
+            if record.state == "running":
+                self.store.transition(record.id, "queued", requeued=True)
+            self._enqueue(record.id)
+            requeued.append(record.id)
+        return requeued
+
+    # -- dispatcher ----------------------------------------------------------
+    def _ensure_dispatcher_locked(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-job-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._stopping:
+                    self._queue_cond.wait(_DISPATCH_IDLE_SECONDS)
+                if self._stopping:
+                    return
+                job_id = self._queue.popleft()
+                self._set_queue_gauge_locked()
+            try:
+                self._execute(job_id)
+            except Exception:  # pragma: no cover — the dispatcher survives
+                # _execute already recorded the failure on the job; a bug
+                # escaping it must not kill the only dispatcher thread.
+                pass
+
+    def _set_queue_gauge_locked(self) -> None:
+        obs.set_gauge("jobs.queue_depth", len(self._queue))
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def _execute(self, job_id: str) -> None:
+        record = self.store.get(job_id)
+        if record.terminal:
+            return
+        cancel = self._cancel_events.setdefault(job_id, threading.Event())
+        if cancel.is_set():
+            self.store.transition(job_id, "cancelled")
+            obs.inc("jobs.cancelled")
+            return
+        self.store.transition(job_id, "running")
+        scenario = Scenario.from_dict(record.scenario)
+        key = flight_key(scenario, record.solver, record.options)
+        started = time.perf_counter()
+        try:
+            with obs.span("jobs.run", job=job_id, solver=record.solver):
+                result, coalesced = self.coalescer.run(
+                    key, lambda: self._produce(record, scenario, cancel)
+                )
+        except JobCancelled:
+            self.store.transition(job_id, "cancelled")
+            obs.inc("jobs.cancelled")
+        except Exception as error:  # noqa: BLE001 — the job failure boundary
+            self.store.transition(
+                job_id, "failed", error=f"{type(error).__name__}: {error}"
+            )
+            obs.inc("jobs.failed")
+        else:
+            self.store.write_result(
+                job_id, self._result_payload(result, coalesced)
+            )
+            progress = self.store.get(job_id).progress
+            self.store.update_progress(
+                job_id,
+                shards_done=progress.get("shards_total", 1),
+                points_done=progress.get("points_total", len(result)),
+            )
+            self.store.transition(
+                job_id,
+                "done",
+                stats=result.stats.to_dict() if result.stats else None,
+                cache_key=result.cache_key,
+                coalesced=coalesced,
+                seconds=round(time.perf_counter() - started, 4),
+            )
+            obs.inc("jobs.completed", solver=record.solver)
+
+    # -- producers (run under the coalescer flight) ---------------------------
+    def _explore_shard(
+        self, scenario: Scenario, method: str
+    ) -> ExplorationResult:
+        return explore(
+            scenario,
+            method=method,
+            cache=self.cache,
+            use_cache=self.use_cache,
+        )
+
+    def _produce(
+        self,
+        record: JobRecord,
+        scenario: Scenario,
+        cancel: threading.Event,
+    ) -> ResultSet:
+        solver_obj = get_solver(record.solver)
+        if isinstance(solver_obj, EngineSolver) and not record.options:
+            return self._produce_sharded(record, scenario, solver_obj, cancel)
+        return self._produce_registry(record, scenario)
+
+    def _run_shard(
+        self, record_id: str, shard: Shard, method: str, cancel: threading.Event
+    ) -> tuple[ExplorationResult, float]:
+        if cancel.is_set():
+            raise JobCancelled(record_id)
+        started = time.perf_counter()
+        exploration = self._evaluate_shard(shard.scenario, method)
+        return exploration, time.perf_counter() - started
+
+    def _produce_sharded(
+        self,
+        record: JobRecord,
+        scenario: Scenario,
+        solver: EngineSolver,
+        cancel: threading.Event,
+    ) -> ResultSet:
+        method = solver.engine_method
+        shards = shard_scenario(scenario, record.shards)
+        self.store.update_progress(
+            record.id,
+            shards_total=len(shards),
+            shards_done=0,
+            points_total=scenario.size,
+            points_done=0,
+        )
+        started = time.perf_counter()
+        futures = {
+            self.pool.submit(
+                self._run_shard, record.id, shard, method, cancel
+            ): shard
+            for shard in shards
+        }
+        done: dict[int, tuple[Shard, ExplorationResult]] = {}
+        points_done = 0
+        try:
+            for future in as_completed(futures):
+                shard = futures[future]
+                exploration, seconds = future.result()
+                done[shard.index] = (shard, exploration)
+                points_done += shard.n
+                obs.observe("jobs.shard_seconds", seconds)
+                self.store.update_progress(
+                    record.id, shards_done=len(done), points_done=points_done
+                )
+                self.store.add_event(
+                    record.id,
+                    "shard",
+                    shard=shard.index + 1,
+                    of=shard.count,
+                    rows=shard.n,
+                    seconds=round(seconds, 4),
+                    cache_hit=exploration.cache_hit,
+                )
+                if cancel.is_set():
+                    raise JobCancelled(record.id)
+        except BaseException:
+            # Abort everything not yet started; shards already running
+            # finish on their pool thread and are simply discarded.
+            for future in futures:
+                future.cancel()
+            raise
+
+        pairs = [done[index] for index in range(len(shards))]
+        with obs.span("jobs.merge", job=record.id, shards=len(pairs)):
+            table = merge_tables(
+                [(shard, exploration.table) for shard, exploration in pairs]
+            )
+            stats = merge_stats(
+                [exploration.stats for _, exploration in pairs],
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        engine_key = content_hash(
+            {**cache_key_payload(scenario), "method": method}
+        )
+        parity = all(exploration.parity_checked for _, exploration in pairs)
+        if self.use_cache:
+            # Under the inline explore() key, so a later inline request
+            # for the full scenario is a cache hit, not a re-run.
+            self.cache.put(
+                engine_key,
+                {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "method": method,
+                    "scenario": scenario.to_dict(),
+                    "stats": stats.to_dict(),
+                    "parity_checked": parity,
+                    "columns": table.to_payload_columns(),
+                },
+            )
+        return ResultSet(
+            records=table.rows(),
+            solver=solver.name,
+            scenario=scenario,
+            stats=stats,
+            cache_hit=False,
+            cache_key=engine_key,
+        )
+
+    def _produce_registry(
+        self, record: JobRecord, scenario: Scenario
+    ) -> ResultSet:
+        # Scalar/custom solvers and option-carrying runs evaluate as one
+        # unit through the Study registry contract (same path as inline).
+        self.store.update_progress(
+            record.id, shards_total=1, points_total=scenario.size
+        )
+        return (
+            Study.from_scenario(scenario)
+            .solver(record.solver, **record.options)
+            .cached(self.cache, enabled=self.use_cache)
+            .run()
+        )
+
+    def _result_payload(
+        self, result: ResultSet, coalesced: bool
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "solver": result.solver,
+            "n_records": len(result),
+            "coalesced": coalesced,
+            "cache": {"hit": result.cache_hit, "key": result.cache_key},
+        }
+        if result.scenario is not None:
+            payload["scenario"] = result.scenario.to_dict()
+        if result.stats is not None:
+            payload["stats"] = result.stats.to_dict()
+        table = result._table
+        if table is not None:
+            payload["columns"] = table.to_payload_columns()
+        else:  # pragma: no cover — every local producer is table-backed
+            payload["records"] = result.to_dicts()
+        return payload
+
+    # -- queries -------------------------------------------------------------
+    def job(self, job_id: str) -> dict[str, Any]:
+        """The status payload for one job (raises :class:`JobNotFound`)."""
+        return self.store.get(job_id).to_payload()
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Status payloads for every known job, newest first."""
+        return [record.to_payload() for record in self.store.list()]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 1.0,
+    ) -> dict[str, Any]:
+        """Block until the job is terminal; returns its status payload.
+
+        Raises :class:`JobTimeout` when ``timeout`` elapses first.  The
+        wait rides the store's change condition, so it wakes on real
+        transitions rather than busy-polling (``poll`` only bounds each
+        individual sleep).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        version = self.store.version
+        while True:
+            record = self.store.get(job_id)
+            if record.terminal:
+                return record.to_payload()
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise JobTimeout(
+                        f"job {job_id} still {record.state!r} after "
+                        f"{timeout:g} s"
+                    )
+                version = self.store.wait_for_change(
+                    version, min(poll, remaining)
+                )
+            else:
+                version = self.store.wait_for_change(version, poll)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Request cancellation; returns the job's (new) status payload.
+
+        A queued job is cancelled immediately; a running job stops at
+        the next shard boundary (pending shards are aborted).  A
+        terminal job raises :class:`JobStateError` — there is nothing
+        left to cancel.
+        """
+        with self._lock:
+            record = self.store.get(job_id)
+            if record.terminal:
+                raise JobStateError(
+                    f"job {job_id} is already {record.state!r}"
+                )
+            event = self._cancel_events.setdefault(job_id, threading.Event())
+            event.set()
+            if record.state == "queued":
+                record = self.store.transition(job_id, "cancelled")
+                obs.inc("jobs.cancelled")
+        return self.store.get(job_id).to_payload()
+
+    def job_result(self, job_id: str) -> ResultSet:
+        """The merged result of a ``done`` job as a typed ResultSet."""
+        payload = self._result_for(job_id)
+        table = ResultTable.from_cache_payload(payload)
+        stats = payload.get("stats")
+        cache = payload.get("cache", {})
+        return ResultSet(
+            records=table.rows(),
+            solver=str(payload.get("solver", "")),
+            scenario=Scenario.from_dict(payload["scenario"])
+            if "scenario" in payload
+            else None,
+            stats=EvaluationStats.from_dict(stats) if stats else None,
+            cache_hit=bool(cache.get("hit", False)),
+            cache_key=str(cache.get("key", "")),
+        )
+
+    def job_result_response(self, job_id: str) -> tuple[ResultSet, bool]:
+        """(ResultSet, coalesced) — what the result route serialises."""
+        payload = self._result_for(job_id)
+        return self.job_result(job_id), bool(payload.get("coalesced", False))
+
+    def _result_for(self, job_id: str) -> dict[str, Any]:
+        record = self.store.get(job_id)
+        if record.state != "done":
+            raise JobStateError(
+                f"job {job_id} is {record.state!r}; results exist only "
+                f"for 'done' jobs"
+            )
+        payload = self.store.read_result(job_id)
+        if payload is None:
+            raise JobStateError(
+                f"job {job_id} is done but its result file is missing"
+            )
+        return payload
+
+    def stream_events(
+        self,
+        job_id: str,
+        poll: float = 0.5,
+        timeout: float | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield each job event once, following until a terminal state.
+
+        Events carry a monotonically increasing ``seq``, so the stream
+        is gap-free even when the store trims its event window.  With a
+        ``timeout`` the generator stops (without error) once the job has
+        produced nothing new for that long.
+        """
+        last_seq = -1
+        version = self.store.version
+        idle_deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            record = self.store.get(job_id)
+            fresh = [
+                event
+                for event in record.events
+                if event.get("seq", 0) > last_seq
+            ]
+            for event in fresh:
+                last_seq = max(last_seq, int(event.get("seq", 0)))
+                yield event
+            if record.terminal:
+                return
+            if fresh and idle_deadline is not None:
+                idle_deadline = time.monotonic() + timeout
+            if idle_deadline is not None and time.monotonic() >= idle_deadline:
+                return
+            version = self.store.wait_for_change(version, poll)
+
+    # -- shutdown ------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the dispatcher and worker pool (queued jobs stay queued)."""
+        with self._queue_cond:
+            self._stopping = True
+            self._queue_cond.notify_all()
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            dispatcher.join(timeout=5.0)
+        self.pool.shutdown()

@@ -1,0 +1,365 @@
+"""Crash-safe persistent job state: one JSON file per job.
+
+:class:`JobStore` is the durable half of the job subsystem.  Every
+:class:`JobRecord` mutation rewrites the job's file atomically
+(write-to-temp, ``os.replace``) — the same discipline as the result
+cache — so a killed process never leaves a half-written record, and a
+restarted one reloads every job exactly as last persisted.  Terminal
+states (``done`` / ``failed`` / ``cancelled``) therefore survive any
+restart; non-terminal jobs are what :meth:`JobManager.recover
+<repro.jobs.manager.JobManager.recover>` re-queues, which is safe
+because finished shards live in the result cache and replay for free.
+
+The store is also the change-notification hub: every save bumps a
+version counter under a condition variable, so event streams and
+``wait()`` callers block on real transitions instead of hot-polling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "JOBS_DIR_ENV",
+    "JobNotFound",
+    "JobRecord",
+    "JobStore",
+    "STATES",
+    "TERMINAL_STATES",
+    "default_jobs_dir",
+]
+
+#: Environment override for the default job-store location.
+JOBS_DIR_ENV = "REPRO_JOBS_DIR"
+
+#: States a job can no longer leave; exactly these must survive restarts.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: The full lifecycle: ``queued → running → done | failed | cancelled``.
+STATES = ("queued", "running", *TERMINAL_STATES)
+
+#: Events kept per job (state transitions + one per shard); older ones
+#: are dropped oldest-first so a many-shard job cannot balloon its file.
+MAX_EVENTS = 512
+
+
+class JobNotFound(KeyError):
+    """No job with the requested id exists in this store."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        return f"no job {self.job_id!r} in the job store"
+
+
+def default_jobs_dir() -> Path:
+    """``$REPRO_JOBS_DIR`` or ``~/.cache/repro/jobs``."""
+    override = os.environ.get(JOBS_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "jobs"
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class JobRecord:
+    """One job's full persisted state (the JSON file's in-memory twin)."""
+
+    id: str
+    scenario: dict[str, Any]
+    solver: str = "auto"
+    options: dict[str, Any] = field(default_factory=dict)
+    shards: int | None = None
+    state: str = "queued"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    progress: dict[str, int] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    error: str = ""
+    cache_key: str = ""
+    stats: dict[str, Any] | None = None
+    #: Total events ever appended; each event carries it as ``seq`` so
+    #: streams stay gap-aware even after the event window is trimmed.
+    event_seq: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def scenario_name(self) -> str:
+        return str(self.scenario.get("name", ""))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The complete record (the persisted file layout)."""
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "solver": self.solver,
+            "options": self.options,
+            "shards": self.shards,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "progress": dict(self.progress),
+            "events": list(self.events),
+            "error": self.error,
+            "cache_key": self.cache_key,
+            "stats": self.stats,
+            "event_seq": self.event_seq,
+        }
+
+    def to_payload(self) -> dict[str, Any]:
+        """The API view: everything but the scenario body and event log."""
+        return {
+            "id": self.id,
+            "scenario_name": self.scenario_name,
+            "solver": self.solver,
+            "options": dict(self.options),
+            "shards": self.shards,
+            "state": self.state,
+            "created_at": round(self.created_at, 3),
+            "updated_at": round(self.updated_at, 3),
+            "progress": dict(self.progress),
+            "n_events": len(self.events),
+            "error": self.error,
+            "cache_key": self.cache_key,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobRecord":
+        if not isinstance(payload, Mapping):
+            raise TypeError(f"job record must be a mapping, got {type(payload)}")
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class JobStore:
+    """Thread-safe, disk-backed registry of :class:`JobRecord` entries.
+
+    All mutation goes through the store (``create`` / ``update`` /
+    ``transition`` / ``add_event``) under one lock; every mutation
+    persists atomically before it is observable, so the in-memory view
+    never runs ahead of the disk.  Unreadable files found on load are
+    skipped, not fatal — one corrupt entry must not take down the
+    service.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_jobs_dir()
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._version = 0
+        self._records: dict[str, JobRecord] = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+    def path_for(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def result_path_for(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.result.json"
+
+    def _load(self) -> None:
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name.endswith(".result.json"):
+                continue
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    record = JobRecord.from_dict(json.load(handle))
+            except (OSError, json.JSONDecodeError, TypeError, KeyError):
+                continue
+            self._records[record.id] = record
+
+    def _write(self, path: Path, payload: Any) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _save_locked(self, record: JobRecord) -> None:
+        record.updated_at = time.time()
+        self._write(self.path_for(record.id), record.to_dict())
+        self._version += 1
+        self._cond.notify_all()
+
+    # -- lifecycle -----------------------------------------------------------
+    def create(
+        self,
+        scenario: Mapping[str, Any],
+        solver: str = "auto",
+        options: Mapping[str, Any] | None = None,
+        shards: int | None = None,
+        progress: Mapping[str, int] | None = None,
+    ) -> JobRecord:
+        """Mint, persist and return a new ``queued`` job."""
+        record = JobRecord(
+            id=_new_job_id(),
+            scenario=dict(scenario),
+            solver=solver,
+            options=dict(options or {}),
+            shards=shards,
+            state="queued",
+            created_at=time.time(),
+            progress=dict(progress or {}),
+        )
+        with self._lock:
+            self._records[record.id] = record
+            self._append_event_locked(
+                record, {"event": "state", "state": "queued"}
+            )
+            self._save_locked(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise JobNotFound(job_id) from None
+
+    def list(self) -> list[JobRecord]:
+        """Every known job, newest first."""
+        with self._lock:
+            return sorted(
+                self._records.values(),
+                key=lambda record: (record.created_at, record.id),
+                reverse=True,
+            )
+
+    def transition(
+        self,
+        job_id: str,
+        state: str,
+        error: str = "",
+        stats: Mapping[str, Any] | None = None,
+        cache_key: str | None = None,
+        **event_fields: Any,
+    ) -> JobRecord:
+        """Move a job to ``state`` (persisting an event), and return it.
+
+        Terminal states are sticky: transitioning an already-terminal
+        job is a no-op returning the record unchanged, so racing
+        finish/cancel paths cannot overwrite each other's outcome.
+        """
+        if state not in STATES:
+            raise ValueError(f"unknown job state {state!r}; known: {STATES}")
+        with self._lock:
+            record = self.get(job_id)
+            if record.terminal:
+                return record
+            record.state = state
+            if error:
+                record.error = error
+            if stats is not None:
+                record.stats = dict(stats)
+            if cache_key is not None:
+                record.cache_key = cache_key
+            self._append_event_locked(
+                record, {"event": "state", "state": state, **event_fields}
+            )
+            self._save_locked(record)
+            return record
+
+    def add_event(self, job_id: str, event: str, **fields: Any) -> JobRecord:
+        """Append a progress event (shard completions etc.) and persist."""
+        with self._lock:
+            record = self.get(job_id)
+            self._append_event_locked(record, {"event": event, **fields})
+            self._save_locked(record)
+            return record
+
+    def _append_event_locked(
+        self, record: JobRecord, event: dict[str, Any]
+    ) -> None:
+        record.event_seq += 1
+        record.events.append(
+            {"ts": round(time.time(), 3), "seq": record.event_seq, **event}
+        )
+        if len(record.events) > MAX_EVENTS:
+            del record.events[: len(record.events) - MAX_EVENTS]
+
+    def update_progress(self, job_id: str, **counters: int) -> JobRecord:
+        """Merge progress counters (``shards_done``, ``points_done``, …)."""
+        with self._lock:
+            record = self.get(job_id)
+            record.progress.update(
+                {name: int(value) for name, value in counters.items()}
+            )
+            self._save_locked(record)
+            return record
+
+    # -- results -------------------------------------------------------------
+    def write_result(self, job_id: str, payload: Mapping[str, Any]) -> Path:
+        """Persist a job's merged columnar result payload atomically."""
+        path = self.result_path_for(job_id)
+        self._write(path, dict(payload))
+        return path
+
+    def read_result(self, job_id: str) -> dict[str, Any] | None:
+        """The stored result payload, or None when absent/unreadable."""
+        try:
+            with self.result_path_for(job_id).open(
+                "r", encoding="utf-8"
+            ) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- change notification --------------------------------------------------
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def wait_for_change(self, version: int, timeout: float) -> int:
+        """Block until the store version moves past ``version`` (or timeout).
+
+        Returns the current version either way; callers re-read whatever
+        records they follow.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._version == version:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    break
+            return self._version
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate view for ``/v1/jobs`` listings and health payloads."""
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for record in self._records.values():
+                by_state[record.state] = by_state.get(record.state, 0) + 1
+        return {
+            "directory": str(self.directory),
+            "jobs": sum(by_state.values()),
+            "by_state": by_state,
+        }

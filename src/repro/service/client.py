@@ -11,22 +11,38 @@ scenario compare equal record-for-record.
 
 Transport is ``urllib.request`` with JSON bodies; server-side failures
 surface as :class:`ServiceError` carrying the structured error payload
-(status / type / message) the server emits.
+(status / type / message) the server emits.  An optional bounded retry
+(``retries=``, off by default) with exponential backoff + jitter covers
+connection errors and 503s, so a poll loop survives a server restart.
+
+The async side mirrors the server's job routes: :meth:`ServiceClient.
+submit` returns the same :class:`~repro.jobs.AsyncResult` handle as a
+local ``Study.submit()``, and ``wait``/``cancel``/``job_result``/
+``job_events`` complete the lifecycle.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 from typing import Any, Iterator
 from urllib import error as urllib_error
 from urllib import request as urllib_request
 
 from ..explore.engine import EvaluationStats
 from ..explore.scenario import Scenario
+from ..jobs.handle import AsyncResult
+from ..jobs.manager import JobTimeout
 from ..study import Record, ResultSet, Study
 from .server import JSON_CONTENT_TYPE, NDJSON_CONTENT_TYPE, ServiceError
 
 __all__ = ["RemoteStudy", "ServiceClient", "ServiceError"]
+
+#: Backoff schedule defaults: first retry after ``DEFAULT_BACKOFF``
+#: seconds (plus up to 100% jitter), doubling to ``DEFAULT_BACKOFF_MAX``.
+DEFAULT_BACKOFF = 0.25
+DEFAULT_BACKOFF_MAX = 8.0
 
 #: Sweeps at least this large stream as NDJSON by default (the whole-
 #: payload JSON response is fine below it).
@@ -48,14 +64,36 @@ def _error_from_response(status: int, body: bytes) -> ServiceError:
 
 
 class ServiceClient:
-    """Thin HTTP client for one running ``repro serve`` endpoint."""
+    """Thin HTTP client for one running ``repro serve`` endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+    ``retries`` (default 0 = off, so tests and fail-fast callers see
+    errors immediately) bounds how many times a request is re-sent
+    after a connection error or a 503, sleeping an exponentially
+    growing backoff with full jitter between attempts.  Enable it for
+    poll-style workloads (``retries=5`` rides out a worker restart).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 300.0,
+        retries: int = 0,
+        backoff: float = DEFAULT_BACKOFF,
+        backoff_max: float = DEFAULT_BACKOFF_MAX,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        # Injectable for tests (no real sleeping, deterministic jitter).
+        self._sleep = time.sleep
+        self._random = random.random
 
     # -- transport -----------------------------------------------------------
-    def _open(self, request: urllib_request.Request):
+    def _open_once(self, request: urllib_request.Request):
         try:
             return urllib_request.urlopen(request, timeout=self.timeout)
         except urllib_error.HTTPError as error:
@@ -65,28 +103,50 @@ class ServiceClient:
                 503, "unreachable", f"cannot reach {self.base_url}: {error.reason}"
             ) from None
 
-    def _get(self, path: str) -> dict[str, Any]:
-        request = urllib_request.Request(self.base_url + path)
-        with self._open(request) as response:
-            return json.loads(response.read().decode("utf-8"))
+    def _open(self, request: urllib_request.Request):
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            try:
+                return self._open_once(request)
+            except ServiceError as error:
+                # Connection failures surface as status 503 ("unreachable")
+                # and an overloaded/restarting server answers 503 itself —
+                # both are the transient class retries exist for.
+                if error.status != 503 or attempt >= self.retries:
+                    raise
+            self._sleep(delay * (1.0 + self._random()))
+            delay = min(delay * 2.0, self.backoff_max)
+        raise AssertionError("unreachable")  # pragma: no cover
 
-    def _post(
-        self, path: str, payload: dict[str, Any], ndjson: bool = False
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        ndjson: bool = False,
     ) -> Any:
-        body = json.dumps(payload).encode("utf-8")
+        headers = {
+            "Accept": NDJSON_CONTENT_TYPE if ndjson else JSON_CONTENT_TYPE,
+        }
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = JSON_CONTENT_TYPE
         request = urllib_request.Request(
-            self.base_url + path,
-            data=body,
-            method="POST",
-            headers={
-                "Content-Type": JSON_CONTENT_TYPE,
-                "Accept": NDJSON_CONTENT_TYPE if ndjson else JSON_CONTENT_TYPE,
-            },
+            self.base_url + path, data=body, method=method, headers=headers
         )
         with self._open(request) as response:
             if ndjson:
                 return list(_iter_ndjson(response))
             return json.loads(response.read().decode("utf-8"))
+
+    def _get(self, path: str) -> dict[str, Any]:
+        return self._request("GET", path)
+
+    def _post(
+        self, path: str, payload: dict[str, Any], ndjson: bool = False
+    ) -> Any:
+        return self._request("POST", path, payload, ndjson=ndjson)
 
     # -- introspection -------------------------------------------------------
     def healthz(self) -> dict[str, Any]:
@@ -176,6 +236,97 @@ class ServiceClient:
         response = self._post("/v1/optimize", payload)
         return Record.from_dict(response["record"])
 
+    # -- the async job surface -----------------------------------------------
+    def submit(
+        self,
+        scenario: Scenario,
+        solver: str = "auto",
+        options: dict[str, Any] | None = None,
+        shards: int | None = None,
+    ) -> AsyncResult:
+        """``POST /v1/jobs`` — submit a sweep; returns an AsyncResult.
+
+        The handle's ``wait()``/``result()``/``cancel()`` poll this
+        client, so it behaves exactly like the one ``Study.submit()``
+        returns for a local manager.
+        """
+        payload: dict[str, Any] = {
+            "scenario": scenario.to_dict(),
+            "solver": solver,
+        }
+        if options:
+            payload["options"] = options
+        if shards is not None:
+            payload["shards"] = shards
+        response = self._post("/v1/jobs", payload)
+        return AsyncResult(self, str(response["job"]["id"]))
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}`` — one job's status payload."""
+        return self._get(f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /v1/jobs`` — every job's status, newest first."""
+        return list(self._get("/v1/jobs")["jobs"])
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.2,
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`~repro.jobs.JobTimeout` when ``timeout`` elapses
+        first (the job keeps running server-side).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload.get("state") in ("done", "failed", "cancelled"):
+                return payload
+            if deadline is not None and time.monotonic() >= deadline:
+                raise JobTimeout(
+                    f"job {job_id} still {payload.get('state')!r} after "
+                    f"{timeout:g} s"
+                )
+            self._sleep(poll)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /v1/jobs/{id}`` — request cancellation."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def job_result(self, job_id: str, stream: bool = True) -> ResultSet:
+        """``GET /v1/jobs/{id}/result`` — the merged ResultSet.
+
+        Streams columnar NDJSON by default (job-sized sweeps are
+        usually large); ``stream=False`` fetches one JSON document.
+        """
+        path = f"/v1/jobs/{job_id}/result"
+        if stream:
+            header, records = _split_ndjson(
+                self._request("GET", path, ndjson=True)
+            )
+        else:
+            header = self._get(path)
+            records = header.get("records", [])
+        return _resultset_from_payload(header, records)
+
+    def job_events(
+        self, job_id: str, timeout: float = 30.0
+    ) -> Iterator[dict[str, Any]]:
+        """``GET /v1/jobs/{id}/events`` — the NDJSON progress stream.
+
+        Yields event dicts as the server emits them; the stream ends at
+        a terminal state or after ``timeout`` seconds without news.
+        """
+        request = urllib_request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events?timeout={timeout:g}",
+            headers={"Accept": NDJSON_CONTENT_TYPE},
+        )
+        with self._open(request) as response:
+            yield from _iter_ndjson(response)
+
 
 class RemoteStudy(Study):
     """A :class:`~repro.study.Study` that runs on the service.
@@ -197,6 +348,15 @@ class RemoteStudy(Study):
             solver=self.solver_name,
             jobs=self._jobs,
             options=self._solver_options,
+        )
+
+    def submit(self, shards: int | None = None) -> AsyncResult:
+        """Submit this study as an async job on the service."""
+        return self._client.submit(
+            self.scenario(),
+            solver=self.solver_name,
+            options=self._solver_options,
+            shards=shards,
         )
 
 

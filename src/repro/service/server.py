@@ -21,6 +21,13 @@ Routes
                            or JSON (``?format=json``)
 ``POST /v1/explore``       Scenario JSON in → records out (NDJSON optional)
 ``POST /v1/optimize``      one (architecture, technology, frequency) solve
+``POST /v1/jobs``          submit a sweep as an async sharded job (202)
+``GET  /v1/jobs``          list all jobs, newest first
+``GET  /v1/jobs/{id}``     one job's state + progress counters
+``GET  /v1/jobs/{id}/result``  the merged columnar result (NDJSON optional)
+``GET  /v1/jobs/{id}/events``  NDJSON progress stream, follows to terminal
+``DELETE /v1/jobs/{id}``   cancel (immediate when queued, at the next
+                           shard boundary when running)
 
 Every response carries an ``X-Request-Id`` header (the client's, when
 it sent a well-formed one; minted otherwise); the same id appears in
@@ -42,6 +49,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Callable, Iterator
 from urllib.parse import parse_qs, urlsplit
 
@@ -50,6 +58,14 @@ from ..explore.cache import content_hash
 from ..explore.columnar import ResultRows
 from ..explore.engine import cache_key_payload
 from ..explore.scenario import FrequencyGrid, Scenario
+from ..jobs import (
+    JobCancelled,
+    JobManager,
+    JobNotFound,
+    JobStateError,
+    JobStore,
+    default_jobs_dir,
+)
 from ..listing import architecture_names, catalog_payload, listing_payload
 from ..solvers import SolverError, get_solver
 from ..study import ResultSet, Study
@@ -108,6 +124,11 @@ class ServiceConfig:
     cache_dir: str | None = None
     cache_size: int = DEFAULT_MEMORY_ENTRIES
     use_cache: bool = True
+    #: Where job state + results persist.  None derives a ``jobs``
+    #: directory next to the cache entries (when ``cache_dir`` is set)
+    #: or falls back to the user-level default, so jobs survive a
+    #: server restart either way.
+    jobs_dir: str | None = None
     #: Enable the process-global metrics registry (``/v1/metrics``).
     #: On by default for servers — a serving process is exactly where
     #: counters earn their keep; ``repro serve --no-telemetry`` opts out.
@@ -141,6 +162,21 @@ class ServiceState:
             memory=MemoryCache(self.config.cache_size),
         )
         self.coalescer = Coalescer()
+        # The job manager shares this coalescer and cache, so a sweep
+        # submitted as a job and posted inline concurrently is one
+        # engine run, and a finished job warms the inline cache path.
+        if self.config.jobs_dir:
+            jobs_dir = Path(self.config.jobs_dir)
+        elif self.config.cache_dir:
+            jobs_dir = Path(self.config.cache_dir) / "jobs"
+        else:
+            jobs_dir = default_jobs_dir()
+        self.jobs = JobManager(
+            store=JobStore(jobs_dir),
+            cache=self.cache,
+            use_cache=self.config.use_cache,
+            coalescer=self.coalescer,
+        )
         self.work_semaphore = threading.BoundedSemaphore(self.config.workers)
         # Two clocks on purpose: the wall clock says *when* the service
         # started (for humans and log correlation); the monotonic clock
@@ -208,7 +244,13 @@ class ServiceState:
                 self.count_engine_run()
             return result
 
-        return self.coalescer.run(key, produce)
+        try:
+            return self.coalescer.run(key, produce)
+        except JobCancelled:
+            # This request joined a job's flight and the job was then
+            # cancelled.  Cancellation binds the job, not this caller —
+            # retry once on a fresh flight (usually a cache hit by now).
+            return self.coalescer.run(key, produce)
 
     # -- introspection payloads ---------------------------------------------
     def healthz_payload(self) -> dict[str, Any]:
@@ -233,6 +275,7 @@ class ServiceState:
             "coalescer": self.coalescer.stats(),
             "cache_enabled": self.config.use_cache,
             "telemetry": self.config.telemetry,
+            "jobs": self.jobs.store.stats(),
         }
 
     def cache_stats_payload(self) -> dict[str, Any]:
@@ -255,6 +298,7 @@ class ServiceState:
         )
         obs.set_gauge("cache.memory.entries", len(self.cache.memory))
         obs.set_gauge("coalescer.in_flight", self.coalescer.in_flight)
+        obs.set_gauge("jobs.queue_depth", self.jobs.queue_depth)
 
 
 # ---------------------------------------------------------------------------
@@ -435,6 +479,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/catalog": self._route_catalog,
                 "/v1/cache/stats": self._route_cache_stats,
                 "/v1/metrics": self._route_metrics,
+                "/v1/jobs": self._route_jobs_list,
             }
         )
 
@@ -443,8 +488,12 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "/v1/explore": self._route_explore,
                 "/v1/optimize": self._route_optimize,
+                "/v1/jobs": self._route_jobs_submit,
             }
         )
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch({})
 
     def _dispatch(self, routes: dict[str, Callable[[], None]]) -> None:
         state = self.server.state
@@ -456,17 +505,35 @@ class _Handler(BaseHTTPRequestHandler):
         self._query = parse_qs(split.query)
         self._route_label = split.path.rstrip("/") or "/"
         route = routes.get(self._route_label)
+        if route is None:
+            route = self._match_jobs_route()
         try:
             if route is None:
                 known = "/v1/healthz, /v1/solvers, /v1/architectures, " \
                     "/v1/catalog, /v1/cache/stats, /v1/metrics, " \
-                    "/v1/explore (POST), /v1/optimize (POST)"
+                    "/v1/explore (POST), /v1/optimize (POST), " \
+                    "/v1/jobs (GET/POST), /v1/jobs/{id} (GET/DELETE), " \
+                    "/v1/jobs/{id}/result, /v1/jobs/{id}/events"
                 raise ServiceError(
                     404 if self._path_known(split.path) is None else 405,
                     "not-found",
                     f"no route {self.command} {split.path}; known: {known}",
                 )
             route()
+        except JobNotFound as error:
+            state.count_error()
+            self._send_json(
+                404,
+                self._error_payload(
+                    ServiceError(404, "job-not-found", str(error))
+                ),
+            )
+        except JobStateError as error:
+            state.count_error()
+            self._send_json(
+                409,
+                self._error_payload(ServiceError(409, "job-state", str(error))),
+            )
         except ServiceError as error:
             state.count_error()
             self._send_json(error.status, self._error_payload(error))
@@ -498,10 +565,50 @@ class _Handler(BaseHTTPRequestHandler):
         "/v1/metrics": ("GET",),
         "/v1/explore": ("POST",),
         "/v1/optimize": ("POST",),
+        "/v1/jobs": ("GET", "POST"),
     }
 
     def _path_known(self, path: str):
-        return self._ALL_ROUTES.get(path.rstrip("/") or "/")
+        label = path.rstrip("/") or "/"
+        methods = self._ALL_ROUTES.get(label)
+        if methods is not None:
+            return methods
+        parts = label.split("/")
+        if len(parts) >= 4 and parts[1:3] == ["v1", "jobs"] and parts[3]:
+            if len(parts) == 4:
+                return ("GET", "DELETE")
+            if len(parts) == 5 and parts[4] in ("result", "events"):
+                return ("GET",)
+        return None
+
+    def _match_jobs_route(self) -> Callable[[], None] | None:
+        """Resolve the dynamic ``/v1/jobs/{id}[...]`` routes.
+
+        Rewrites ``_route_label`` to the route *template* on a match, so
+        metrics and logs aggregate per route instead of per job id.
+        """
+        parts = self._route_label.split("/")
+        if (
+            len(parts) not in (4, 5)
+            or parts[1:3] != ["v1", "jobs"]
+            or not parts[3]
+        ):
+            return None
+        job_id = parts[3]
+        tail = parts[4] if len(parts) == 5 else ""
+        if self.command == "GET" and not tail:
+            self._route_label = "/v1/jobs/{id}"
+            return lambda: self._route_job_status(job_id)
+        if self.command == "DELETE" and not tail:
+            self._route_label = "/v1/jobs/{id}"
+            return lambda: self._route_job_cancel(job_id)
+        if self.command == "GET" and tail == "result":
+            self._route_label = "/v1/jobs/{id}/result"
+            return lambda: self._route_job_result(job_id)
+        if self.command == "GET" and tail == "events":
+            self._route_label = "/v1/jobs/{id}/events"
+            return lambda: self._route_job_events(job_id)
+        return None
 
     # -- routes --------------------------------------------------------------
     def _route_healthz(self) -> None:
@@ -567,6 +674,60 @@ class _Handler(BaseHTTPRequestHandler):
                 "cache": {"hit": result.cache_hit, "key": result.cache_key},
                 "record": record.to_dict(),
             },
+        )
+
+    # -- job routes ----------------------------------------------------------
+    def _route_jobs_list(self) -> None:
+        self._send_json(200, {"jobs": self.server.state.jobs.jobs()})
+
+    def _route_jobs_submit(self) -> None:
+        payload = self._read_json_body()
+        scenario, solver, _, options = parse_explore_request(payload)
+        shards = payload.get("shards")
+        if shards is not None and (
+            not isinstance(shards, int)
+            or isinstance(shards, bool)
+            or shards < 1
+        ):
+            raise ServiceError(
+                400,
+                "bad-shards",
+                f"'shards' must be a positive integer, got {shards!r}",
+            )
+        record = self.server.state.jobs.submit(
+            scenario, solver=solver, options=options, shards=shards
+        )
+        self._note = f"job {record.id} queued ({scenario.size} candidates)"
+        self._send_json(202, {"job": record.to_payload()})
+
+    def _route_job_status(self, job_id: str) -> None:
+        self._send_json(200, {"job": self.server.state.jobs.job(job_id)})
+
+    def _route_job_cancel(self, job_id: str) -> None:
+        payload = self.server.state.jobs.cancel(job_id)
+        self._note = f"job {job_id} cancel requested"
+        self._send_json(200, {"job": payload})
+
+    def _route_job_result(self, job_id: str) -> None:
+        result, coalesced = self.server.state.jobs.job_result_response(job_id)
+        self._note = f"job {job_id} result ({len(result)} records)"
+        if self._wants_ndjson():
+            self._send_ndjson(ndjson_lines(result, coalesced))
+        else:
+            self._send_json(200, resultset_payload(result, coalesced))
+
+    def _route_job_events(self, job_id: str) -> None:
+        state = self.server.state
+        state.jobs.job(job_id)  # a 404 must fire before headers go out
+        try:
+            timeout = float(self._query.get("timeout", ["30"])[0])
+        except ValueError:
+            raise ServiceError(
+                400, "bad-timeout", "'timeout' must be a number of seconds"
+            ) from None
+        self._send_ndjson(
+            json.dumps(event, sort_keys=True)
+            for event in state.jobs.stream_events(job_id, timeout=timeout)
         )
 
     # -- request / response helpers ------------------------------------------
@@ -699,6 +860,12 @@ class ExplorationServer(ThreadingHTTPServer):
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    def server_close(self) -> None:
+        # Stop the job dispatcher + shard pool with the listener; queued
+        # jobs stay persisted and re-queue on the next start.
+        self.state.jobs.close()
+        super().server_close()
 
     def start_background(self) -> threading.Thread:
         thread = threading.Thread(

@@ -36,6 +36,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -206,6 +207,23 @@ class ResultSet:
         if best is not None:
             lines.append(f"  best: {best.describe()}")
         return "\n".join(lines)
+
+
+#: Process-global manager backing ``Study.submit()`` when the caller
+#: does not pass one (shared queue, shared pool — same idea as the
+#: process-global memory cache tier).
+_JOB_MANAGER = None
+_JOB_MANAGER_LOCK = threading.Lock()
+
+
+def _default_job_manager():
+    global _JOB_MANAGER
+    with _JOB_MANAGER_LOCK:
+        if _JOB_MANAGER is None:
+            from .jobs.manager import JobManager
+
+            _JOB_MANAGER = JobManager()
+        return _JOB_MANAGER
 
 
 def _as_architecture(spec: Any) -> ArchitectureParameters:
@@ -424,6 +442,35 @@ class Study:
                 "options": self._solver_options,
             }
         )
+
+    def submit(
+        self, shards: int | None = None, manager: Any = None
+    ) -> "Any":
+        """Run this study as an async sharded job; returns an AsyncResult.
+
+        The scenario is queued on a :class:`~repro.jobs.JobManager`
+        (the process-global default when ``manager`` is None), split
+        into up to ``shards`` content-hash slices and evaluated on
+        background threads — ``submit().result()`` is record-for-record
+        identical to :meth:`run`.  Import is deferred because the jobs
+        package builds on Study.
+        """
+        from .jobs import AsyncResult
+        from .jobs.manager import JobManager
+
+        if manager is None:
+            manager = _default_job_manager()
+        elif not isinstance(manager, JobManager):
+            raise TypeError(
+                f"manager must be a JobManager, got {type(manager).__name__}"
+            )
+        record = manager.submit(
+            self.scenario(),
+            solver=self.solver_name,
+            options=self._solver_options,
+            shards=shards,
+        )
+        return AsyncResult(manager, record.id)
 
     def run(self) -> ResultSet:
         """Compile, solve, and package — the one call that does it all.

@@ -7,6 +7,7 @@ Commands
 ``serve``           HTTP/JSON exploration service (coalescing + tiered cache)
 ``jobs``            async sharded jobs on a service: submit / status /
                     result / cancel / list
+``top``             live ops view of a running service (metrics + traces)
 ``cache``           inspect / clear / prune the on-disk result cache
 ``table``           regenerate a paper table (1-4; 1 also in native mode)
 ``figure``          regenerate a paper figure (1, 2 or 34)
@@ -433,6 +434,10 @@ def _cmd_serve(args) -> int:
             use_cache=not args.no_cache,
             telemetry=not args.no_telemetry,
             jobs_dir=args.jobs_dir,
+            trace_capacity=args.trace_capacity,
+            slow_request_seconds=(
+                args.slow_threshold if args.slow_threshold > 0 else None
+            ),
         )
         server = ExplorationServer(config)
     except (ValueError, OSError) as error:
@@ -468,6 +473,51 @@ def _load_jobs_scenario(args):
     return demo_scenario(frequency_points=args.frequency_points)
 
 
+def _print_job_trace(client, payload) -> bool:
+    """``jobs submit --wait --profile``: render the server-side trace.
+
+    The job payload carries the trace id captured at submit time; the
+    job's spans flush to the trace store just after the terminal state
+    lands, so poll briefly until the trace reports a job tree (or give
+    up and render whatever the store has).
+    """
+    import time as time_module
+
+    from .service.client import ServiceError
+
+    trace_id = str(payload.get("trace_id") or "")
+    if not trace_id:
+        print(
+            "no server-side trace for this job "
+            "(the server may run with telemetry disabled)",
+            file=sys.stderr,
+        )
+        return False
+    trace = None
+    for _ in range(20):
+        try:
+            trace = client.trace(trace_id)
+        except ServiceError as error:
+            if error.kind != "trace-not-found":
+                print(
+                    f"cannot fetch trace {trace_id}: {error}", file=sys.stderr
+                )
+                return False
+        if trace is not None and trace.get("n_jobs", 0) > 0:
+            break
+        time_module.sleep(0.1)
+    if trace is None:
+        print(
+            f"trace {trace_id} not in the server store (evicted?)",
+            file=sys.stderr,
+        )
+        return False
+    print()
+    print("profile: server trace")
+    print(obs.render_trace(trace))
+    return True
+
+
 def _cmd_jobs(args) -> int:
     import json as json_module
 
@@ -496,8 +546,12 @@ def _cmd_jobs(args) -> int:
             if state != "done":
                 if final.get("error"):
                     print(final["error"], file=sys.stderr)
+                if args.profile:
+                    _print_job_trace(client, final)
                 return 1
             print(client.job_result(handle.id).describe())
+            if args.profile:
+                _print_job_trace(client, final)
             return 0
         if args.jobs_action == "status":
             payload = client.job(args.id)
@@ -555,6 +609,26 @@ def _cmd_jobs(args) -> int:
     except OSError as error:
         print(f"cannot write export: {error}", file=sys.stderr)
         return 2
+
+
+def _cmd_top(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+    from .service.top import run_top
+
+    client = ServiceClient(args.url, retries=args.retries)
+    try:
+        return run_top(
+            client,
+            interval=args.interval,
+            iterations=1 if args.once else None,
+            stream=sys.stdout,  # resolved per call, so capture works
+            clear=not args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except ServiceError as error:
+        print(f"service error ({error.kind}): {error}", file=sys.stderr)
+        return 1
 
 
 def _cmd_cache(args) -> int:
@@ -790,6 +864,17 @@ def build_parser() -> argparse.ArgumentParser:
              "~/.cache/repro/jobs without a cache dir)",
     )
     serve.add_argument(
+        "--trace-capacity", type=int, default=obs.DEFAULT_TRACE_CAPACITY,
+        dest="trace_capacity",
+        help="in-memory trace store size in whole traces "
+             f"(default {obs.DEFAULT_TRACE_CAPACITY})",
+    )
+    serve.add_argument(
+        "--slow-threshold", type=float, default=1.0, dest="slow_threshold",
+        help="emit a structured slow_request log line for requests "
+             "slower than this many seconds (0 disables; default 1.0)",
+    )
+    serve.add_argument(
         "-v", "--verbose", action="store_true", help="debug-level logging"
     )
     serve.set_defaults(handler=_cmd_serve)
@@ -841,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--poll", type=float, default=0.5,
         help="--wait polling interval [s]",
     )
+    jobs_submit.add_argument(
+        "--profile", action="store_true",
+        help="with --wait: render the server-side distributed trace "
+             "(request + job + shard spans) after the job finishes",
+    )
     jobs_submit.set_defaults(handler=_cmd_jobs)
 
     jobs_status = jobs_sub.add_parser(
@@ -873,6 +963,22 @@ def build_parser() -> argparse.ArgumentParser:
         "list", parents=[url_parent], help="list all jobs, newest first"
     )
     jobs_list.set_defaults(handler=_cmd_jobs)
+
+    top = commands.add_parser(
+        "top",
+        parents=[url_parent],
+        help="live ops view of a running service: RPS, per-route "
+             "latency, cache hit rates, queue depth, recent traces",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval [s] (default 2.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit (no screen clearing)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     cache = commands.add_parser(
         "cache", help="inspect / clear / prune the on-disk result cache"

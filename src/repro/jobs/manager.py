@@ -158,12 +158,17 @@ class JobManager:
         pool: WorkerPool | None = None,
         evaluate_shard: EvaluateShard | None = None,
         recover: bool = True,
+        trace_store: "obs.TraceStore | None" = None,
     ) -> None:
         self.store = store if isinstance(store, JobStore) else JobStore(store)
         self.cache = as_cache(cache)
         self.use_cache = use_cache
         self.coalescer = coalescer or Coalescer()
         self.pool = pool or WorkerPool()
+        # When set (the service passes its TraceStore), a job executed
+        # on the dispatcher thread records its span tree here under the
+        # submitting request's trace id — the cross-thread stitch.
+        self.trace_store = trace_store
         self._evaluate_shard = evaluate_shard or self._explore_shard
         self._lock = threading.Lock()
         self._queue: deque[str] = deque()
@@ -200,11 +205,22 @@ class JobManager:
             if isinstance(solver_obj, EngineSolver) and not options
             else 1
         )
+        # Capture the submitting thread's trace context (the server's
+        # request handler activates one per traced request), so the
+        # job's spans — run later, on other threads — stitch under the
+        # submitting request's span in one tree.
+        context = obs.current_context()
+        trace = (
+            {"trace_id": context.trace_id, "parent_id": context.span_id}
+            if context is not None and self.trace_store is not None
+            else None
+        )
         record = self.store.create(
             scenario.to_dict(),
             solver=solver,
             options=options,
             shards=shards,
+            trace=trace,
             progress={
                 "shards_total": planned,
                 "shards_done": 0,
@@ -275,6 +291,32 @@ class JobManager:
         with self._lock:
             return len(self._queue)
 
+    def _trace_scope(
+        self, record: JobRecord
+    ) -> tuple["obs.SpanTracer | None", "obs.TraceContext | None"]:
+        """A fresh tracer + adopted context for a traced job, else Nones."""
+        trace = record.trace or {}
+        trace_id = str(trace.get("trace_id", ""))
+        if not trace_id or self.trace_store is None:
+            return None, None
+        return obs.SpanTracer(), obs.TraceContext(
+            trace_id, str(trace.get("parent_id", ""))
+        )
+
+    def _flush_trace(
+        self, record: JobRecord, tracer: "obs.SpanTracer | None"
+    ) -> None:
+        """Record the job's finished span trees under its trace id."""
+        if tracer is None or self.trace_store is None:
+            return
+        roots = tracer.to_dict()["roots"]
+        if roots:
+            self.trace_store.add_spans(
+                str((record.trace or {}).get("trace_id", "")),
+                roots,
+                job_id=record.id,
+            )
+
     def _execute(self, job_id: str) -> None:
         record = self.store.get(job_id)
         if record.terminal:
@@ -288,11 +330,13 @@ class JobManager:
         scenario = Scenario.from_dict(record.scenario)
         key = flight_key(scenario, record.solver, record.options)
         started = time.perf_counter()
+        tracer, context = self._trace_scope(record)
         try:
-            with obs.span("jobs.run", job=job_id, solver=record.solver):
-                result, coalesced = self.coalescer.run(
-                    key, lambda: self._produce(record, scenario, cancel)
-                )
+            with obs.adopt(tracer, context):
+                with obs.span("jobs.run", job=job_id, solver=record.solver):
+                    result, coalesced = self.coalescer.run(
+                        key, lambda: self._produce(record, scenario, cancel)
+                    )
         except JobCancelled:
             self.store.transition(job_id, "cancelled")
             obs.inc("jobs.cancelled")
@@ -320,6 +364,8 @@ class JobManager:
                 seconds=round(time.perf_counter() - started, 4),
             )
             obs.inc("jobs.completed", solver=record.solver)
+        finally:
+            self._flush_trace(record, tracer)
 
     # -- producers (run under the coalescer flight) ---------------------------
     def _explore_shard(
@@ -344,13 +390,26 @@ class JobManager:
         return self._produce_registry(record, scenario)
 
     def _run_shard(
-        self, record_id: str, shard: Shard, method: str, cancel: threading.Event
+        self,
+        record_id: str,
+        shard: Shard,
+        method: str,
+        cancel: threading.Event,
+        trace: "tuple[obs.SpanTracer | None, obs.TraceContext | None]" = (
+            None,
+            None,
+        ),
     ) -> tuple[ExplorationResult, float]:
         if cancel.is_set():
             raise JobCancelled(record_id)
-        started = time.perf_counter()
-        exploration = self._evaluate_shard(shard.scenario, method)
-        return exploration, time.perf_counter() - started
+        # Adopt the dispatcher's tracer + context on this pool thread:
+        # the shard span (and the engine phase spans beneath it) parent
+        # under the job's ``jobs.run`` span instead of orphaning here.
+        with obs.adopt(*trace):
+            started = time.perf_counter()
+            with obs.span("jobs.shard", shard=shard.index + 1, of=shard.count):
+                exploration = self._evaluate_shard(shard.scenario, method)
+            return exploration, time.perf_counter() - started
 
     def _produce_sharded(
         self,
@@ -369,9 +428,23 @@ class JobManager:
             points_done=0,
         )
         started = time.perf_counter()
+        # The trace scope shard workers adopt: this (dispatcher) thread's
+        # tracer, positioned at the currently open span (``jobs.run``).
+        tracer = obs.current_tracer()
+        shard_context = None
+        if tracer is not None:
+            open_span = tracer.current_span()
+            if open_span is not None and open_span.span_id:
+                base = obs.current_context() or obs.TraceContext("", "")
+                shard_context = base.child(open_span.span_id)
         futures = {
             self.pool.submit(
-                self._run_shard, record.id, shard, method, cancel
+                self._run_shard,
+                record.id,
+                shard,
+                method,
+                cancel,
+                trace=(tracer, shard_context),
             ): shard
             for shard in shards
         }
@@ -538,6 +611,14 @@ class JobManager:
             if record.state == "queued":
                 record = self.store.transition(job_id, "cancelled")
                 obs.inc("jobs.cancelled")
+                # Drop it from the queue now: leaving the id for the
+                # dispatcher to skip later would hold jobs.queue_depth
+                # above zero for work that no longer exists.
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass
+                self._set_queue_gauge_locked()
         return self.store.get(job_id).to_payload()
 
     def job_result(self, job_id: str) -> ResultSet:

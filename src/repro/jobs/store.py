@@ -94,6 +94,10 @@ class JobRecord:
     #: Total events ever appended; each event carries it as ``seq`` so
     #: streams stay gap-aware even after the event window is trimmed.
     event_seq: int = 0
+    #: Distributed-trace linkage captured at submit time:
+    #: ``{"trace_id": ..., "parent_id": ...}`` — the submitting
+    #: request's trace and the span the job's tree parents under.
+    trace: dict[str, Any] | None = None
 
     @property
     def terminal(self) -> bool:
@@ -120,6 +124,7 @@ class JobRecord:
             "cache_key": self.cache_key,
             "stats": self.stats,
             "event_seq": self.event_seq,
+            "trace": self.trace,
         }
 
     def to_payload(self) -> dict[str, Any]:
@@ -138,6 +143,7 @@ class JobRecord:
             "error": self.error,
             "cache_key": self.cache_key,
             "stats": self.stats,
+            "trace_id": (self.trace or {}).get("trace_id", ""),
         }
 
     @classmethod
@@ -217,6 +223,7 @@ class JobStore:
         options: Mapping[str, Any] | None = None,
         shards: int | None = None,
         progress: Mapping[str, int] | None = None,
+        trace: Mapping[str, Any] | None = None,
     ) -> JobRecord:
         """Mint, persist and return a new ``queued`` job."""
         record = JobRecord(
@@ -228,6 +235,7 @@ class JobStore:
             state="queued",
             created_at=time.time(),
             progress=dict(progress or {}),
+            trace=dict(trace) if trace else None,
         )
         with self._lock:
             self._records[record.id] = record

@@ -43,11 +43,23 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from .context import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    activate,
+    clear_context,
+    current_context,
+    mint_span_id,
+    mint_trace_id,
+    parse_traceparent,
+    set_context,
+)
 from .export import (
     PROMETHEUS_CONTENT_TYPE,
     prometheus_text,
     render_phases,
     render_span_tree,
+    render_trace,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -57,10 +69,12 @@ from .metrics import (
     MetricsRegistry,
 )
 from .spans import NULL_SPAN, Span, SpanTracer
+from .trace_store import DEFAULT_TRACE_CAPACITY, TraceStore, assemble_tree
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_TRACE_CAPACITY",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -70,6 +84,14 @@ __all__ = [
     "Span",
     "SpanTracer",
     "TELEMETRY_ENV",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "TraceStore",
+    "activate",
+    "adopt",
+    "assemble_tree",
+    "clear_context",
+    "current_context",
     "current_tracer",
     "disable",
     "enable",
@@ -77,10 +99,15 @@ __all__ = [
     "inc",
     "install_tracer",
     "is_enabled",
+    "mint_span_id",
+    "mint_trace_id",
     "observe",
+    "parse_traceparent",
     "prometheus_text",
     "render_phases",
     "render_span_tree",
+    "render_trace",
+    "set_context",
     "set_gauge",
     "snapshot",
     "span",
@@ -224,6 +251,35 @@ def span(name: str, **labels: Any) -> "Span | Any":
     if tracer is None:
         return NULL_SPAN
     return tracer.span(name, **labels)
+
+
+@contextmanager
+def adopt(
+    tracer: SpanTracer | None,
+    context: TraceContext | None = None,
+) -> Iterator[None]:
+    """Run a block with another thread's tracer + trace context adopted.
+
+    The cross-thread propagation primitive: a worker thread (a job's
+    shard worker, the job dispatcher) adopts the tracer and the
+    :class:`TraceContext` captured where the work was *submitted*, so
+    its spans mint into the same tree and parent under the submitting
+    span instead of orphaning per-thread.  ``None`` for either argument
+    means "inherit whatever this thread already has"; both are restored
+    on exit, so pooled threads never leak one job's identity into the
+    next.
+    """
+    previous_tracer = getattr(_active_tracer, "tracer", None)
+    previous_context = current_context()
+    if tracer is not None:
+        _active_tracer.tracer = tracer
+    if context is not None:
+        set_context(context)
+    try:
+        yield
+    finally:
+        _active_tracer.tracer = previous_tracer
+        set_context(previous_context)
 
 
 # ---------------------------------------------------------------------------

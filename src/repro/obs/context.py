@@ -1,0 +1,166 @@
+"""Trace context: the identity a request carries across process hops.
+
+A :class:`TraceContext` is the W3C-trace-context-shaped triple
+``(trace_id, span_id, sampled)``: the 32-hex-digit trace id names one
+logical operation end to end (a client call, the server work it causes,
+the async job that work spawns), and the 16-hex-digit span id names the
+*current* position in that operation — the span a new child should hang
+under.  It travels on the ``traceparent`` header
+(``00-<trace_id>-<span_id>-<flags>``) and unifies with the repository's
+older ``X-Request-Id``: a request id defaults to the first 16 hex digits
+of the trace id, so the two correlate by prefix when nobody overrides
+either.
+
+Propagation inside a process is a plain thread-local: whoever owns a
+boundary (the HTTP handler, the job dispatcher, a shard worker) calls
+:func:`set_context` / :func:`clear_context` — or the composite
+:func:`repro.obs.adopt` which moves a tracer *and* a context onto the
+current thread at once.  :class:`~repro.obs.spans.SpanTracer` reads the
+active context exactly once, when a span opens at the bottom of an empty
+stack: that span's ``parent_id`` becomes the context's span id, which is
+how a span tree started on one thread (a job's shard worker) stitches
+under a span finished long ago on another (the submitting HTTP request).
+
+Everything here is allocation-light and lock-free; with tracing off
+nothing in this module runs on any hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "activate",
+    "clear_context",
+    "current_context",
+    "mint_span_id",
+    "mint_trace_id",
+    "parse_traceparent",
+    "set_context",
+]
+
+#: The propagation header, lowercase per the W3C trace-context spec
+#: (HTTP header lookup is case-insensitive either way).
+TRACEPARENT_HEADER = "traceparent"
+
+_HEX = frozenset("0123456789abcdef")
+
+
+def mint_trace_id() -> str:
+    """A fresh 32-hex-digit (128-bit) trace id."""
+    return os.urandom(16).hex()
+
+
+def mint_span_id() -> str:
+    """A fresh 16-hex-digit (64-bit) span id."""
+    return os.urandom(8).hex()
+
+
+def _is_hex(value: str, width: int) -> bool:
+    return len(value) == width and set(value) <= _HEX
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position inside one distributed trace."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    @classmethod
+    def mint(cls, sampled: bool = True) -> "TraceContext":
+        """A brand-new trace rooted at a brand-new span id."""
+        return cls(mint_trace_id(), mint_span_id(), sampled)
+
+    def child(self, span_id: str | None = None) -> "TraceContext":
+        """The same trace, positioned at ``span_id`` (minted if omitted)."""
+        return replace(self, span_id=span_id or mint_span_id())
+
+    @property
+    def request_id(self) -> str:
+        """The ``X-Request-Id`` this trace implies (trace id prefix)."""
+        return self.trace_id[:16]
+
+    def to_traceparent(self) -> str:
+        """The ``traceparent`` header value (version 00)."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """A :class:`TraceContext` from a ``traceparent`` header, or None.
+
+    Accepts any non-``ff`` two-hex-digit version (later versions are
+    specified to stay parseable as version 00).  All-zero trace or span
+    ids are invalid per the spec and rejected, as is anything that does
+    not look like ``xx-<32 hex>-<16 hex>-<2 hex>``.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if not (_is_hex(version, 2) and version != "ff"):
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if not (_is_hex(trace_id, 32) and set(trace_id) != {"0"}):
+        return None
+    if not (_is_hex(span_id, 16) and set(span_id) != {"0"}):
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    sampled = bool(int(flags, 16) & 0x01)
+    return TraceContext(trace_id, span_id, sampled)
+
+
+# ---------------------------------------------------------------------------
+# Per-thread activation.
+# ---------------------------------------------------------------------------
+
+_active = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    """The thread's active trace context, or None outside any trace."""
+    return getattr(_active, "context", None)
+
+
+def set_context(context: TraceContext | None) -> None:
+    """Install ``context`` on the current thread (None detaches)."""
+    _active.context = context
+
+
+def clear_context() -> None:
+    """Detach the current thread's trace context."""
+    _active.context = None
+
+
+class activate:
+    """Context manager: install a context, restore the previous on exit.
+
+    Reentrant and exception-safe; used by boundaries that nest (a shard
+    worker thread is reused across jobs and must not leak one job's
+    context into the next).
+    """
+
+    __slots__ = ("_context", "_previous")
+
+    def __init__(self, context: TraceContext | None) -> None:
+        self._context = context
+        self._previous: TraceContext | None = None
+
+    def __enter__(self) -> TraceContext | None:
+        self._previous = current_context()
+        set_context(self._context)
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_context(self._previous)
+        return False

@@ -18,7 +18,7 @@ and the tests all agree on the format:
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Any, Mapping
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import Span, SpanTracer
@@ -28,6 +28,7 @@ __all__ = [
     "prometheus_text",
     "render_phases",
     "render_span_tree",
+    "render_trace",
 ]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -147,6 +148,50 @@ def render_span_tree(tracer: SpanTracer) -> str:
     for root in tracer.roots:
         _render_span(root, 0, lines)
     return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def _render_trace_node(
+    node: Mapping[str, Any], depth: int, lines: list[str]
+) -> None:
+    label_text = ""
+    labels = node.get("labels") or {}
+    if labels:
+        rendered = ", ".join(f"{k}={v}" for k, v in labels.items())
+        label_text = f"  [{rendered}]"
+    marker = (
+        "" if node.get("status", "ok") == "ok"
+        else f"  !! {node.get('error', 'error')}"
+    )
+    indent = "  " * depth
+    name_field = f"{indent}{node.get('name', '?')}{label_text}"
+    lines.append(
+        f"{name_field:<48} "
+        f"{float(node.get('wall_seconds', 0.0)) * 1e3:>10.2f} ms wall "
+        f"{float(node.get('cpu_seconds', 0.0)) * 1e3:>10.2f} ms cpu{marker}"
+    )
+    for child in node.get("children", ()):
+        _render_trace_node(child, depth + 1, lines)
+
+
+def render_trace(trace: Mapping[str, Any]) -> str:
+    """One stored trace (a ``GET /v1/traces/{id}`` payload) as text.
+
+    The JSON twin of :func:`render_span_tree`: same columns, but fed by
+    the trace store's assembled dict tree rather than live Span objects,
+    with a one-line header naming the trace.
+    """
+    header = (
+        f"trace {trace.get('trace_id', '?')}  "
+        f"{trace.get('method', '')} {trace.get('route', '')}  "
+        f"status={trace.get('status', 0)}  "
+        f"{float(trace.get('duration_ms', 0.0)):.2f} ms"
+    )
+    lines = [header]
+    for root in trace.get("tree", ()):
+        _render_trace_node(root, 0, lines)
+    if len(lines) == 1:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
 
 
 def render_phases(

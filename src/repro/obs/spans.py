@@ -26,6 +26,8 @@ import threading
 import time
 from typing import Any, Mapping
 
+from .context import current_context, mint_span_id
+
 __all__ = ["NULL_SPAN", "Span", "SpanTracer"]
 
 
@@ -48,6 +50,9 @@ class Span:
         "error",
         "wall_seconds",
         "cpu_seconds",
+        "span_id",
+        "parent_id",
+        "started_at",
         "_tracer",
         "_wall_start",
         "_cpu_start",
@@ -67,6 +72,13 @@ class Span:
         self.error = ""
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
+        # Identity for distributed-trace assembly: minted when the span
+        # opens on a tracer; a root span at the bottom of an empty stack
+        # adopts the thread's TraceContext span id as its parent, which
+        # is how trees stitch across thread and process boundaries.
+        self.span_id = ""
+        self.parent_id = ""
+        self.started_at = 0.0
         self._tracer = tracer
         self._wall_start = 0.0
         self._cpu_start = 0.0
@@ -76,6 +88,7 @@ class Span:
     def __enter__(self) -> "Span":
         if self._tracer is not None:
             self._tracer._push(self)
+        self.started_at = time.time()
         self._cpu_start = _thread_cpu()
         self._wall_start = time.perf_counter()
         return self
@@ -106,6 +119,12 @@ class Span:
             "cpu_seconds": self.cpu_seconds,
             "status": self.status,
         }
+        if self.span_id:
+            payload["span_id"] = self.span_id
+        if self.parent_id:
+            payload["parent_id"] = self.parent_id
+        if self.started_at:
+            payload["started_at"] = round(self.started_at, 6)
         if self.labels:
             payload["labels"] = dict(self.labels)
         if self.error:
@@ -127,6 +146,9 @@ class _NullSpan:
     error = ""
     wall_seconds = 0.0
     cpu_seconds = 0.0
+    span_id = ""
+    parent_id = ""
+    started_at = 0.0
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -162,9 +184,18 @@ class SpanTracer:
 
     def _push(self, span: Span) -> None:
         stack = self._stack()
+        if not span.span_id:
+            span.span_id = mint_span_id()
         if stack:
+            span.parent_id = stack[-1].span_id
             stack[-1].children.append(span)
             span._parented = True
+        else:
+            # A thread's first span adopts the active TraceContext as
+            # its parent — the cross-thread (and cross-process) stitch.
+            context = current_context()
+            if context is not None:
+                span.parent_id = context.span_id
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -176,6 +207,11 @@ class SpanTracer:
         if not span._parented:
             with self._roots_lock:
                 self.roots.append(span)
+
+    def current_span(self) -> Span | None:
+        """The span currently open on *this* thread, or None."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
 
     # -- span factory ----------------------------------------------------------
     def span(self, name: str, **labels: Any) -> Span:

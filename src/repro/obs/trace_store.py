@@ -1,0 +1,304 @@
+"""A bounded in-memory store of finished distributed traces.
+
+The service keeps the last N request traces here so "why was *this*
+request slow?" is answerable on a live server (``GET /v1/traces``)
+without any external collector.  One *trace* is everything that shares a
+trace id: the HTTP request's span tree, plus — arriving later, from
+other threads — the span trees of any async job that request submitted.
+:func:`assemble_tree` stitches those independently-finished trees into
+one nested view by matching each tree's ``parent_id`` against span ids
+anywhere else in the trace.
+
+Retention is tail-based rather than strictly FIFO: a plain ring buffer
+under heavy healthy traffic evicts exactly the traces worth keeping
+(the rare error, the one slow outlier) before anyone reads them.  When
+the store is over capacity it therefore evicts the *oldest
+uninteresting* trace first — a trace is protected while it is an error
+trace or among the ``keep_slowest`` slowest for its route — and only
+falls back to evicting protected traces when nothing else is left.
+
+Everything is process-memory and lock-guarded; nothing here touches a
+hot path when tracing is off (the server simply never constructs one).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+__all__ = ["DEFAULT_TRACE_CAPACITY", "TraceStore", "assemble_tree"]
+
+#: Default ring-buffer size (whole traces, not spans).
+DEFAULT_TRACE_CAPACITY = 512
+
+
+def _walk(node: dict[str, Any], index: dict[str, dict[str, Any]]) -> None:
+    span_id = node.get("span_id", "")
+    if span_id:
+        index[span_id] = node
+    for child in node.get("children", ()):
+        _walk(child, index)
+
+
+def assemble_tree(spans: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Stitch independently finished span trees into one nested tree.
+
+    ``spans`` are root span dicts (:meth:`repro.obs.spans.Span.to_dict`
+    shape, children already nested) collected from any number of
+    tracers/threads.  A root whose ``parent_id`` names a span anywhere
+    in the set becomes that span's child; the rest stay top-level
+    roots.  Children merge in ``started_at`` order, so a job span
+    appears after the request phases that preceded it.  The input is
+    never mutated.
+    """
+    nodes = [copy.deepcopy(dict(span)) for span in spans]
+    index: dict[str, dict[str, Any]] = {}
+    for node in nodes:
+        _walk(node, index)
+    roots: list[dict[str, Any]] = []
+    for node in nodes:
+        parent = index.get(node.get("parent_id", ""))
+        if parent is not None and parent is not node:
+            parent.setdefault("children", []).append(node)
+            parent["children"].sort(key=lambda c: c.get("started_at", 0.0))
+        else:
+            roots.append(node)
+    roots.sort(key=lambda node: node.get("started_at", 0.0))
+    return roots
+
+
+def _tree_has_error(node: Mapping[str, Any]) -> bool:
+    if node.get("status") == "error":
+        return True
+    return any(_tree_has_error(child) for child in node.get("children", ()))
+
+
+class TraceStore:
+    """Thread-safe bounded store of finished traces, newest last.
+
+    ``capacity`` bounds the number of retained traces; ``keep_slowest``
+    is the per-route count of slowest traces shielded from eviction
+    (error traces are always shielded while anything evictable
+    remains).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        keep_slowest: int = 5,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.keep_slowest = max(0, keep_slowest)
+        self._lock = threading.Lock()
+        # Insertion-ordered: dicts preserve order, eviction scans from
+        # the front (oldest).  Values are the mutable trace records.
+        self._traces: dict[str, dict[str, Any]] = {}
+        self._evicted = 0
+
+    # -- ingest --------------------------------------------------------------
+    def record(
+        self,
+        trace_id: str,
+        request_id: str = "",
+        route: str = "",
+        method: str = "",
+        status: int = 0,
+        duration_seconds: float = 0.0,
+        error: bool = False,
+        spans: Iterable[Mapping[str, Any]] = (),
+    ) -> dict[str, Any]:
+        """Store (or merge into) the trace for one finished request."""
+        spans = [dict(span) for span in spans]
+        with self._lock:
+            trace = self._traces.get(trace_id)
+            if trace is None:
+                trace = self._traces[trace_id] = {
+                    "trace_id": trace_id,
+                    "request_id": request_id,
+                    "route": route,
+                    "method": method,
+                    "status": int(status),
+                    "started_at": round(time.time() - duration_seconds, 6),
+                    "duration_seconds": float(duration_seconds),
+                    "error": bool(error),
+                    "spans": [],
+                    "n_jobs": 0,
+                }
+            else:
+                # A job's spans can land before the HTTP side records
+                # (or two requests can share a client-minted trace);
+                # the request's metadata wins, durations take the max.
+                trace.update(
+                    request_id=request_id or trace["request_id"],
+                    route=route or trace["route"],
+                    method=method or trace["method"],
+                    status=int(status) or trace["status"],
+                    duration_seconds=max(
+                        float(duration_seconds), trace["duration_seconds"]
+                    ),
+                    error=bool(error) or trace["error"],
+                )
+            trace["spans"].extend(spans)
+            if any(_tree_has_error(span) for span in spans):
+                trace["error"] = True
+            self._evict_locked()
+            return trace
+
+    def add_spans(
+        self,
+        trace_id: str,
+        spans: Iterable[Mapping[str, Any]],
+        job_id: str = "",
+    ) -> dict[str, Any]:
+        """Append late-arriving span trees (an async job's) to a trace.
+
+        Creates a bare record when the trace is unknown — the request
+        side may have been evicted (or never traced, e.g. a recovered
+        job after a restart); the job's tree is still worth keeping.
+        """
+        spans = list(spans)
+        duration = max(
+            (float(span.get("wall_seconds", 0.0)) for span in spans),
+            default=0.0,
+        )
+        with self._lock:
+            trace = self._traces.get(trace_id)
+            if trace is None:
+                return self._locked_fallthrough_record(
+                    trace_id, spans, duration, job_id
+                )
+            trace["spans"].extend(dict(span) for span in spans)
+            trace["duration_seconds"] = max(
+                trace["duration_seconds"], duration
+            )
+            if any(_tree_has_error(span) for span in spans):
+                trace["error"] = True
+            if job_id:
+                trace["n_jobs"] += 1
+            return trace
+
+    def _locked_fallthrough_record(
+        self,
+        trace_id: str,
+        spans: list[Mapping[str, Any]],
+        duration: float,
+        job_id: str,
+    ) -> dict[str, Any]:
+        trace = self._traces[trace_id] = {
+            "trace_id": trace_id,
+            "request_id": trace_id[:16],
+            "route": "",
+            "method": "",
+            "status": 0,
+            "started_at": round(time.time() - duration, 6),
+            "duration_seconds": duration,
+            "error": any(_tree_has_error(span) for span in spans),
+            "spans": [dict(span) for span in spans],
+            "n_jobs": 1 if job_id else 0,
+        }
+        self._evict_locked()
+        return trace
+
+    # -- retention -----------------------------------------------------------
+    def _protected_locked(self) -> set[str]:
+        slowest: dict[str, list[tuple[float, str]]] = {}
+        protected: set[str] = set()
+        for trace_id, trace in self._traces.items():
+            if trace["error"]:
+                protected.add(trace_id)
+                continue
+            slowest.setdefault(trace["route"], []).append(
+                (trace["duration_seconds"], trace_id)
+            )
+        for candidates in slowest.values():
+            candidates.sort(reverse=True)
+            protected.update(
+                trace_id for _, trace_id in candidates[: self.keep_slowest]
+            )
+        return protected
+
+    def _evict_locked(self) -> None:
+        if len(self._traces) <= self.capacity:
+            return
+        protected = self._protected_locked()
+        while len(self._traces) > self.capacity:
+            victim = next(
+                (t for t in self._traces if t not in protected),
+                next(iter(self._traces)),  # all protected: oldest goes
+            )
+            del self._traces[victim]
+            self._evicted += 1
+
+    # -- queries -------------------------------------------------------------
+    def _summary(self, trace: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "trace_id": trace["trace_id"],
+            "request_id": trace["request_id"],
+            "route": trace["route"],
+            "method": trace["method"],
+            "status": trace["status"],
+            "started_at": trace["started_at"],
+            "duration_ms": round(trace["duration_seconds"] * 1e3, 3),
+            "error": trace["error"],
+            "n_spans": len(trace["spans"]),
+            "n_jobs": trace["n_jobs"],
+        }
+
+    def summaries(
+        self,
+        route: str | None = None,
+        min_duration_ms: float | None = None,
+        errors_only: bool = False,
+        limit: int = 50,
+    ) -> list[dict[str, Any]]:
+        """Newest-first trace summaries, optionally filtered."""
+        with self._lock:
+            traces = list(self._traces.values())
+        out: list[dict[str, Any]] = []
+        for trace in reversed(traces):
+            if route is not None and trace["route"] != route:
+                continue
+            if (
+                min_duration_ms is not None
+                and trace["duration_seconds"] * 1e3 < min_duration_ms
+            ):
+                continue
+            if errors_only and not trace["error"]:
+                continue
+            out.append(self._summary(trace))
+            if len(out) >= limit:
+                break
+        return out
+
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        """One trace in full: summary fields plus the assembled tree."""
+        with self._lock:
+            trace = self._traces.get(trace_id)
+            if trace is None:
+                return None
+            spans = [copy.deepcopy(span) for span in trace["spans"]]
+            summary = self._summary(trace)
+        return {**summary, "tree": assemble_tree(spans)}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            traces = list(self._traces.values())
+            evicted = self._evicted
+        return {
+            "traces": len(traces),
+            "capacity": self.capacity,
+            "errors": sum(1 for trace in traces if trace["error"]),
+            "evicted": evicted,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()

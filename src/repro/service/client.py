@@ -29,7 +29,9 @@ import time
 from typing import Any, Iterator
 from urllib import error as urllib_error
 from urllib import request as urllib_request
+from urllib.parse import urlencode
 
+from .. import obs
 from ..explore.engine import EvaluationStats
 from ..explore.scenario import Scenario
 from ..jobs.handle import AsyncResult
@@ -93,6 +95,24 @@ class ServiceClient:
         self._random = random.random
 
     # -- transport -----------------------------------------------------------
+    def _trace_headers(self) -> dict[str, str]:
+        """Propagation headers minted once per logical request.
+
+        A thread already inside a trace (a traced CLI run, a test)
+        propagates that context; otherwise a fresh one is minted.  The
+        request id is the trace id's 16-hex prefix — the contract the
+        server applies too — and because the same ``Request`` object is
+        re-sent by the retry loop, every retry of one logical request
+        carries the *same* id: server logs show one id, N attempts.
+        """
+        context = obs.current_context()
+        if context is None:
+            context = obs.TraceContext.mint()
+        return {
+            obs.TRACEPARENT_HEADER: context.to_traceparent(),
+            "X-Request-Id": context.request_id,
+        }
+
     def _open_once(self, request: urllib_request.Request):
         try:
             return urllib_request.urlopen(request, timeout=self.timeout)
@@ -127,6 +147,7 @@ class ServiceClient:
     ) -> Any:
         headers = {
             "Accept": NDJSON_CONTENT_TYPE if ndjson else JSON_CONTENT_TYPE,
+            **self._trace_headers(),
         }
         body = None
         if payload is not None:
@@ -175,9 +196,34 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         """``/v1/metrics`` in the Prometheus text exposition format."""
-        request = urllib_request.Request(self.base_url + "/v1/metrics")
+        request = urllib_request.Request(
+            self.base_url + "/v1/metrics", headers=self._trace_headers()
+        )
         with self._open(request) as response:
             return response.read().decode("utf-8")
+
+    def traces(
+        self,
+        route: str | None = None,
+        min_ms: float | None = None,
+        errors_only: bool = False,
+        limit: int = 50,
+    ) -> list[dict[str, Any]]:
+        """``GET /v1/traces`` — recent trace summaries, newest first."""
+        params: dict[str, Any] = {"limit": limit}
+        if route:
+            params["route"] = route
+        if min_ms is not None:
+            params["min_ms"] = min_ms
+        if errors_only:
+            params["error"] = 1
+        return list(
+            self._get(f"/v1/traces?{urlencode(params)}")["traces"]
+        )
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """``GET /v1/traces/{id}`` — one trace with its assembled tree."""
+        return self._get(f"/v1/traces/{trace_id}")["trace"]
 
     # -- the Study surface ---------------------------------------------------
     def study(self, name: str = "remote-study") -> "RemoteStudy":
@@ -322,7 +368,10 @@ class ServiceClient:
         """
         request = urllib_request.Request(
             f"{self.base_url}/v1/jobs/{job_id}/events?timeout={timeout:g}",
-            headers={"Accept": NDJSON_CONTENT_TYPE},
+            headers={
+                "Accept": NDJSON_CONTENT_TYPE,
+                **self._trace_headers(),
+            },
         )
         with self._open(request) as response:
             yield from _iter_ndjson(response)

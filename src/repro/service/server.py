@@ -19,6 +19,10 @@ Routes
 ``GET  /v1/cache/stats``   both cache tiers + coalescer counters
 ``GET  /v1/metrics``       telemetry registry: Prometheus text (default)
                            or JSON (``?format=json``)
+``GET  /v1/traces``        recent request traces, newest first (filter by
+                           ``route=``, ``min_ms=``, ``error=1``, ``limit=``)
+``GET  /v1/traces/{id}``   one trace in full: the assembled span tree,
+                           async job spans stitched under the request
 ``POST /v1/explore``       Scenario JSON in → records out (NDJSON optional)
 ``POST /v1/optimize``      one (architecture, technology, frequency) solve
 ``POST /v1/jobs``          submit a sweep as an async sharded job (202)
@@ -33,6 +37,18 @@ Every response carries an ``X-Request-Id`` header (the client's, when
 it sent a well-formed one; minted otherwise); the same id appears in
 the structured JSON access log line and in error bodies, so one grep
 connects a client-side failure to the server-side record.
+
+Distributed tracing rides the same path: a ``traceparent`` request
+header (W3C shape, as :class:`~repro.obs.context.TraceContext` formats
+it) is adopted, otherwise a trace is minted; with no ``X-Request-Id``
+the request id defaults to the trace id's first 16 hex digits, so the
+two correlate by prefix.  Each traced request's span tree — and, for
+``POST /v1/jobs``, the async job's spans arriving later from the worker
+threads — lands in the in-memory :class:`~repro.obs.trace_store.
+TraceStore` served by ``/v1/traces``; the trace id is echoed on every
+response as ``X-Trace-Id``.  Requests slower than
+``slow_request_seconds`` additionally emit one structured
+``slow_request`` warning line with the trace id.
 
 ``/v1/explore`` and ``/v1/optimize`` accept bare catalog names (builtin
 or plugin-pack) anywhere a scenario accepts an architecture/technology
@@ -132,13 +148,24 @@ class ServiceConfig:
     #: Enable the process-global metrics registry (``/v1/metrics``).
     #: On by default for servers — a serving process is exactly where
     #: counters earn their keep; ``repro serve --no-telemetry`` opts out.
+    #: Also gates request tracing (``/v1/traces``): with telemetry off
+    #: no tracer is ever installed and the request path pays nothing.
     telemetry: bool = True
+    #: Ring-buffer size of the in-memory trace store (whole traces).
+    trace_capacity: int = obs.DEFAULT_TRACE_CAPACITY
+    #: Requests at least this slow emit a structured ``slow_request``
+    #: log line (seconds; None disables the slow log).
+    slow_request_seconds: float | None = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.max_body < 1:
             raise ValueError(f"max_body must be >= 1, got {self.max_body}")
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
 
 
 #: Signature of the pluggable evaluation hook: scenario + solve policy
@@ -171,11 +198,19 @@ class ServiceState:
             jobs_dir = Path(self.config.cache_dir) / "jobs"
         else:
             jobs_dir = default_jobs_dir()
+        # Tracing shares the telemetry switch: a TraceStore exists (and
+        # request tracers are installed) only when telemetry is on.
+        self.traces: obs.TraceStore | None = (
+            obs.TraceStore(capacity=self.config.trace_capacity)
+            if self.config.telemetry
+            else None
+        )
         self.jobs = JobManager(
             store=JobStore(jobs_dir),
             cache=self.cache,
             use_cache=self.config.use_cache,
             coalescer=self.coalescer,
+            trace_store=self.traces,
         )
         self.work_semaphore = threading.BoundedSemaphore(self.config.workers)
         # Two clocks on purpose: the wall clock says *when* the service
@@ -276,6 +311,7 @@ class ServiceState:
             "cache_enabled": self.config.use_cache,
             "telemetry": self.config.telemetry,
             "jobs": self.jobs.store.stats(),
+            "traces": self.traces.stats() if self.traces is not None else None,
         }
 
     def cache_stats_payload(self) -> dict[str, Any]:
@@ -479,6 +515,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/catalog": self._route_catalog,
                 "/v1/cache/stats": self._route_cache_stats,
                 "/v1/metrics": self._route_metrics,
+                "/v1/traces": self._route_traces_list,
                 "/v1/jobs": self._route_jobs_list,
             }
         )
@@ -500,17 +537,21 @@ class _Handler(BaseHTTPRequestHandler):
         state.count_request()
         self._started = time.perf_counter()
         self._note = ""
+        self._status = 0
+        self._slow_exempt = False
         self._request_id = _request_id_from(self.headers.get("X-Request-Id"))
         split = urlsplit(self.path)
         self._query = parse_qs(split.query)
         self._route_label = split.path.rstrip("/") or "/"
         route = routes.get(self._route_label)
         if route is None:
-            route = self._match_jobs_route()
+            route = self._match_jobs_route() or self._match_traces_route()
+        self._begin_trace()
         try:
             if route is None:
                 known = "/v1/healthz, /v1/solvers, /v1/architectures, " \
                     "/v1/catalog, /v1/cache/stats, /v1/metrics, " \
+                    "/v1/traces, /v1/traces/{id}, " \
                     "/v1/explore (POST), /v1/optimize (POST), " \
                     "/v1/jobs (GET/POST), /v1/jobs/{id} (GET/DELETE), " \
                     "/v1/jobs/{id}/result, /v1/jobs/{id}/events"
@@ -550,11 +591,103 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 ),
             )
+        finally:
+            self._finish_trace()
 
     def _error_payload(self, error: ServiceError) -> dict[str, Any]:
         payload = error.to_payload()
         payload["error"]["request_id"] = self._request_id
         return payload
+
+    # -- tracing --------------------------------------------------------------
+    def _begin_trace(self) -> None:
+        """Open this request's trace: adopt/mint a context, root a span.
+
+        With tracing off (no store), this sets the two attributes the
+        rest of the handler reads and returns — the request path pays
+        two ``None`` assignments.  Otherwise a per-request tracer is
+        installed on the handler thread, an ``http.request`` root span
+        opens, and the thread's :class:`~repro.obs.TraceContext` is
+        positioned *under* that root, so anything the route submits to
+        other threads (a job) parents beneath the request span.
+        """
+        self._trace_tracer = None
+        self._trace_span = None
+        self._trace_context = None
+        if self.server.state.traces is None:
+            return
+        incoming = obs.parse_traceparent(
+            self.headers.get(obs.TRACEPARENT_HEADER)
+        )
+        context = incoming if incoming is not None else obs.TraceContext.mint()
+        if not self.headers.get("X-Request-Id"):
+            # No explicit request id: correlate by trace-id prefix.
+            self._request_id = context.request_id
+        tracer = obs.install_tracer(obs.SpanTracer())
+        obs.set_context(context)
+        span = tracer.span(
+            "http.request", method=self.command, route=self._route_label
+        )
+        span.__enter__()
+        self._trace_tracer = tracer
+        self._trace_span = span
+        self._trace_context = obs.TraceContext(
+            context.trace_id, span.span_id, context.sampled
+        )
+        obs.set_context(self._trace_context)
+
+    def _finish_trace(self) -> None:
+        """Close the request span, record the trace, emit the slow log."""
+        elapsed = time.perf_counter() - self._started
+        status = self._status
+        state = self.server.state
+        tracer, span = self._trace_tracer, self._trace_span
+        trace_id = ""
+        if tracer is not None and span is not None:
+            trace_id = self._trace_context.trace_id
+            span.labels["route"] = self._route_label
+            span.labels["status"] = str(status)
+            if status >= 500 and span.status == "ok":
+                span.status = "error"
+                span.error = f"http {status}"
+            span.__exit__(None, None, None)
+            obs.uninstall_tracer()
+            obs.clear_context()
+            self._trace_tracer = None
+            self._trace_span = None
+            if state.traces is not None:
+                state.traces.record(
+                    trace_id,
+                    request_id=self._request_id,
+                    route=self._route_label,
+                    method=self.command,
+                    status=status,
+                    duration_seconds=elapsed,
+                    error=status >= 500,
+                    spans=tracer.to_dict()["roots"],
+                )
+        threshold = state.config.slow_request_seconds
+        if (
+            threshold is not None
+            and elapsed >= threshold
+            and not self._slow_exempt
+        ):
+            logger.warning(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "slow_request",
+                        "trace_id": trace_id,
+                        "request_id": self._request_id,
+                        "method": self.command,
+                        "route": self._route_label,
+                        "status": status,
+                        "ms": round(elapsed * 1e3, 2),
+                        "threshold_ms": round(threshold * 1e3, 2),
+                    },
+                    sort_keys=True,
+                ),
+            )
 
     _ALL_ROUTES = {
         "/v1/healthz": ("GET",),
@@ -563,6 +696,7 @@ class _Handler(BaseHTTPRequestHandler):
         "/v1/catalog": ("GET",),
         "/v1/cache/stats": ("GET",),
         "/v1/metrics": ("GET",),
+        "/v1/traces": ("GET",),
         "/v1/explore": ("POST",),
         "/v1/optimize": ("POST",),
         "/v1/jobs": ("GET", "POST"),
@@ -579,6 +713,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return ("GET", "DELETE")
             if len(parts) == 5 and parts[4] in ("result", "events"):
                 return ("GET",)
+        if len(parts) == 4 and parts[1:3] == ["v1", "traces"] and parts[3]:
+            return ("GET",)
         return None
 
     def _match_jobs_route(self) -> Callable[[], None] | None:
@@ -610,6 +746,20 @@ class _Handler(BaseHTTPRequestHandler):
             return lambda: self._route_job_events(job_id)
         return None
 
+    def _match_traces_route(self) -> Callable[[], None] | None:
+        """Resolve ``GET /v1/traces/{trace_id}`` (same label rewrite)."""
+        parts = self._route_label.split("/")
+        if (
+            self.command == "GET"
+            and len(parts) == 4
+            and parts[1:3] == ["v1", "traces"]
+            and parts[3]
+        ):
+            trace_id = parts[3]
+            self._route_label = "/v1/traces/{id}"
+            return lambda: self._route_trace(trace_id)
+        return None
+
     # -- routes --------------------------------------------------------------
     def _route_healthz(self) -> None:
         self._send_json(200, self.server.state.healthz_payload())
@@ -639,6 +789,66 @@ class _Handler(BaseHTTPRequestHandler):
         registry = obs.get_registry()
         text = obs.prometheus_text(registry) if registry is not None else ""
         self._send_text(200, text, obs.PROMETHEUS_CONTENT_TYPE)
+
+    def _trace_store(self) -> obs.TraceStore:
+        store = self.server.state.traces
+        if store is None:
+            raise ServiceError(
+                503,
+                "tracing-disabled",
+                "request tracing is off (the server runs with telemetry "
+                "disabled); start without --no-telemetry to record traces",
+            )
+        return store
+
+    def _route_traces_list(self) -> None:
+        store = self._trace_store()
+        route = self._query.get("route", [""])[0] or None
+        min_ms_text = self._query.get("min_ms", [""])[0]
+        try:
+            min_ms = float(min_ms_text) if min_ms_text else None
+        except ValueError:
+            raise ServiceError(
+                400, "bad-min-ms", "'min_ms' must be a number of milliseconds"
+            ) from None
+        errors_only = self._query.get("error", [""])[0].lower() in (
+            "1", "true", "yes",
+        )
+        limit_text = self._query.get("limit", [""])[0]
+        try:
+            limit = int(limit_text) if limit_text else 50
+        except ValueError:
+            raise ServiceError(
+                400, "bad-limit", "'limit' must be a positive integer"
+            ) from None
+        if limit < 1:
+            raise ServiceError(
+                400, "bad-limit", f"'limit' must be >= 1, got {limit}"
+            )
+        self._send_json(
+            200,
+            {
+                "traces": store.summaries(
+                    route=route,
+                    min_duration_ms=min_ms,
+                    errors_only=errors_only,
+                    limit=limit,
+                ),
+                "stats": store.stats(),
+            },
+        )
+
+    def _route_trace(self, trace_id: str) -> None:
+        trace = self._trace_store().get(trace_id)
+        if trace is None:
+            raise ServiceError(
+                404,
+                "trace-not-found",
+                f"no trace {trace_id!r} in the store (it may have been "
+                "evicted; the store keeps the most recent "
+                f"{self.server.state.config.trace_capacity} traces)",
+            )
+        self._send_json(200, {"trace": trace})
 
     def _route_explore(self) -> None:
         scenario, solver, jobs, options = parse_explore_request(
@@ -718,6 +928,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_job_events(self, job_id: str) -> None:
         state = self.server.state
+        # A follow stream is slow by design (it blocks until the job
+        # ends or the timeout lapses) — not a slow-log candidate.
+        self._slow_exempt = True
         state.jobs.job(job_id)  # a 404 must fire before headers go out
         try:
             timeout = float(self._query.get("timeout", ["30"])[0])
@@ -775,12 +988,18 @@ class _Handler(BaseHTTPRequestHandler):
         accept = self.headers.get("Accept", "")
         return NDJSON_CONTENT_TYPE in accept
 
+    def _send_trace_headers(self) -> None:
+        self.send_header("X-Request-Id", self._request_id)
+        context = getattr(self, "_trace_context", None)
+        if context is not None:
+            self.send_header("X-Trace-Id", context.trace_id)
+
     def _send_json(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", JSON_CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Request-Id", self._request_id)
+        self._send_trace_headers()
         self.end_headers()
         self.wfile.write(body)
         self._log_request(status, len(body))
@@ -790,7 +1009,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Request-Id", self._request_id)
+        self._send_trace_headers()
         self.end_headers()
         self.wfile.write(body)
         self._log_request(status, len(body))
@@ -798,7 +1017,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_ndjson(self, lines: "Iterator[str]") -> None:
         self.send_response(200)
         self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
-        self.send_header("X-Request-Id", self._request_id)
+        self._send_trace_headers()
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
@@ -812,6 +1031,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- logging -------------------------------------------------------------
     def _log_request(self, status: int, body_bytes: int) -> None:
+        self._status = status
         elapsed = time.perf_counter() - self._started
         obs.inc("http.requests", route=self._route_label, status=status)
         obs.observe(
@@ -826,6 +1046,9 @@ class _Handler(BaseHTTPRequestHandler):
             "ms": round(elapsed * 1e3, 2),
             "bytes": body_bytes,
         }
+        context = getattr(self, "_trace_context", None)
+        if context is not None:
+            entry["trace_id"] = context.trace_id
         if self._note:
             entry["note"] = self._note
         logger.info("%s", json.dumps(entry, sort_keys=True))

@@ -14,6 +14,7 @@ from repro.jobs import (
     JobStore,
     JobTimeout,
 )
+from repro import obs
 from repro.solvers import SolverError
 from repro.study import Study
 
@@ -240,3 +241,75 @@ class TestStudySubmit:
         study = Study.from_scenario(demo_scenario(frequency_points=2))
         with pytest.raises(TypeError):
             study.submit(manager=object())
+
+
+@pytest.fixture()
+def fresh_registry():
+    """A private metrics registry, restoring the global one afterwards."""
+    was_enabled = obs.is_enabled()
+    previous = obs.get_registry()
+    registry = obs.enable(obs.MetricsRegistry())
+    yield registry
+    if was_enabled and previous is not None:
+        obs.enable(previous)
+    else:
+        obs.disable()
+
+
+class TestQueueDepthGauge:
+    """``jobs.queue_depth`` must return to 0 on every exit path."""
+
+    def _depth(self, registry):
+        return registry.gauge("jobs.queue_depth").value
+
+    def test_cancelling_a_queued_job_releases_the_gauge(
+        self, tmp_path, fresh_registry
+    ):
+        release = threading.Event()
+        manager, started = gated_manager(tmp_path, release)
+        try:
+            blocker = manager.submit(demo_scenario(frequency_points=2))
+            assert started.wait(timeout=WAIT)
+            queued = manager.submit(demo_scenario(frequency_points=2))
+            assert self._depth(fresh_registry) == 1
+            manager.cancel(queued.id)
+            # The cancel itself must release the slot — not a later
+            # dispatcher pass over a job it will skip anyway.
+            assert self._depth(fresh_registry) == 0
+            release.set()
+            manager.wait(blocker.id, timeout=WAIT)
+            assert self._depth(fresh_registry) == 0
+        finally:
+            release.set()
+            manager.close()
+
+    def test_failed_job_releases_the_gauge(self, tmp_path, fresh_registry):
+        def explode(scenario, method):
+            raise RuntimeError("shard exploded")
+
+        manager = JobManager(
+            store=JobStore(tmp_path / "jobs"),
+            cache=tmp_path / "cache",
+            evaluate_shard=explode,
+        )
+        try:
+            record = manager.submit(demo_scenario(frequency_points=2))
+            status = manager.wait(record.id, timeout=WAIT)
+            assert status["state"] == "failed"
+            assert self._depth(fresh_registry) == 0
+        finally:
+            manager.close()
+
+    def test_completed_job_releases_the_gauge(self, tmp_path, fresh_registry):
+        manager = JobManager(
+            store=JobStore(tmp_path / "jobs"), cache=tmp_path / "cache"
+        )
+        try:
+            record = manager.submit(
+                demo_scenario(frequency_points=2), shards=2
+            )
+            status = manager.wait(record.id, timeout=WAIT)
+            assert status["state"] == "done"
+            assert self._depth(fresh_registry) == 0
+        finally:
+            manager.close()

@@ -1,0 +1,123 @@
+"""TraceContext: minting, the traceparent wire format, thread-locals."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    TraceContext,
+    clear_context,
+    current_context,
+    parse_traceparent,
+    set_context,
+)
+from repro.obs.context import activate
+
+
+class TestTraceContext:
+    def test_mint_shapes(self):
+        context = TraceContext.mint()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        assert context.sampled is True
+        assert int(context.trace_id, 16) != 0
+        assert int(context.span_id, 16) != 0
+
+    def test_mint_is_unique(self):
+        ids = {TraceContext.mint().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_child_keeps_the_trace(self):
+        parent = TraceContext.mint()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        pinned = parent.child("a" * 16)
+        assert pinned.span_id == "a" * 16
+
+    def test_request_id_is_the_trace_prefix(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        assert context.request_id == ("ab" * 16)[:16]
+        assert len(context.request_id) == 16
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = TraceContext.mint()
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_unsampled_flag(self):
+        context = TraceContext.mint(sampled=False)
+        header = context.to_traceparent()
+        assert header.endswith("-00")
+        assert parse_traceparent(header).sampled is False
+
+    def test_header_shape(self):
+        context = TraceContext("1" * 32, "2" * 16)
+        assert context.to_traceparent() == f"00-{'1' * 32}-{'2' * 16}-01"
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "nonsense",
+            "00-abc-def-01",  # ids too short
+            f"00-{'0' * 32}-{'2' * 16}-01",  # all-zero trace id
+            f"00-{'1' * 32}-{'0' * 16}-01",  # all-zero span id
+            f"ff-{'1' * 32}-{'2' * 16}-01",  # version ff is invalid
+            f"00-{'1' * 32}-{'2' * 16}-01-extra",  # v00 allows no suffix
+            f"0x-{'1' * 32}-{'2' * 16}-01",  # non-hex version
+            f"00-{'g' * 32}-{'2' * 16}-01",  # non-hex trace id
+        ],
+    )
+    def test_rejects_malformed(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_future_version_with_suffix_parses(self):
+        header = f"01-{'1' * 32}-{'2' * 16}-01-whatever"
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "1" * 32
+
+    def test_uppercase_is_normalised(self):
+        header = f"00-{'A' * 32}-{'B' * 16}-01"
+        parsed = parse_traceparent(header)
+        assert parsed.trace_id == "a" * 32
+
+
+class TestThreadLocals:
+    def test_set_and_clear(self):
+        assert current_context() is None
+        context = TraceContext.mint()
+        set_context(context)
+        try:
+            assert current_context() is context
+        finally:
+            clear_context()
+        assert current_context() is None
+
+    def test_activate_restores_previous(self):
+        outer = TraceContext.mint()
+        inner = TraceContext.mint()
+        set_context(outer)
+        try:
+            with activate(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        finally:
+            clear_context()
+
+    def test_context_is_per_thread(self):
+        set_context(TraceContext.mint())
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(current_context())
+        )
+        try:
+            thread.start()
+            thread.join()
+        finally:
+            clear_context()
+        assert seen == [None]

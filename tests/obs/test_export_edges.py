@@ -1,0 +1,133 @@
+"""Prometheus exporter edge cases: +Inf, concurrency, label escaping."""
+
+import re
+import threading
+
+from repro.obs import MetricsRegistry, prometheus_text
+
+
+def _lines(registry):
+    return prometheus_text(registry).splitlines()
+
+
+class TestInfBucket:
+    def test_inf_bucket_always_emitted(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(0.1, 1.0))
+        [line] = [
+            line for line in _lines(registry) if 'le="+Inf"' in line
+        ]
+        assert line == 'h_bucket{le="+Inf"} 0'
+
+    def test_overflow_sample_lands_only_in_inf(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 5.0, buckets=(0.1, 1.0))
+        text = prometheus_text(registry)
+        assert 'h_bucket{le="0.1"} 0' in text
+        assert 'h_bucket{le="1"} 0' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_count 1" in text
+
+    def test_inf_bucket_equals_count(self):
+        registry = MetricsRegistry()
+        for value in (0.05, 0.5, 5.0, 50.0):
+            registry.observe("h", value, buckets=(0.1, 1.0, 10.0))
+        text = prometheus_text(registry)
+        inf = int(re.search(r'h_bucket\{le="\+Inf"\} (\d+)', text).group(1))
+        count = int(re.search(r"h_count (\d+)", text).group(1))
+        assert inf == count == 4
+
+    def test_boundary_value_is_cumulative_le(self):
+        # le is <=: a sample exactly on a bound counts in that bucket.
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0, buckets=(0.1, 1.0))
+        text = prometheus_text(registry)
+        assert 'h_bucket{le="1"} 1' in text
+
+
+class TestConcurrentObserve:
+    def test_sum_count_and_buckets_agree_under_contention(self):
+        registry = MetricsRegistry()
+        threads, per_thread, value = 8, 500, 0.5
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.observe("lat", value, buckets=(0.1, 1.0))
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        total = threads * per_thread
+        text = prometheus_text(registry)
+        assert f"lat_count {total}" in text
+        # 0.5 is exactly representable: the sum must be exact, not close.
+        assert float(re.search(r"lat_sum (\S+)", text).group(1)) == (
+            total * value
+        )
+        assert f'lat_bucket{{le="1"}} {total}' in text
+        assert f'lat_bucket{{le="+Inf"}} {total}' in text
+
+    def test_concurrent_mixed_instruments_expose_consistently(self):
+        registry = MetricsRegistry()
+
+        def hammer(index):
+            for _ in range(200):
+                registry.inc("events", worker=index)
+                registry.observe("lat", 0.01, buckets=(0.1,))
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        text = prometheus_text(registry)
+        counts = [
+            int(match)
+            for match in re.findall(r'events_total\{worker="\d"\} (\d+)', text)
+        ]
+        assert counts == [200, 200, 200, 200]
+        assert "lat_count 800" in text
+
+
+class TestLabelEscaping:
+    def test_backslash_newline_and_quote_in_one_family(self):
+        registry = MetricsRegistry()
+        hostile = 'back\\slash "quoted"\nnewline'
+        registry.inc("hits", path=hostile)
+        text = prometheus_text(registry)
+        # One logical sample line; the newline must be escaped, not real.
+        [sample] = [
+            line for line in text.splitlines() if line.startswith("hits_total")
+        ]
+        assert r"back\\slash" in sample
+        assert r"\"quoted\"" in sample
+        assert r"\nnewline" in sample
+        assert "\n" not in sample
+
+    def test_escaping_round_trips_per_exposition_rules(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", path='a\\b"c\nd')
+        [sample] = [
+            line
+            for line in prometheus_text(registry).splitlines()
+            if line.startswith("hits_total")
+        ]
+        rendered = re.search(r'path="((?:[^"\\]|\\.)*)"', sample).group(1)
+        unescaped = (
+            rendered.replace(r"\n", "\n")
+            .replace(r"\"", '"')
+            .replace("\\\\", "\\")
+        )
+        assert unescaped == 'a\\b"c\nd'
+
+    def test_plain_values_untouched(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", route="/v1/jobs/{id}")
+        assert 'hits_total{route="/v1/jobs/{id}"} 1' in prometheus_text(
+            registry
+        )

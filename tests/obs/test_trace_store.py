@@ -1,0 +1,198 @@
+"""TraceStore: assembly, merging of late job spans, tail-based retention."""
+
+from repro.obs import TraceStore, assemble_tree
+
+
+def span(name, span_id="", parent_id="", started=0.0, status="ok", **extra):
+    node = {
+        "name": name,
+        "wall_seconds": extra.pop("wall", 0.001),
+        "cpu_seconds": 0.0,
+        "status": status,
+        "started_at": started,
+    }
+    if span_id:
+        node["span_id"] = span_id
+    if parent_id:
+        node["parent_id"] = parent_id
+    node.update(extra)
+    return node
+
+
+class TestAssembleTree:
+    def test_orphans_stay_roots(self):
+        roots = assemble_tree([span("a"), span("b")])
+        assert [r["name"] for r in roots] == ["a", "b"]
+
+    def test_root_attaches_under_matching_span_id(self):
+        http = span("http.request", span_id="aa" * 8, started=1.0)
+        job = span("jobs.run", span_id="bb" * 8, parent_id="aa" * 8, started=2.0)
+        roots = assemble_tree([http, job])
+        assert len(roots) == 1
+        assert roots[0]["name"] == "http.request"
+        assert [c["name"] for c in roots[0]["children"]] == ["jobs.run"]
+
+    def test_attaches_into_nested_children(self):
+        parent = span("outer", span_id="aa" * 8, started=1.0)
+        parent["children"] = [span("inner", span_id="bb" * 8, started=1.5)]
+        late = span("late", span_id="cc" * 8, parent_id="bb" * 8, started=2.0)
+        roots = assemble_tree([parent, late])
+        inner = roots[0]["children"][0]
+        assert [c["name"] for c in inner["children"]] == ["late"]
+
+    def test_children_sorted_by_start_and_input_not_mutated(self):
+        http = span("http.request", span_id="aa" * 8, started=1.0)
+        first = span("early", span_id="bb" * 8, parent_id="aa" * 8, started=1.2)
+        second = span("late", span_id="cc" * 8, parent_id="aa" * 8, started=1.1)
+        sources = [http, first, second]
+        roots = assemble_tree(sources)
+        assert [c["name"] for c in roots[0]["children"]] == ["late", "early"]
+        assert "children" not in http  # deep-copied, not mutated
+
+
+class TestRecordAndMerge:
+    def test_record_then_get(self):
+        store = TraceStore(capacity=8)
+        store.record(
+            "t1",
+            request_id="req1",
+            route="/v1/explore",
+            method="POST",
+            status=200,
+            duration_seconds=0.25,
+            spans=[span("http.request", span_id="aa" * 8)],
+        )
+        trace = store.get("t1")
+        assert trace["trace_id"] == "t1"
+        assert trace["route"] == "/v1/explore"
+        assert trace["duration_ms"] == 250.0
+        assert trace["n_spans"] == 1
+        assert [r["name"] for r in trace["tree"]] == ["http.request"]
+        assert store.get("missing") is None
+
+    def test_late_job_spans_merge_and_count(self):
+        store = TraceStore(capacity=8)
+        store.record(
+            "t1", route="/v1/jobs", method="POST", status=202,
+            duration_seconds=0.01,
+            spans=[span("http.request", span_id="aa" * 8)],
+        )
+        store.add_spans(
+            "t1",
+            [span("jobs.run", span_id="bb" * 8, parent_id="aa" * 8, wall=0.5)],
+            job_id="job1",
+        )
+        trace = store.get("t1")
+        assert trace["n_jobs"] == 1
+        assert trace["n_spans"] == 2
+        # Job duration extends the trace duration (the async work
+        # outlives the 202 response).
+        assert trace["duration_ms"] >= 500.0
+        tree = trace["tree"]
+        assert len(tree) == 1
+        assert [c["name"] for c in tree[0]["children"]] == ["jobs.run"]
+
+    def test_job_spans_before_request_fall_through(self):
+        store = TraceStore(capacity=8)
+        store.add_spans("t-early", [span("jobs.run")], job_id="job1")
+        trace = store.get("t-early")
+        assert trace["n_jobs"] == 1
+        assert trace["request_id"] == "t-early"[:16]
+        # The request side arriving later claims the metadata.
+        store.record(
+            "t-early", route="/v1/jobs", method="POST", status=202,
+            duration_seconds=0.01, spans=[span("http.request")],
+        )
+        trace = store.get("t-early")
+        assert trace["route"] == "/v1/jobs"
+        assert trace["n_spans"] == 2
+
+    def test_error_span_marks_the_trace(self):
+        store = TraceStore(capacity=8)
+        store.record(
+            "t1", route="/v1/explore", status=200, duration_seconds=0.01,
+            spans=[span("http.request", status="error")],
+        )
+        assert store.get("t1")["error"] is True
+
+
+class TestRetention:
+    def test_plain_overflow_evicts_oldest(self):
+        store = TraceStore(capacity=3, keep_slowest=0)
+        for index in range(5):
+            store.record(f"t{index}", route="/r", duration_seconds=0.01)
+        assert len(store) == 3
+        assert store.get("t0") is None and store.get("t1") is None
+        assert store.get("t4") is not None
+        assert store.stats()["evicted"] == 2
+
+    def test_error_traces_survive_healthy_churn(self):
+        store = TraceStore(capacity=3, keep_slowest=0)
+        store.record("bad", route="/r", status=500, duration_seconds=0.01,
+                     error=True)
+        for index in range(6):
+            store.record(f"ok{index}", route="/r", duration_seconds=0.01)
+        assert store.get("bad") is not None
+
+    def test_slowest_per_route_survive(self):
+        store = TraceStore(capacity=3, keep_slowest=1)
+        store.record("slow", route="/r", duration_seconds=9.0)
+        for index in range(6):
+            store.record(f"fast{index}", route="/r", duration_seconds=0.001)
+        assert store.get("slow") is not None
+
+    def test_all_protected_falls_back_to_oldest(self):
+        store = TraceStore(capacity=2, keep_slowest=0)
+        for index in range(4):
+            store.record(f"e{index}", route="/r", status=500,
+                         duration_seconds=0.01, error=True)
+        assert len(store) == 2
+        assert store.get("e0") is None
+        assert store.get("e3") is not None
+
+
+class TestSummaries:
+    def _seed(self):
+        store = TraceStore(capacity=16)
+        store.record("a", route="/v1/explore", method="POST", status=200,
+                     duration_seconds=0.002)
+        store.record("b", route="/v1/jobs", method="POST", status=202,
+                     duration_seconds=0.5)
+        store.record("c", route="/v1/explore", method="POST", status=500,
+                     duration_seconds=1.5, error=True)
+        return store
+
+    def test_newest_first(self):
+        store = self._seed()
+        assert [t["trace_id"] for t in store.summaries()] == ["c", "b", "a"]
+
+    def test_route_filter(self):
+        store = self._seed()
+        assert [t["trace_id"] for t in store.summaries(route="/v1/jobs")] == [
+            "b"
+        ]
+
+    def test_min_duration_filter(self):
+        store = self._seed()
+        assert [
+            t["trace_id"] for t in store.summaries(min_duration_ms=400)
+        ] == ["c", "b"]
+
+    def test_errors_only(self):
+        store = self._seed()
+        assert [
+            t["trace_id"] for t in store.summaries(errors_only=True)
+        ] == ["c"]
+
+    def test_limit(self):
+        store = self._seed()
+        assert len(store.summaries(limit=2)) == 2
+
+    def test_stats_and_clear(self):
+        store = self._seed()
+        stats = store.stats()
+        assert stats["traces"] == 3
+        assert stats["errors"] == 1
+        assert stats["capacity"] == 16
+        store.clear()
+        assert len(store) == 0

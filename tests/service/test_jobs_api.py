@@ -307,6 +307,26 @@ class TestJobsCLI:
         assert main(["jobs", "list", *url]) == 0
         assert job_id in capsys.readouterr().out
 
+    def test_submit_wait_profile_prints_the_server_trace(
+        self, service, capsys
+    ):
+        server, client = service
+        code = main(
+            [
+                "jobs", "submit", "--frequency-points", "2", "--shards", "2",
+                "--wait", "--poll", "0.05", "--profile",
+                "--url", server.url,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile: server trace" in out
+        assert "trace " in out
+        assert "http.request" in out
+        assert "jobs.run" in out
+        assert out.count("jobs.shard") == 2
+        assert "jobs.merge" in out
+
     def test_cancel_and_error_exit_codes(self, gated_service, capsys):
         server, client, started, release = gated_service
         url = ["--url", server.url]

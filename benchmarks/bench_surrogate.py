@@ -1,0 +1,237 @@
+"""Benchmark SG1 — the surrogate solver's single-point answer path.
+
+Two acceptance claims for solver ``surrogate``:
+
+(a) **Answer-path speedup** — a warm surrogate answers a single
+    in-range optimize query at least 5x faster (p50) than the exact
+    numerical path it replaces: :func:`~repro.solvers.batch_numerical.
+    solve_points`, the bit-identical vectorized Brent port that labels
+    the training data and serves every gated fallback.  That ratio is
+    the price of a shut gate — a flagged point pays the surrogate *and*
+    the exact solve — and the dividend of an open one.
+
+(b) **Correctness at speed** — every trusted answer in the measured
+    sample is within 1% relative total power of the exact optimum
+    (the subsystem's acceptance bound; held-out calibration targets
+    0.4%).
+
+For context, the same points are also pushed through a live server as
+single-point ``POST /v1/optimize`` requests (solver ``surrogate`` vs
+``numerical``) and the end-to-end + server-side ``study.run`` p50s are
+reported.  Those numbers are dominated by HTTP framing and per-request
+bookkeeping shared by both solvers, which is why the gate is placed on
+the solver layer where the answer paths actually differ.
+
+Runs entirely in-process; ``REPRO_BENCH_SMOKE=1`` shrinks the sample.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import smoke_mode
+from repro.explore.scenario import FrequencyGrid, Scenario, demo_scenario
+from repro.service.client import ServiceClient
+from repro.service.server import ExplorationServer, ServiceConfig
+from repro.solvers import get_solver
+from repro.solvers.batch_numerical import solve_points
+from repro.surrogate import train_bundle
+from repro.surrogate.solver import METHOD as SURROGATE_METHOD
+
+#: Acceptance: surrogate p50 vs the exact path it replaces.
+MIN_SPEEDUP = 5.0
+
+#: Relative total-power error bound every trusted answer must meet.
+MAX_POWER_ERROR = 0.01
+
+#: Single-point queries sampled per solver (p50 over these).
+SAMPLE_POINTS = 12 if smoke_mode() else 50
+
+#: Frequency band of the sample — the heart of the trained range.
+FREQUENCY_BAND = (4e6, 6.4e7)
+
+
+def _sample_points():
+    """One point per frequency: a demo-base architecture on CMOS09-LL."""
+    base = demo_scenario(frequency_points=2)
+    frequencies = np.logspace(
+        np.log10(FREQUENCY_BAND[0]),
+        np.log10(FREQUENCY_BAND[1]),
+        SAMPLE_POINTS,
+    )
+    scenario = Scenario(
+        name="surrogate-bench",
+        architectures=base.architectures[:1],
+        technologies=base.technologies[:1],
+        frequencies=FrequencyGrid(values=tuple(float(f) for f in frequencies)),
+    )
+    return scenario.expand()
+
+
+def _p50_ms(samples) -> float:
+    return float(np.percentile(samples, 50) * 1e3)
+
+
+def _optimize_p50_ms(client, arch_payload, points, solver: str) -> float:
+    client.optimize(
+        arch_payload, "LL", points[0].frequency, solver=solver
+    )  # warm
+    samples = []
+    for point in points:
+        started = time.perf_counter()
+        record = client.optimize(
+            arch_payload, "LL", point.frequency, solver=solver
+        )
+        samples.append(time.perf_counter() - started)
+        assert record.feasible, record
+    return _p50_ms(samples)
+
+
+def _study_run_p50_ms(client, limit: int) -> float:
+    """Server-side evaluation time from the trace store (newest first)."""
+
+    def walk(nodes):
+        for node in nodes:
+            if node["name"] == "study.run":
+                return node["wall_seconds"]
+            found = walk(node.get("children", []))
+            if found is not None:
+                return found
+        return None
+
+    summaries = client._get(f"/v1/traces?route=/v1/optimize&limit={limit}")
+    samples = []
+    for summary in summaries["traces"][:limit]:
+        trace = client._get(f"/v1/traces/{summary['trace_id']}")["trace"]
+        wall = walk(trace["tree"])
+        if wall is not None:
+            samples.append(wall)
+    return _p50_ms(samples)
+
+
+def test_single_point_speedup_vs_exact_path(
+    save_artifact, record_benchmark, tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_SURROGATE_CACHE", str(tmp_path / "surrogate"))
+    bundle_path = tmp_path / "surrogate" / "default.npz"
+    monkeypatch.setenv("REPRO_SURROGATE_BUNDLE", str(bundle_path))
+
+    train_started = time.perf_counter()
+    train_bundle().bundle.save(bundle_path)
+    train_seconds = time.perf_counter() - train_started
+
+    points = _sample_points()
+    solver = get_solver("surrogate")
+    solver.invalidate()
+    solver.solve([points[0]])  # warm: load the bundle once, off the clock
+
+    # (a) the answer path, one point at a time, p50 over the band.
+    # Each path runs in its own homogeneous loop so the percentile
+    # reflects steady-state cost, not interleaving churn.
+    surrogate_samples, outcomes = [], []
+    for point in points:
+        started = time.perf_counter()
+        outcome = solver.solve([point])[0]
+        surrogate_samples.append(time.perf_counter() - started)
+        outcomes.append(outcome)
+    solve_points([points[0]])  # warm the exact path too
+    exact_samples = []
+    for point in points:
+        started = time.perf_counter()
+        solve_points([point])
+        exact_samples.append(time.perf_counter() - started)
+    surrogate_p50 = _p50_ms(surrogate_samples)
+    exact_p50 = _p50_ms(exact_samples)
+    speedup = exact_p50 / surrogate_p50
+
+    # (b) correctness of exactly those answers against the exact solver.
+    exact = solve_points(points)
+    trusted = [o.method == SURROGATE_METHOD for o in outcomes]
+    errors = [
+        abs(outcome.result.point.ptot - exact.ptot[index]) / exact.ptot[index]
+        for index, outcome in enumerate(outcomes)
+        if trusted[index]
+    ]
+    worst_error = max(errors) if errors else 0.0
+
+    # Context: the same queries over live HTTP, both solvers.
+    arch = points[0].architecture
+    arch_payload = {
+        "name": arch.name,
+        "n_cells": arch.n_cells,
+        "activity": arch.activity,
+        "logical_depth": arch.logical_depth,
+        "capacitance": arch.capacitance,
+        "io_factor": arch.io_factor,
+        "zeta_factor": arch.zeta_factor,
+    }
+    server = ExplorationServer(
+        ServiceConfig(port=0, workers=2, use_cache=False, telemetry=True)
+    )
+    server.start_background()
+    try:
+        client = ServiceClient(server.url, timeout=60.0)
+        http_surrogate = _optimize_p50_ms(
+            client, arch_payload, points, "surrogate"
+        )
+        served_surrogate = _study_run_p50_ms(client, len(points))
+        http_numerical = _optimize_p50_ms(
+            client, arch_payload, points, "numerical"
+        )
+        served_numerical = _study_run_p50_ms(client, len(points))
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    n_trusted = sum(trusted)
+    lines = [
+        "Benchmark SG1 — surrogate single-point answer path",
+        f"sample: {len(points)} points, "
+        f"{FREQUENCY_BAND[0]/1e6:g}-{FREQUENCY_BAND[1]/1e6:g} MHz, "
+        f"bundle trained in {train_seconds:.2f} s",
+        "",
+        f"{'surrogate answer p50 [ms]':<38} {surrogate_p50:>9.3f}",
+        f"{'exact path (solve_points) p50 [ms]':<38} {exact_p50:>9.3f}",
+        f"{'answer-path speedup':<38} {speedup:>8.1f}x",
+        f"{'trusted answers':<38} {n_trusted:>6}/{len(points)}",
+        f"{'worst trusted power error':<38} {worst_error:>9.2e}",
+        "",
+        "context (single-point POST /v1/optimize, warm):",
+        f"{'  surrogate end-to-end p50 [ms]':<38} {http_surrogate:>9.3f}",
+        f"{'  numerical end-to-end p50 [ms]':<38} {http_numerical:>9.3f}",
+        f"{'  surrogate server-side p50 [ms]':<38} {served_surrogate:>9.3f}",
+        f"{'  numerical server-side p50 [ms]':<38} {served_numerical:>9.3f}",
+        "-" * 50,
+        f"acceptance: >= {MIN_SPEEDUP:g}x answer-path speedup and every "
+        f"trusted answer within {MAX_POWER_ERROR:.0%}: "
+        f"{'PASS' if speedup >= MIN_SPEEDUP and worst_error <= MAX_POWER_ERROR else 'FAIL'}",
+    ]
+    save_artifact("bench_surrogate", "\n".join(lines))
+    record_benchmark(
+        "surrogate",
+        p50_surrogate_ms=round(surrogate_p50, 4),
+        p50_exact_ms=round(exact_p50, 4),
+        speedup=round(speedup, 2),
+        gate_floor=MIN_SPEEDUP,
+        points=len(points),
+        n_trusted=n_trusted,
+        worst_trusted_power_error=worst_error,
+        http_p50_surrogate_ms=round(http_surrogate, 4),
+        http_p50_numerical_ms=round(http_numerical, 4),
+        served_p50_surrogate_ms=round(served_surrogate, 4),
+        served_p50_numerical_ms=round(served_numerical, 4),
+        train_seconds=round(train_seconds, 3),
+    )
+
+    assert n_trusted == len(points), (
+        f"expected every in-band point trusted, got {n_trusted}/{len(points)}"
+    )
+    assert worst_error <= MAX_POWER_ERROR, (
+        f"trusted answer off by {worst_error:.2%} (> {MAX_POWER_ERROR:.0%})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"surrogate p50 {surrogate_p50:.3f} ms vs exact "
+        f"{exact_p50:.3f} ms: {speedup:.1f}x < {MIN_SPEEDUP:g}x"
+    )

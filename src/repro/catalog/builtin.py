@@ -142,6 +142,18 @@ def _register_solvers(catalog: Catalog) -> None:
             source=_SOURCE_SOLVERS,
         )
 
+    # The learned surrogate lives in its own subsystem; importing it here
+    # (not in repro.solvers) keeps the solvers ⇄ catalog graph acyclic.
+    from ..surrogate.solver import SURROGATE_SOLVER
+
+    _register(
+        namespace,
+        SURROGATE_SOLVER.name,
+        SURROGATE_SOLVER,
+        summary=SURROGATE_SOLVER.summary,
+        source="repro.surrogate",
+    )
+
 
 def _register_generators(catalog: Catalog) -> None:
     from functools import partial

@@ -66,6 +66,9 @@ OPTIONAL_FLOAT_COLUMNS = ("vdd", "vth", "pdyn", "pstat", "ptot")
 
 BOOL_COLUMNS = ("feasible",)
 
+#: Layout version of :meth:`ResultTable.save_npz` files.
+NPZ_SCHEMA_VERSION = 1
+
 
 def _record_cls() -> "type[PointResult]":
     # Late import: engine imports this module at top level, so the
@@ -307,6 +310,62 @@ class ResultTable:
             rows = payload.get("records", [])
         record = _record_cls()
         return cls.from_records([record.from_dict(row) for row in rows])
+
+    def save_npz(self, path) -> "Path":
+        """Write the table to one compressed ``.npz``, column per entry.
+
+        The binary twin of :meth:`to_payload_columns`: no JSON encode
+        cost, floats stay bit-exact (NaN marks infeasible), strings are
+        stored as fixed-width unicode arrays.  A ``__schema__`` entry
+        versions the layout for :meth:`load_npz`.
+        """
+        from pathlib import Path
+
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {
+            name: np.asarray(self.columns[name], dtype=np.str_)
+            for name in STRING_COLUMNS
+        }
+        for name in FLOAT_COLUMNS + OPTIONAL_FLOAT_COLUMNS + BOOL_COLUMNS:
+            arrays[name] = self.columns[name]
+        np.savez_compressed(
+            path, __schema__=np.int64(NPZ_SCHEMA_VERSION), **arrays
+        )
+        return path
+
+    @classmethod
+    def load_npz(cls, path) -> "ResultTable":
+        """Round-trip partner of :meth:`save_npz` (bit-exact floats)."""
+        from pathlib import Path
+
+        with np.load(Path(path)) as data:
+            if "__schema__" not in data:
+                raise ValueError(
+                    f"{path}: not a ResultTable npz (missing __schema__)"
+                )
+            if int(data["__schema__"]) != NPZ_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported ResultTable npz schema "
+                    f"{int(data['__schema__'])} (expected {NPZ_SCHEMA_VERSION})"
+                )
+            missing = [
+                name
+                for name in STRING_COLUMNS
+                + FLOAT_COLUMNS
+                + OPTIONAL_FLOAT_COLUMNS
+                + BOOL_COLUMNS
+                if name not in data
+            ]
+            if missing:
+                raise ValueError(f"{path}: missing columns {missing}")
+            columns: dict[str, np.ndarray] = {
+                name: np.array(data[name].tolist(), dtype=object)
+                for name in STRING_COLUMNS
+            }
+            for name in FLOAT_COLUMNS + OPTIONAL_FLOAT_COLUMNS:
+                columns[name] = np.asarray(data[name], dtype=float)
+            columns["feasible"] = np.asarray(data["feasible"], dtype=bool)
+        return cls(columns)
 
 
 class ResultRows(Sequence):

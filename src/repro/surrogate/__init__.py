@@ -1,0 +1,74 @@
+"""Learned surrogate solver subsystem.
+
+Amortized optimization for the paper's Eq. 1–13 problem: a small
+polynomial-ridge regressor (numpy baseline, optional sklearn fitter)
+predicts the normalised optimal supply ``Vdd*/Vdd_nominal`` from five
+sufficient features; threshold voltage and power then derive *exactly*
+from Eq. 5 and Eq. 1, and an analytic uncertainty gate routes anything
+out-of-range or off-optimum to the exact vectorized solver.  Registered
+in the catalog as solver ``"surrogate"`` — usable by name through
+:class:`~repro.study.Study`, ``/v1/optimize``, ``/v1/explore`` and jobs.
+
+Layers: :mod:`.features` (encoding + exact decode physics),
+:mod:`.model` (regressor), :mod:`.dataset` (seeded columnar training
+data + cache), :mod:`.bundle` (persisted model + card + gate),
+:mod:`.train` (fit/validate/calibrate) and :mod:`.solver` (the
+registered :class:`SurrogateSolver`).
+"""
+
+from .bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    PredictionArrays,
+    SurrogateBundle,
+    default_bundle_path,
+)
+from .dataset import (
+    DATASET_SCHEMA_VERSION,
+    DatasetSpec,
+    SurrogateDataset,
+    build_dataset,
+    load_or_build,
+    surrogate_cache_dir,
+)
+from .features import (
+    FEATURE_NAMES,
+    FeatureArrays,
+    features_for_columns,
+    features_for_points,
+)
+from .model import (
+    PolynomialRidgeModel,
+    available_backends,
+    fit_polynomial_ridge,
+    monomial_exponents,
+    sklearn_available,
+)
+from .solver import SURROGATE_SOLVER, SurrogateSolver
+from .train import TrainResult, evaluate_bundle, train_bundle
+
+__all__ = [
+    "BUNDLE_SCHEMA_VERSION",
+    "DATASET_SCHEMA_VERSION",
+    "DatasetSpec",
+    "FEATURE_NAMES",
+    "FeatureArrays",
+    "PolynomialRidgeModel",
+    "PredictionArrays",
+    "SURROGATE_SOLVER",
+    "SurrogateBundle",
+    "SurrogateDataset",
+    "SurrogateSolver",
+    "TrainResult",
+    "available_backends",
+    "build_dataset",
+    "default_bundle_path",
+    "evaluate_bundle",
+    "features_for_columns",
+    "features_for_points",
+    "fit_polynomial_ridge",
+    "load_or_build",
+    "monomial_exponents",
+    "sklearn_available",
+    "surrogate_cache_dir",
+    "train_bundle",
+]

@@ -1,0 +1,276 @@
+"""Persisted surrogate bundles: model arrays + JSON model card + gate.
+
+A bundle is one ``.npz``: the regressor's arrays next to a ``card_json``
+entry holding the model card — schema/library versions, fitter backend,
+dataset provenance (spec + content hash + split sizes), per-feature
+training ranges and per-output held-out error quantiles, plus the
+calibrated optimality-residual threshold.  The card is the contract a
+loaded bundle is judged against; ``repro surrogate info`` renders it.
+
+The **uncertainty gate** lives here because its thresholds are training
+artefacts.  A prediction is *trusted* only when every check passes:
+
+1. finite — the decoded (Vdd, Vth, Ptot) are all finite and positive;
+2. in-range — every feature inside the card's training min/max (the
+   model never extrapolates);
+3. span interior — ``Vdd*`` clear of the search-span ends by 1% of the
+   span, clear of the exact solver's boundary-pinned-infeasible zone;
+4. optimality — the analytic second-order excess estimate at most the
+   card's threshold, calibrated on held-out data so trusted points
+   meet the power-error tolerance (the estimate also rejects any point
+   without a nearby positive-curvature minimum).
+
+Everything else falls back to the exact vectorized solver — the ``auto``
+pattern: surrogate-fast or exact-correct, never silently wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__
+from ..core.numerical import DEFAULT_VDD_SPAN
+from .dataset import surrogate_cache_dir
+from .features import FeatureArrays, optimality_excess, power_split
+from .model import PolynomialRidgeModel
+
+__all__ = [
+    "BUNDLE_ENV",
+    "BUNDLE_SCHEMA_VERSION",
+    "GATE_BOUNDARY_FRACTION",
+    "PredictionArrays",
+    "SurrogateBundle",
+    "default_bundle_path",
+]
+
+#: Bump when the npz layout or the card structure changes incompatibly.
+BUNDLE_SCHEMA_VERSION = 1
+
+#: Environment override for the default bundle location.
+BUNDLE_ENV = "REPRO_SURROGATE_BUNDLE"
+
+#: Fraction of the Vdd search span treated as "too close to the
+#: boundary" — the exact solver declares optima pinned there infeasible,
+#: so the surrogate must not trust its own answers in that zone.
+GATE_BOUNDARY_FRACTION = 0.01
+
+#: Relative slack on the feature-range gate, covering round-trip float
+#: noise without admitting real extrapolation.
+_RANGE_SLACK = 1e-9
+
+
+def default_bundle_path() -> Path:
+    """``$REPRO_SURROGATE_BUNDLE`` or ``<cache>/default.npz``."""
+    override = os.environ.get(BUNDLE_ENV)
+    if override:
+        return Path(override)
+    return surrogate_cache_dir() / "default.npz"
+
+
+@dataclass(frozen=True)
+class PredictionArrays:
+    """Decoded predictions for one feature batch, gate applied."""
+
+    vdd: np.ndarray
+    vth: np.ndarray
+    pdyn: np.ndarray
+    pstat: np.ndarray
+    ptot: np.ndarray
+    excess: np.ndarray
+    trusted: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.vdd)
+
+    @property
+    def n_trusted(self) -> int:
+        return int(np.count_nonzero(self.trusted))
+
+    @property
+    def n_flagged(self) -> int:
+        return self.size - self.n_trusted
+
+
+@dataclass(frozen=True)
+class SurrogateBundle:
+    """A loaded model + card; ``feature_lo/hi`` mirror the card as arrays."""
+
+    model: PolynomialRidgeModel
+    card: dict
+    feature_lo: np.ndarray
+    feature_hi: np.ndarray
+    excess_threshold: float
+
+    def predict(self, feats: FeatureArrays) -> PredictionArrays:
+        """Decode ``y = Vdd*/Vdd_nominal`` into gated operating points."""
+        y = self.model.predict(feats.X)
+        vdd = y * feats.vdd_nominal
+        vth, pdyn, pstat, ptot = power_split(feats, vdd)
+        excess = optimality_excess(feats, vdd)
+
+        slack = _RANGE_SLACK * (
+            np.abs(self.feature_hi - self.feature_lo) + 1.0
+        )
+        in_range = np.all(
+            (feats.X >= self.feature_lo - slack)
+            & (feats.X <= self.feature_hi + slack),
+            axis=1,
+        )
+        vdd_lo = DEFAULT_VDD_SPAN[0] * feats.vdd_nominal
+        vdd_hi = DEFAULT_VDD_SPAN[1] * feats.vdd_nominal
+        margin = GATE_BOUNDARY_FRACTION * (vdd_hi - vdd_lo)
+        with np.errstate(invalid="ignore"):
+            trusted = (
+                in_range
+                & np.isfinite(vdd)
+                & np.isfinite(vth)
+                & np.isfinite(ptot)
+                & (ptot > 0.0)
+                & (vdd > vdd_lo + margin)
+                & (vdd < vdd_hi - margin)
+                & (excess <= self.excess_threshold)
+            )
+        return PredictionArrays(
+            vdd=vdd,
+            vth=vth,
+            pdyn=pdyn,
+            pstat=pstat,
+            ptot=ptot,
+            excess=excess,
+            trusted=trusted,
+        )
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            card_json=np.str_(json.dumps(self.card, sort_keys=True)),
+            feature_lo=self.feature_lo,
+            feature_hi=self.feature_hi,
+            **self.model.to_payload(),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "SurrogateBundle":
+        path = Path(path)
+        with np.load(path) as data:
+            if "card_json" not in data:
+                raise ValueError(f"{path}: not a surrogate bundle npz")
+            card = json.loads(str(data["card_json"]))
+            if card.get("schema") != BUNDLE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: bundle schema {card.get('schema')!r} != "
+                    f"{BUNDLE_SCHEMA_VERSION} (retrain with this version)"
+                )
+            model_meta = card["model"]
+            model = PolynomialRidgeModel.from_payload(
+                {key: data[key] for key in ("mean", "scale", "exponents", "weights")},
+                degree=model_meta["degree"],
+                ridge_lambda=model_meta["ridge_lambda"],
+                backend=model_meta["backend"],
+            )
+            return cls(
+                model=model,
+                card=card,
+                feature_lo=np.asarray(data["feature_lo"], dtype=float),
+                feature_hi=np.asarray(data["feature_hi"], dtype=float),
+                excess_threshold=float(
+                    card["validation"]["excess_threshold"]
+                ),
+            )
+
+    def describe(self) -> str:
+        """Human-readable model card (``repro surrogate info``)."""
+        card = self.card
+        model = card["model"]
+        dataset = card["dataset"]
+        validation = card["validation"]
+        lines = [
+            f"surrogate bundle (schema {card['schema']}, repro {card['version']})",
+            (
+                f"model: {model['kind']} degree={model['degree']} "
+                f"terms={model['n_terms']} lambda={model['ridge_lambda']:g} "
+                f"backend={model['backend']}"
+            ),
+            (
+                f"dataset: {dataset['n_train']} train / {dataset['n_val']} val "
+                f"/ {dataset['n_infeasible']} infeasible "
+                f"(seed {dataset['spec']['seed']}, key {dataset['key'][:12]}…)"
+            ),
+            (
+                f"gate: estimated excess <= "
+                f"{validation['excess_threshold']:.3e}, "
+                f"val trusted fraction "
+                f"{validation['trusted_fraction_val']:.3f}"
+            ),
+            "feature ranges (trained):",
+        ]
+        for name, lo, hi in zip(
+            card["features"]["names"],
+            card["features"]["lo"],
+            card["features"]["hi"],
+        ):
+            lines.append(f"  {name:>16s}: [{lo:.6g}, {hi:.6g}]")
+        lines.append(
+            "held-out relative error quantiles (trusted points):"
+        )
+        for output in ("vdd", "vth", "ptot"):
+            q = validation["errors"][output]
+            lines.append(
+                f"  {output:>6s}: q50={q['q50']:.2e} q90={q['q90']:.2e} "
+                f"q99={q['q99']:.2e} max={q['max']:.2e}"
+            )
+        return "\n".join(lines)
+
+
+def build_card(
+    *,
+    model: PolynomialRidgeModel,
+    dataset,
+    feature_names,
+    feature_lo: np.ndarray,
+    feature_hi: np.ndarray,
+    excess_threshold: float,
+    power_tolerance: float,
+    trusted_fraction_val: float,
+    errors: dict,
+) -> dict:
+    """Assemble the model-card dict (pure data; no timestamps so a
+    fixed ``--seed`` reproduces the bundle byte-for-byte)."""
+    return {
+        "schema": BUNDLE_SCHEMA_VERSION,
+        "version": __version__,
+        "model": {
+            "kind": "polynomial-ridge",
+            "degree": model.degree,
+            "ridge_lambda": model.ridge_lambda,
+            "backend": model.backend,
+            "n_terms": model.n_terms,
+        },
+        "dataset": {
+            "key": dataset.key,
+            "spec": dataset.spec.to_dict(),
+            "n_train": dataset.n_train,
+            "n_val": dataset.n_val,
+            "n_infeasible": dataset.n_infeasible,
+        },
+        "features": {
+            "names": list(feature_names),
+            "lo": [float(v) for v in feature_lo],
+            "hi": [float(v) for v in feature_hi],
+        },
+        "validation": {
+            "power_tolerance": float(power_tolerance),
+            "excess_threshold": float(excess_threshold),
+            "trusted_fraction_val": float(trusted_fraction_val),
+            "errors": errors,
+        },
+    }

@@ -1,0 +1,331 @@
+"""Training-data pipeline: sample → solve exactly → split → cache.
+
+Ground truth comes from :func:`repro.solvers.batch_numerical.
+solve_points` — the vectorized bit-identical port of the exact bounded
+Brent search — so every label is the *true* constrained optimum, not a
+linearised approximation.  That choice is what makes the gate's
+second-order excess estimate (:func:`~repro.surrogate.features.
+optimality_excess`) agree with the measured held-out error: both are
+distances to the same exact optimum.  The result lands in a columnar
+:class:`~repro.explore.columnar.ResultTable` over a seeded sample of
+the design space:
+
+* **architectures** — multiplicative log-uniform jitter of the demo
+  RCA/Wallace bases over (N, a, LD, C, io_factor).  ``zeta_factor``
+  stays fixed: it enters χ only through the ``LD·ζ_eff`` product, so
+  jittering it would re-cover exactly the axis the depth jitter spans.
+* **technologies** — the three published ST-CMOS09 anchors plus seeded
+  draws along :func:`~repro.core.technology.flavour_line`, giving the
+  categorical flavour axis a continuous, interpolatable encoding.
+* **frequencies** — a log grid spanning the service's working range.
+
+Everything downstream of the seed is deterministic: one
+``numpy.random.default_rng(seed)`` stream drives the jitter, the flavour
+draws and the train/validation permutation, in that order, which is what
+makes ``repro surrogate train --seed N`` bit-reproducible.
+
+Built datasets are cached as a single ``.npz`` keyed by the content hash
+of (spec, schema, library version) — same spec, same bytes, no rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .. import __version__
+from ..core.architecture import ArchitectureParameters
+from ..core.technology import flavour, flavour_line
+from ..explore.cache import content_hash
+from ..explore.columnar import (
+    BOOL_COLUMNS,
+    FLOAT_COLUMNS,
+    OPTIONAL_FLOAT_COLUMNS,
+    STRING_COLUMNS,
+    ResultTable,
+)
+from ..explore.scenario import FrequencyGrid, Scenario, demo_scenario
+from ..solvers.batch_numerical import METHOD as EXACT_METHOD
+from ..solvers.batch_numerical import solve_points
+from .features import FeatureArrays, features_for_columns
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DATASET_SCHEMA_VERSION",
+    "DatasetSpec",
+    "SurrogateDataset",
+    "build_dataset",
+    "load_or_build",
+    "surrogate_cache_dir",
+]
+
+#: Bump when the npz layout or the sampling procedure changes shape.
+DATASET_SCHEMA_VERSION = 1
+
+#: Environment override for the surrogate cache root (datasets and the
+#: default bundle both live under it).
+CACHE_DIR_ENV = "REPRO_SURROGATE_CACHE"
+
+
+def surrogate_cache_dir() -> Path:
+    """``$REPRO_SURROGATE_CACHE`` or ``~/.cache/repro/surrogate``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "surrogate"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Declarative, hashable description of one training dataset."""
+
+    seed: int = 0
+    architectures: int = 24
+    technologies: int = 12
+    frequencies: int = 28
+    frequency_start: float = 2e6
+    frequency_stop: float = 1.28e8
+    flavour_span: float = 1.2
+    jitter: float = 0.45
+    val_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.architectures < 1 or self.technologies < 1:
+            raise ValueError("spec needs at least one architecture/technology")
+        if self.frequencies < 2:
+            raise ValueError("spec needs at least two frequency points")
+        if not 0.0 < self.val_fraction < 1.0:
+            raise ValueError(
+                f"val_fraction must be in (0, 1), got {self.val_fraction}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.architectures * self.technologies * self.frequencies
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DatasetSpec":
+        return cls(**payload)
+
+    @property
+    def key(self) -> str:
+        """Content hash keying the dataset cache entry."""
+        return content_hash(
+            {
+                "spec": self.to_dict(),
+                "schema": DATASET_SCHEMA_VERSION,
+                "version": __version__,
+            }
+        )
+
+
+def _sample_architectures(
+    spec: DatasetSpec, rng: np.random.Generator
+) -> tuple[ArchitectureParameters, ...]:
+    bases = demo_scenario().architectures
+    sampled = []
+    for index in range(spec.architectures):
+        base = bases[index % len(bases)]
+        factor = np.exp(rng.uniform(-spec.jitter, spec.jitter, size=5))
+        sampled.append(
+            ArchitectureParameters(
+                name=f"surrogate-sample-{index}",
+                n_cells=float(base.n_cells * factor[0]),
+                activity=float(base.activity * factor[1]),
+                logical_depth=float(base.logical_depth * factor[2]),
+                capacitance=float(base.capacitance * factor[3]),
+                io_factor=float(base.io_factor * factor[4]),
+                zeta_factor=base.zeta_factor,
+            )
+        )
+    return tuple(sampled)
+
+
+def _sample_technologies(spec: DatasetSpec, rng: np.random.Generator):
+    anchors = [flavour("ULL"), flavour("LL"), flavour("HS")]
+    anchors = anchors[: spec.technologies]
+    extra = spec.technologies - len(anchors)
+    positions = rng.uniform(-spec.flavour_span, spec.flavour_span, size=extra)
+    return tuple(anchors) + tuple(flavour_line(float(t)) for t in positions)
+
+
+@dataclass(frozen=True)
+class SurrogateDataset:
+    """An evaluated sample with its feature matrix and held-out split.
+
+    ``train_indices``/``val_indices`` index *feasible* table rows only —
+    infeasible candidates carry no optimum to regress on (the solver's
+    gate, not the model, owns infeasibility at query time, via fallback).
+    """
+
+    spec: DatasetSpec
+    table: ResultTable
+    features: FeatureArrays
+    train_indices: np.ndarray
+    val_indices: np.ndarray
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def n_train(self) -> int:
+        return len(self.train_indices)
+
+    @property
+    def n_val(self) -> int:
+        return len(self.val_indices)
+
+    @property
+    def n_infeasible(self) -> int:
+        return int(len(self.table) - self.n_train - self.n_val)
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {
+            "X": self.features.X,
+            "acf": self.features.acf,
+            "feat_n_cells": self.features.n_cells,
+            "train_indices": self.train_indices,
+            "val_indices": self.val_indices,
+        }
+        for name in STRING_COLUMNS:
+            arrays[f"col_{name}"] = np.asarray(
+                self.table.columns[name], dtype=np.str_
+            )
+        for name in FLOAT_COLUMNS + OPTIONAL_FLOAT_COLUMNS + BOOL_COLUMNS:
+            arrays[f"col_{name}"] = self.table.columns[name]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            schema=np.int64(DATASET_SCHEMA_VERSION),
+            spec_json=np.str_(json.dumps(self.spec.to_dict(), sort_keys=True)),
+            **arrays,
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "SurrogateDataset":
+        with np.load(Path(path)) as data:
+            if "schema" not in data or int(data["schema"]) != DATASET_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: not a surrogate dataset npz "
+                    f"(schema {DATASET_SCHEMA_VERSION} expected)"
+                )
+            spec = DatasetSpec.from_dict(json.loads(str(data["spec_json"])))
+            columns: dict[str, np.ndarray] = {}
+            for name in STRING_COLUMNS:
+                columns[name] = np.array(
+                    data[f"col_{name}"].tolist(), dtype=object
+                )
+            for name in FLOAT_COLUMNS + OPTIONAL_FLOAT_COLUMNS + BOOL_COLUMNS:
+                columns[name] = data[f"col_{name}"]
+            features = FeatureArrays(
+                X=data["X"],
+                n_cells=data["feat_n_cells"],
+                acf=data["acf"],
+            )
+            return cls(
+                spec=spec,
+                table=ResultTable(columns),
+                features=features,
+                train_indices=data["train_indices"],
+                val_indices=data["val_indices"],
+            )
+
+
+def _exact_table(scenario: Scenario) -> ResultTable:
+    """Solve every candidate exactly, straight into a ResultTable."""
+    solution = solve_points(scenario.expand())
+    columns = scenario.expand_columns()
+    feasible = solution.feasible
+    method = np.where(feasible, EXACT_METHOD, "").astype(object)
+    return ResultTable(
+        {
+            "architecture": columns.arch_name,
+            "technology": columns.tech_name,
+            "method": method,
+            "reason": solution.reason,
+            "frequency": columns.frequency,
+            "n_cells": columns.n_cells,
+            "activity": columns.activity,
+            "logical_depth": columns.logical_depth,
+            "capacitance": columns.capacitance,
+            "area": columns.area,
+            "vdd": solution.vdd,
+            "vth": solution.vth,
+            "pdyn": solution.pdyn,
+            "pstat": solution.pstat,
+            "ptot": solution.ptot,
+            "feasible": feasible,
+        }
+    )
+
+
+def build_dataset(spec: DatasetSpec) -> SurrogateDataset:
+    """Sample, solve exactly and split one dataset."""
+    rng = np.random.default_rng(spec.seed)
+    scenario = Scenario(
+        name=f"surrogate-train-seed{spec.seed}",
+        description="seeded surrogate training sample",
+        architectures=_sample_architectures(spec, rng),
+        technologies=_sample_technologies(spec, rng),
+        frequencies=FrequencyGrid.logspace(
+            spec.frequency_start, spec.frequency_stop, spec.frequencies
+        ),
+    )
+    table = _exact_table(scenario)
+    features = features_for_columns(scenario.expand_columns())
+    feasible = np.flatnonzero(table.columns["feasible"])
+    if len(feasible) < 2:
+        raise ValueError(
+            f"dataset spec produced only {len(feasible)} feasible points; "
+            "widen the frequency range or lower the jitter"
+        )
+    permutation = rng.permutation(len(feasible))
+    n_val = max(1, int(round(spec.val_fraction * len(feasible))))
+    val = np.sort(feasible[permutation[:n_val]])
+    train = np.sort(feasible[permutation[n_val:]])
+    return SurrogateDataset(
+        spec=spec,
+        table=table,
+        features=features,
+        train_indices=train,
+        val_indices=val,
+    )
+
+
+def load_or_build(
+    spec: DatasetSpec,
+    *,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+) -> tuple[SurrogateDataset, bool]:
+    """The dataset for ``spec``, from cache when possible.
+
+    Returns ``(dataset, from_cache)``.  A corrupt or stale cache entry is
+    silently rebuilt — the content hash in the filename already rules out
+    spec/schema/version mismatches.
+    """
+    root = Path(cache_dir) if cache_dir is not None else surrogate_cache_dir()
+    path = root / "datasets" / f"{spec.key}.npz"
+    if use_cache and path.exists():
+        try:
+            return SurrogateDataset.load(path), True
+        except Exception:
+            pass
+    dataset = build_dataset(spec)
+    if use_cache:
+        try:
+            dataset.save(path)
+        except OSError:
+            pass  # read-only cache root: serve from memory
+    return dataset, False

@@ -1,0 +1,202 @@
+"""Polynomial ridge regression — numpy baseline, optional sklearn fitter.
+
+The baseline regressor is deliberately boring: standardise the five
+features, expand to all monomials of total degree ≤ ``degree`` and solve
+the ridge normal equations with one ``np.linalg.solve``.  On this
+problem (a smooth scalar map on a low-dimensional box) that matches far
+heavier models while staying stdlib+numpy, deterministic, and fast
+enough to retrain from scratch in well under a second.
+
+scikit-learn, when importable, is offered as an *alternative fitter*
+only: it solves the identical penalised least-squares on the identical
+design matrix and emits the same ``(exponents, weights)`` payload, so
+persisted bundles are backend-agnostic — a bundle trained with sklearn
+loads and predicts on a box that has never seen sklearn.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "PolynomialRidgeModel",
+    "available_backends",
+    "fit_polynomial_ridge",
+    "monomial_exponents",
+    "sklearn_available",
+]
+
+#: Fitter backends, in preference order for ``available_backends``.
+BACKENDS = ("numpy", "sklearn")
+
+#: Features whose training standard deviation falls below this are held
+#: constant in the data (e.g. ``n_ut`` on a single-temperature dataset);
+#: their scale is pinned to 1 so standardisation never divides by zero.
+_SCALE_FLOOR = 1e-12
+
+
+def sklearn_available() -> bool:
+    """True when the optional scikit-learn backend is importable."""
+    try:
+        import sklearn.linear_model  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The fitter backends usable in this environment."""
+    return tuple(
+        b for b in BACKENDS if b != "sklearn" or sklearn_available()
+    )
+
+
+def monomial_exponents(n_features: int, degree: int) -> np.ndarray:
+    """Exponent matrix of all monomials with total degree ≤ ``degree``.
+
+    Deterministic order (degree-major, then lexicographic by feature
+    combination), row 0 the intercept — the persisted bundle stores this
+    matrix, so prediction never depends on regeneration order.
+    """
+    rows = []
+    for total in range(degree + 1):
+        for combo in itertools.combinations_with_replacement(
+            range(n_features), total
+        ):
+            exponents = [0] * n_features
+            for index in combo:
+                exponents[index] += 1
+            rows.append(exponents)
+    return np.array(rows, dtype=np.int64)
+
+
+#: Row-chunk size for design-matrix assembly: the broadcast temporary is
+#: ``chunk × terms × features`` doubles, kept a few MB at degree 6.
+_DESIGN_CHUNK = 1024
+
+
+def _design_matrix(Z: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    phi = np.empty((len(Z), len(exponents)))
+    for start in range(0, len(Z), _DESIGN_CHUNK):
+        stop = min(start + _DESIGN_CHUNK, len(Z))
+        phi[start:stop] = np.prod(
+            Z[start:stop, None, :] ** exponents[None, :, :], axis=2
+        )
+    return phi
+
+
+@dataclass(frozen=True)
+class PolynomialRidgeModel:
+    """A fitted standardise→expand→linear pipeline (pure arrays)."""
+
+    degree: int
+    ridge_lambda: float
+    backend: str
+    mean: np.ndarray
+    scale: np.ndarray
+    exponents: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.weights)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        Z = (X - self.mean) / self.scale
+        return _design_matrix(Z, self.exponents) @ self.weights
+
+    def to_payload(self) -> dict[str, np.ndarray]:
+        """The array payload persisted in a bundle npz."""
+        return {
+            "mean": self.mean,
+            "scale": self.scale,
+            "exponents": self.exponents,
+            "weights": self.weights,
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict,
+        *,
+        degree: int,
+        ridge_lambda: float,
+        backend: str,
+    ) -> "PolynomialRidgeModel":
+        return cls(
+            degree=int(degree),
+            ridge_lambda=float(ridge_lambda),
+            backend=str(backend),
+            mean=np.asarray(payload["mean"], dtype=float),
+            scale=np.asarray(payload["scale"], dtype=float),
+            exponents=np.asarray(payload["exponents"], dtype=np.int64),
+            weights=np.asarray(payload["weights"], dtype=float),
+        )
+
+
+def fit_polynomial_ridge(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    degree: int = 3,
+    ridge_lambda: float = 1e-9,
+    backend: str = "numpy",
+) -> PolynomialRidgeModel:
+    """Fit the polynomial ridge model on ``(X, y)``.
+
+    ``ridge_lambda`` is the per-sample penalty (the normal equations use
+    ``λ·n``); the intercept is never penalised.  ``backend="sklearn"``
+    requires scikit-learn and produces the same payload format.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if len(X) != len(y):
+        raise ValueError("X and y must be aligned")
+    if len(X) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    if ridge_lambda <= 0.0:
+        raise ValueError(f"ridge_lambda must be > 0, got {ridge_lambda}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+
+    mean = X.mean(axis=0)
+    deviation = X.std(axis=0)
+    scale = np.where(deviation > _SCALE_FLOOR, deviation, 1.0)
+    exponents = monomial_exponents(X.shape[1], degree)
+    phi = _design_matrix((X - mean) / scale, exponents)
+
+    if backend == "sklearn":
+        try:
+            from sklearn.linear_model import Ridge
+        except ImportError:
+            raise RuntimeError(
+                "backend='sklearn' requested but scikit-learn is not "
+                "installed; use backend='numpy' (same model, same payload)"
+            ) from None
+        fitter = Ridge(alpha=ridge_lambda * len(y), fit_intercept=False)
+        weights = np.asarray(fitter.fit(phi, y).coef_, dtype=float)
+    else:
+        penalty = np.eye(phi.shape[1]) * (ridge_lambda * len(y))
+        penalty[0, 0] = 0.0  # intercept stays unpenalised
+        weights = np.linalg.solve(phi.T @ phi + penalty, phi.T @ y)
+
+    return PolynomialRidgeModel(
+        degree=degree,
+        ridge_lambda=ridge_lambda,
+        backend=backend,
+        mean=mean,
+        scale=scale,
+        exponents=exponents,
+        weights=weights,
+    )

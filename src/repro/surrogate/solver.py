@@ -1,0 +1,183 @@
+"""The ``surrogate`` solver: O(1) learned answers, exact fallback.
+
+Mirrors the ``auto`` policy's shape at a different operating point:
+``auto`` trusts a *closed form* where its assumptions hold and re-solves
+flagged points exactly; ``surrogate`` trusts a *learned model* where its
+uncertainty gate passes and routes flagged points to the same vectorized
+exact solver.  Trusted outcomes are tagged ``method="surrogate"``;
+fallback outcomes reuse the engine's ``numerical-fallback`` tag, so
+:meth:`EvaluationStats.from_outcomes` reports the fallback rate with no
+new accounting and infeasibility reasons match the scalar solver's
+verbatim.
+
+The default bundle loads lazily (once, under a lock) from
+``$REPRO_SURROGATE_BUNDLE`` / the surrogate cache; when absent it is
+trained on the spot from the seeded default spec (~half a second, then
+cached), so ``Study(...).solver("surrogate")``, ``/v1/optimize`` and
+jobs all work by name with zero setup.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from threading import Lock
+from typing import Sequence
+
+from .. import obs
+from ..core.optimum import OperatingPoint, OptimizationResult
+from ..explore.engine import FALLBACK_METHOD, PointOutcome
+from ..solvers.base import SolverError, check_options
+from ..solvers.batch_numerical import solve_points
+from .bundle import SurrogateBundle, default_bundle_path
+from .features import features_for_points
+from .train import train_bundle
+
+__all__ = ["METHOD", "SURROGATE_SOLVER", "SurrogateSolver"]
+
+#: Method tag on operating points the model (not the fallback) produced.
+METHOD = "surrogate"
+
+
+class SurrogateSolver:
+    """Learned Vdd* predictor with uncertainty-gated exact fallback."""
+
+    name = "surrogate"
+    summary = (
+        "learned (Vdd*, Vth*, P*) predictor; uncertainty-gated exact fallback"
+    )
+
+    def __init__(self, bundle: SurrogateBundle | None = None) -> None:
+        self._pinned = bundle
+        self._lock = Lock()
+        self._bundles: dict[str, SurrogateBundle] = {}
+
+    def solve(
+        self, points: Sequence, jobs: int | None = None, **options
+    ) -> list[PointOutcome]:
+        check_options(self.name, options, ("bundle",))
+        points = list(points)
+        with obs.span("surrogate.solve", points=len(points)):
+            bundle = self._resolve_bundle(options.get("bundle"))
+            if not points:
+                return []
+            feats = features_for_points(points)
+            prediction = bundle.predict(feats)
+
+            outcomes: list[PointOutcome | None] = [None] * len(points)
+            flagged: list[int] = []
+            for index, point in enumerate(points):
+                if not prediction.trusted[index]:
+                    flagged.append(index)
+                    continue
+                operating_point = OperatingPoint(
+                    vdd=float(prediction.vdd[index]),
+                    vth=float(prediction.vth[index]),
+                    pdyn=float(prediction.pdyn[index]),
+                    pstat=float(prediction.pstat[index]),
+                    method=METHOD,
+                )
+                outcomes[index] = PointOutcome(
+                    point=point,
+                    result=OptimizationResult(
+                        architecture=point.architecture,
+                        technology=point.technology,
+                        frequency=point.frequency,
+                        point=operating_point,
+                    ),
+                    method=METHOD,
+                )
+
+            if flagged:
+                with obs.span("surrogate.fallback", points=len(flagged)):
+                    solution = solve_points([points[i] for i in flagged])
+                for position, index in enumerate(flagged):
+                    point = points[index]
+                    if solution.feasible[position]:
+                        operating_point = OperatingPoint(
+                            vdd=float(solution.vdd[position]),
+                            vth=float(solution.vth[position]),
+                            pdyn=float(solution.pdyn[position]),
+                            pstat=float(solution.pstat[position]),
+                            method=FALLBACK_METHOD,
+                        )
+                        outcomes[index] = PointOutcome(
+                            point=point,
+                            result=OptimizationResult(
+                                architecture=point.architecture,
+                                technology=point.technology,
+                                frequency=point.frequency,
+                                point=operating_point,
+                            ),
+                            method=FALLBACK_METHOD,
+                        )
+                    else:
+                        outcomes[index] = PointOutcome(
+                            point=point,
+                            result=None,
+                            reason=str(solution.reason[position]),
+                            method=FALLBACK_METHOD,
+                        )
+
+            obs.inc("surrogate.predictions", len(points) - len(flagged))
+            if flagged:
+                obs.inc("surrogate.fallbacks", len(flagged))
+            return outcomes  # type: ignore[return-value]
+
+    # -- bundle resolution ---------------------------------------------
+    def _resolve_bundle(self, option) -> SurrogateBundle:
+        if option is None and self._pinned is not None:
+            return self._pinned
+        key = str(option) if option else ""
+        bundle = self._bundles.get(key)  # lock-free warm path
+        if bundle is not None:
+            return bundle
+        with self._lock:
+            bundle = self._bundles.get(key)
+            if bundle is not None:
+                return bundle
+            started = time.perf_counter()
+            with obs.span("surrogate.load", explicit=bool(option)):
+                bundle = self._load_bundle(option)
+            self._bundles[key] = bundle
+            obs.inc("surrogate.loads")
+            obs.observe(
+                "surrogate.load_seconds", time.perf_counter() - started
+            )
+            return bundle
+
+    def _load_bundle(self, option) -> SurrogateBundle:
+        if option:
+            path = Path(option)
+            if not path.exists():
+                raise SolverError(
+                    f"surrogate: bundle not found: {path} "
+                    "(run `repro surrogate train --out ...` first)"
+                )
+            try:
+                return SurrogateBundle.load(path)
+            except Exception as error:
+                raise SolverError(
+                    f"surrogate: failed to load bundle {path}: {error}"
+                ) from error
+        path = default_bundle_path()
+        if path.exists():
+            try:
+                return SurrogateBundle.load(path)
+            except Exception:
+                pass  # stale schema / corrupt file: retrain below
+        bundle = train_bundle().bundle
+        try:
+            bundle.save(path)
+        except OSError:
+            pass  # read-only cache: keep the in-memory bundle
+        return bundle
+
+    def invalidate(self) -> None:
+        """Drop memoised bundles (tests; after an external retrain)."""
+        with self._lock:
+            self._bundles.clear()
+
+
+#: The instance the catalog registers as solver ``surrogate``.
+SURROGATE_SOLVER = SurrogateSolver()

@@ -91,6 +91,43 @@ class TestResultTable:
         records = list(mixed_table.rows())
         assert ResultTable.from_records(records).rows() == records
 
+    def test_npz_round_trip_is_bit_exact(self, mixed_table, tmp_path):
+        path = mixed_table.save_npz(tmp_path / "table.npz")
+        rebuilt = ResultTable.load_npz(path)
+        assert rebuilt.rows() == mixed_table.rows()
+        for name, column in mixed_table.columns.items():
+            if column.dtype == object:
+                assert list(rebuilt.columns[name]) == list(column)
+            else:
+                # Bit-exact floats, NaN infeasibility markers included.
+                assert rebuilt.columns[name].tobytes() == column.tobytes()
+
+    def test_npz_round_trip_of_an_empty_table(self, tmp_path):
+        empty = ResultTable.from_records([])
+        path = empty.save_npz(tmp_path / "empty.npz")
+        assert len(ResultTable.load_npz(path)) == 0
+
+    def test_load_npz_rejects_foreign_archives(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="missing __schema__"):
+            ResultTable.load_npz(path)
+
+    def test_load_npz_rejects_unknown_schema(self, mixed_table, tmp_path):
+        import numpy as np
+
+        from repro.explore.columnar import NPZ_SCHEMA_VERSION
+
+        path = mixed_table.save_npz(tmp_path / "table.npz")
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["__schema__"] = np.int64(NPZ_SCHEMA_VERSION + 1)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported"):
+            ResultTable.load_npz(path)
+
     def test_missing_column_rejected(self, mixed_table):
         columns = dict(mixed_table.columns)
         del columns["ptot"]

@@ -188,6 +188,15 @@ class TestErrorMapping:
         assert excinfo.value.status == 400
         assert excinfo.value.kind == "unknown-solver"
 
+    def test_unknown_solver_suggests_surrogate_on_optimize(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.optimize(ARCH, "LL", 31.25e6, solver="surogate")
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "unknown-solver"
+        assert "did you mean" in str(excinfo.value)
+        assert "surrogate" in str(excinfo.value)
+
     def test_bad_jobs_is_400(self, service):
         _, client = service
         scenario = demo_scenario(frequency_points=2)

@@ -1,0 +1,49 @@
+"""Surrogate-suite fixtures: isolated cache/bundle env + one small bundle.
+
+Every test in this package runs against a session-private surrogate
+cache root (datasets + default bundle), so nothing leaks into — or is
+polluted by — ``~/.cache/repro/surrogate``.  One small bundle is trained
+once per session and saved at the default path; tests exercising the
+registered ``surrogate`` solver load it instead of auto-training the
+full default spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.surrogate import DatasetSpec, SURROGATE_SOLVER, train_bundle
+from repro.surrogate.bundle import BUNDLE_ENV
+from repro.surrogate.dataset import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session")
+def surrogate_root(tmp_path_factory):
+    """The session-private cache root every test's env points at."""
+    return tmp_path_factory.mktemp("surrogate")
+
+
+@pytest.fixture(autouse=True)
+def surrogate_env(surrogate_root, monkeypatch):
+    """Redirect cache + default bundle into the session tmp dir."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(surrogate_root))
+    monkeypatch.setenv(BUNDLE_ENV, str(surrogate_root / "default.npz"))
+    SURROGATE_SOLVER.invalidate()
+    yield surrogate_root
+    SURROGATE_SOLVER.invalidate()
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    """A dataset small enough to build in milliseconds (240 candidates)."""
+    return DatasetSpec(seed=0, architectures=6, technologies=4, frequencies=10)
+
+
+@pytest.fixture(scope="session")
+def trained(small_spec, surrogate_root):
+    """One small bundle per session, persisted at the default path."""
+    result = train_bundle(
+        small_spec, degree=4, cache_dir=surrogate_root
+    )
+    result.bundle.save(surrogate_root / "default.npz")
+    return result

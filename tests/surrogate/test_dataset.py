@@ -1,0 +1,101 @@
+"""Dataset pipeline: exact labels, seeded determinism, the npz cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.batch_numerical import METHOD as EXACT_METHOD
+from repro.surrogate import DatasetSpec, SurrogateDataset, build_dataset
+from repro.surrogate.dataset import load_or_build
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DatasetSpec(architectures=0)
+        with pytest.raises(ValueError, match="two frequency"):
+            DatasetSpec(frequencies=1)
+        with pytest.raises(ValueError, match="val_fraction"):
+            DatasetSpec(val_fraction=1.0)
+
+    def test_dict_round_trip(self, small_spec):
+        assert DatasetSpec.from_dict(small_spec.to_dict()) == small_spec
+
+    def test_key_tracks_the_spec(self, small_spec):
+        reseeded = DatasetSpec.from_dict(
+            {**small_spec.to_dict(), "seed": small_spec.seed + 1}
+        )
+        assert small_spec.key != reseeded.key
+        assert small_spec.key == DatasetSpec.from_dict(small_spec.to_dict()).key
+
+
+class TestBuild:
+    def test_seeded_build_is_deterministic(self, small_spec):
+        a = build_dataset(small_spec)
+        b = build_dataset(small_spec)
+        assert a.features.X.tobytes() == b.features.X.tobytes()
+        np.testing.assert_array_equal(a.train_indices, b.train_indices)
+        np.testing.assert_array_equal(
+            a.table.columns["ptot"], b.table.columns["ptot"]
+        )
+
+    def test_labels_come_from_the_exact_solver(self, small_spec):
+        dataset = build_dataset(small_spec)
+        feasible = dataset.table.columns["feasible"]
+        methods = set(dataset.table.columns["method"][feasible])
+        assert methods == {EXACT_METHOD}
+
+    def test_split_partitions_the_feasible_rows(self, small_spec):
+        dataset = build_dataset(small_spec)
+        train = set(dataset.train_indices.tolist())
+        val = set(dataset.val_indices.tolist())
+        feasible = set(
+            np.flatnonzero(dataset.table.columns["feasible"]).tolist()
+        )
+        assert train.isdisjoint(val)
+        assert train | val == feasible
+        assert dataset.n_val >= 1
+        assert dataset.n_train + dataset.n_val + dataset.n_infeasible == len(
+            dataset.table
+        )
+
+    def test_different_seed_moves_the_sample(self, small_spec):
+        other = DatasetSpec.from_dict(
+            {**small_spec.to_dict(), "seed": small_spec.seed + 1}
+        )
+        a, b = build_dataset(small_spec), build_dataset(other)
+        assert a.features.X.tobytes() != b.features.X.tobytes()
+
+
+class TestCache:
+    def test_round_trip_through_the_cache(self, small_spec, tmp_path):
+        built, hit_a = load_or_build(small_spec, cache_dir=tmp_path)
+        cached, hit_b = load_or_build(small_spec, cache_dir=tmp_path)
+        assert (hit_a, hit_b) == (False, True)
+        assert cached.features.X.tobytes() == built.features.X.tobytes()
+        np.testing.assert_array_equal(
+            cached.table.columns["reason"], built.table.columns["reason"]
+        )
+        np.testing.assert_array_equal(
+            cached.val_indices, built.val_indices
+        )
+        assert cached.spec == built.spec
+
+    def test_corrupt_entry_is_rebuilt(self, small_spec, tmp_path):
+        load_or_build(small_spec, cache_dir=tmp_path)
+        path = tmp_path / "datasets" / f"{small_spec.key}.npz"
+        path.write_bytes(b"not an npz")
+        rebuilt, from_cache = load_or_build(small_spec, cache_dir=tmp_path)
+        assert not from_cache
+        assert rebuilt.n_train > 0
+
+    def test_cache_disabled_never_writes(self, small_spec, tmp_path):
+        load_or_build(small_spec, cache_dir=tmp_path, use_cache=False)
+        assert not (tmp_path / "datasets").exists()
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a surrogate dataset"):
+            SurrogateDataset.load(path)

@@ -1,0 +1,106 @@
+"""The five-feature encoding: sufficiency, exactness, the excess signal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.explore.scenario import demo_scenario
+from repro.solvers.batch_numerical import solve_points
+from repro.surrogate import FEATURE_NAMES, FeatureArrays
+from repro.surrogate.features import (
+    features_for_columns,
+    features_for_points,
+    optimality_excess,
+    power_split,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return demo_scenario(frequency_points=6)
+
+
+@pytest.fixture(scope="module")
+def exact(scenario):
+    return solve_points(scenario.expand())
+
+
+class TestEncoding:
+    def test_points_and_columns_paths_agree(self, scenario):
+        by_points = features_for_points(scenario.expand())
+        by_columns = features_for_columns(scenario.expand_columns())
+        np.testing.assert_allclose(by_points.X, by_columns.X, rtol=1e-12)
+        np.testing.assert_allclose(by_points.acf, by_columns.acf, rtol=1e-12)
+        np.testing.assert_allclose(
+            by_points.n_cells, by_columns.n_cells, rtol=1e-12
+        )
+
+    def test_feature_matrix_is_finite_and_ordered(self, scenario):
+        feats = features_for_points(scenario.expand())
+        assert feats.X.shape == (scenario.size, len(FEATURE_NAMES))
+        assert np.isfinite(feats.X).all()
+        # Physics views invert the log columns.
+        np.testing.assert_allclose(np.log(feats.chi), feats.X[:, 0])
+        np.testing.assert_allclose(np.log(feats.load_ratio), feats.X[:, 1])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="feature matrix"):
+            FeatureArrays(
+                X=np.zeros((3, 2)), n_cells=np.zeros(3), acf=np.zeros(3)
+            )
+        with pytest.raises(ValueError, match="aligned"):
+            FeatureArrays(
+                X=np.zeros((3, len(FEATURE_NAMES))),
+                n_cells=np.zeros(2),
+                acf=np.zeros(3),
+            )
+
+
+class TestPhysicsDecode:
+    def test_power_split_matches_exact_solver(self, scenario, exact):
+        """Given the exact Vdd*, the decode reproduces the exact answer."""
+        feats = features_for_points(scenario.expand())
+        feasible = exact.feasible
+        vth, pdyn, pstat, ptot = power_split(feats, exact.vdd)
+        np.testing.assert_allclose(
+            vth[feasible], exact.vth[feasible], rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            pdyn[feasible], exact.pdyn[feasible], rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            pstat[feasible], exact.pstat[feasible], rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            ptot[feasible], exact.ptot[feasible], rtol=1e-9
+        )
+
+
+class TestOptimalityExcess:
+    def test_near_zero_at_the_exact_optimum(self, scenario, exact):
+        feats = features_for_points(scenario.expand())
+        excess = optimality_excess(feats, exact.vdd)
+        assert np.all(excess[exact.feasible] < 1e-6)
+
+    def test_tracks_the_measured_excess_off_optimum(self, scenario, exact):
+        """Second-order estimate ≈ the true power excess for small errors."""
+        feats = features_for_points(scenario.expand())
+        feasible = np.flatnonzero(exact.feasible)
+        vdd_off = exact.vdd.copy()
+        vdd_off[feasible] *= 1.02
+        estimated = optimality_excess(feats, vdd_off)[feasible]
+        _, _, _, ptot_off = power_split(feats, vdd_off)
+        measured = (
+            ptot_off[feasible] - exact.ptot[feasible]
+        ) / exact.ptot[feasible]
+        keep = np.isfinite(estimated) & (measured > 1e-9)
+        assert keep.sum() >= 10
+        ratio = estimated[keep] / measured[keep]
+        assert np.all(ratio > 0.5) and np.all(ratio < 2.0)
+
+    def test_infinite_where_no_nearby_minimum(self, scenario, exact):
+        feats = features_for_points(scenario.expand())
+        # Absurdly low supply: negative/complex constraint territory.
+        excess = optimality_excess(feats, np.full(feats.size, 1e-6))
+        assert np.all(~np.isfinite(excess) | (excess >= 0.0))

@@ -1,0 +1,106 @@
+"""The polynomial ridge regressor: exactness, determinism, backends."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.surrogate.model import (
+    BACKENDS,
+    PolynomialRidgeModel,
+    available_backends,
+    fit_polynomial_ridge,
+    monomial_exponents,
+    sklearn_available,
+)
+
+
+def _toy_data(n=400, seed=7):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n, 3))
+    y = 1.0 + 2.0 * X[:, 0] - 0.5 * X[:, 1] ** 2 + 0.25 * X[:, 0] * X[:, 2]
+    return X, y
+
+
+class TestExponents:
+    def test_count_is_binomial(self):
+        for n, d in [(3, 2), (5, 3), (5, 6)]:
+            assert len(monomial_exponents(n, d)) == comb(n + d, d)
+
+    def test_row_zero_is_the_intercept(self):
+        exponents = monomial_exponents(5, 4)
+        assert not exponents[0].any()
+        assert exponents.max() == 4
+
+
+class TestFit:
+    def test_recovers_a_polynomial_exactly(self):
+        X, y = _toy_data()
+        model = fit_polynomial_ridge(X, y, degree=2, ridge_lambda=1e-12)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-7)
+
+    def test_fit_is_deterministic(self):
+        X, y = _toy_data()
+        a = fit_polynomial_ridge(X, y, degree=3)
+        b = fit_polynomial_ridge(X, y, degree=3)
+        assert a.weights.tobytes() == b.weights.tobytes()
+        assert a.mean.tobytes() == b.mean.tobytes()
+
+    def test_payload_round_trip(self):
+        X, y = _toy_data()
+        model = fit_polynomial_ridge(X, y, degree=2)
+        clone = PolynomialRidgeModel.from_payload(
+            model.to_payload(),
+            degree=model.degree,
+            ridge_lambda=model.ridge_lambda,
+            backend=model.backend,
+        )
+        np.testing.assert_array_equal(clone.predict(X), model.predict(X))
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        X, y = _toy_data()
+        X = np.column_stack([X, np.full(len(X), 1.2)])
+        model = fit_polynomial_ridge(X, y, degree=2)
+        assert np.isfinite(model.predict(X)).all()
+        assert model.scale[-1] == 1.0
+
+    def test_validation_errors(self):
+        X, y = _toy_data(n=10)
+        with pytest.raises(ValueError, match="2-D"):
+            fit_polynomial_ridge(X[:, 0], y)
+        with pytest.raises(ValueError, match="aligned"):
+            fit_polynomial_ridge(X, y[:-1])
+        with pytest.raises(ValueError, match="empty"):
+            fit_polynomial_ridge(X[:0], y[:0])
+        with pytest.raises(ValueError, match="degree"):
+            fit_polynomial_ridge(X, y, degree=0)
+        with pytest.raises(ValueError, match="ridge_lambda"):
+            fit_polynomial_ridge(X, y, ridge_lambda=0.0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            fit_polynomial_ridge(X, y, backend="torch")
+
+
+class TestBackends:
+    def test_numpy_is_always_first(self):
+        assert available_backends()[0] == "numpy"
+        assert set(available_backends()) <= set(BACKENDS)
+
+    def test_sklearn_backend_matches_numpy(self):
+        pytest.importorskip("sklearn")
+        X, y = _toy_data()
+        numpy_fit = fit_polynomial_ridge(X, y, degree=3, backend="numpy")
+        sklearn_fit = fit_polynomial_ridge(X, y, degree=3, backend="sklearn")
+        np.testing.assert_allclose(
+            sklearn_fit.weights, numpy_fit.weights, rtol=1e-6, atol=1e-10
+        )
+        assert sklearn_fit.backend == "sklearn"
+
+    def test_missing_sklearn_raises_cleanly(self):
+        if sklearn_available():
+            pytest.skip("scikit-learn is installed in this environment")
+        assert available_backends() == ("numpy",)
+        X, y = _toy_data(n=10)
+        with pytest.raises(RuntimeError, match="scikit-learn"):
+            fit_polynomial_ridge(X, y, backend="sklearn")

@@ -1,0 +1,175 @@
+"""The registered ``surrogate`` solver: trusted-or-exact, never wrong."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.explore.engine import FALLBACK_METHOD
+from repro.explore.scenario import FrequencyGrid, Scenario, demo_scenario
+from repro.solvers import available_solvers, get_solver
+from repro.solvers.base import SolverError
+from repro.solvers.batch_numerical import solve_points
+from repro.study import Study
+from repro.surrogate import SurrogateSolver
+from repro.surrogate.solver import METHOD
+
+
+@pytest.fixture(scope="module")
+def demo_points():
+    return demo_scenario(frequency_points=6).expand()
+
+
+@pytest.fixture
+def pinned(trained):
+    """A solver pinned to the session bundle (no default-path loading)."""
+    return SurrogateSolver(bundle=trained.bundle)
+
+
+def _scenario(frequencies) -> Scenario:
+    base = demo_scenario(frequency_points=2)
+    return Scenario(
+        name="surrogate-test",
+        architectures=base.architectures,
+        technologies=base.technologies,
+        frequencies=FrequencyGrid(values=tuple(frequencies)),
+    )
+
+
+class TestRegistration:
+    def test_listed_in_the_catalog(self):
+        assert "surrogate" in available_solvers()
+
+    def test_resolves_by_name(self):
+        assert get_solver("surrogate").name == "surrogate"
+
+    def test_unknown_option_rejected(self, pinned, demo_points):
+        with pytest.raises(SolverError, match="unknown option"):
+            pinned.solve(demo_points[:2], typo=1)
+
+    def test_empty_input(self, pinned):
+        assert pinned.solve([]) == []
+
+
+class TestTrustedOrExact:
+    def test_every_answer_is_trusted_or_exact(self, pinned, demo_points):
+        """The subsystem's acceptance bound: a surrogate-tagged answer is
+        within 1% of the exact optimum's power; everything else IS the
+        exact answer (bit-identical fallback)."""
+        outcomes = pinned.solve(demo_points)
+        exact = solve_points(demo_points)
+        n_trusted = 0
+        for index, outcome in enumerate(outcomes):
+            if outcome.method == METHOD:
+                n_trusted += 1
+                assert outcome.result is not None
+                reference = exact.ptot[index]
+                assert exact.feasible[index]
+                error = abs(outcome.result.point.ptot - reference) / reference
+                assert error <= 0.01
+            else:
+                assert outcome.method == FALLBACK_METHOD
+                if exact.feasible[index]:
+                    assert outcome.result is not None
+                    assert outcome.result.point.vdd == exact.vdd[index]
+                    assert outcome.result.point.pstat == exact.pstat[index]
+                else:
+                    assert outcome.result is None
+                    assert outcome.reason == str(exact.reason[index])
+        assert n_trusted > 0  # the gate actually admits in-range points
+
+    def test_out_of_range_points_all_fall_back(self, pinned):
+        points = _scenario([1e5]).expand()  # below the trained range
+        outcomes = pinned.solve(points)
+        assert all(o.method == FALLBACK_METHOD for o in outcomes)
+
+    def test_infeasible_reasons_match_the_exact_solver(self, pinned):
+        points = _scenario([1e13]).expand()  # no closable timing anywhere
+        exact = solve_points(points)
+        assert not exact.feasible.any()
+        outcomes = pinned.solve(points)
+        for index, outcome in enumerate(outcomes):
+            assert outcome.result is None
+            assert outcome.reason == str(exact.reason[index])
+
+
+class TestThroughStudy:
+    def test_study_by_name_reports_fallbacks(self, trained):
+        scenario = _scenario([8e6, 1.6e7, 3.2e7])
+        result = (
+            Study.from_scenario(scenario)
+            .solver("surrogate")
+            .cached(None, enabled=False)
+            .run()
+        )
+        methods = [record.method for record in result.records]
+        n_surrogate = sum(m == METHOD for m in methods)
+        n_fallback = sum(m == FALLBACK_METHOD for m in methods)
+        assert n_surrogate > 0
+        assert result.stats.n_fallback == n_fallback
+        assert result.stats.n_candidates == scenario.size
+
+    def test_study_matches_numerical_within_tolerance(self, trained):
+        scenario = _scenario([8e6, 3.2e7])
+        surrogate = (
+            Study.from_scenario(scenario)
+            .solver("surrogate")
+            .cached(None, enabled=False)
+            .run()
+        )
+        numerical = (
+            Study.from_scenario(scenario)
+            .solver("numerical")
+            .cached(None, enabled=False)
+            .run()
+        )
+        for ours, reference in zip(surrogate.records, numerical.records):
+            assert ours.feasible == reference.feasible
+            if reference.feasible:
+                assert ours.ptot == pytest.approx(reference.ptot, rel=0.01)
+
+
+class TestBundleResolution:
+    def test_explicit_bundle_option(self, trained, tmp_path, demo_points):
+        path = trained.bundle.save(tmp_path / "explicit.npz")
+        solver = SurrogateSolver()
+        outcomes = solver.solve(demo_points[:6], bundle=str(path))
+        assert len(outcomes) == 6
+
+    def test_missing_explicit_bundle_raises(self, demo_points):
+        solver = SurrogateSolver()
+        with pytest.raises(SolverError, match="bundle not found"):
+            solver.solve(demo_points[:2], bundle="/nonexistent/bundle.npz")
+
+    def test_corrupt_explicit_bundle_raises(self, tmp_path, demo_points):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"garbage")
+        solver = SurrogateSolver()
+        with pytest.raises(SolverError, match="failed to load"):
+            solver.solve(demo_points[:2], bundle=str(path))
+
+    def test_default_path_load_is_memoised(self, trained, demo_points):
+        solver = SurrogateSolver()
+        registry = obs.enable(obs.MetricsRegistry())
+        try:
+            solver.solve(demo_points[:3])
+            solver.solve(demo_points[3:6])
+            counters = registry.snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters.get("surrogate.loads") == 1
+
+
+class TestMetrics:
+    def test_prediction_and_fallback_counters(self, pinned, demo_points):
+        registry = obs.enable(obs.MetricsRegistry())
+        try:
+            outcomes = pinned.solve(demo_points)
+            counters = registry.snapshot()["counters"]
+        finally:
+            obs.disable()
+        n_trusted = sum(o.method == METHOD for o in outcomes)
+        n_fallback = len(outcomes) - n_trusted
+        assert counters.get("surrogate.predictions", 0) == n_trusted
+        assert counters.get("surrogate.fallbacks", 0) == n_fallback

@@ -1,0 +1,112 @@
+"""Training, the calibrated gate, bundle persistence and the model card."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surrogate import (
+    BUNDLE_SCHEMA_VERSION,
+    DatasetSpec,
+    SurrogateBundle,
+    evaluate_bundle,
+    train_bundle,
+)
+from repro.surrogate.train import _relative_error
+
+
+class TestTraining:
+    def test_seeded_training_is_bit_reproducible(
+        self, small_spec, surrogate_root, tmp_path
+    ):
+        a = train_bundle(small_spec, degree=4, cache_dir=surrogate_root)
+        b = train_bundle(small_spec, degree=4, cache_dir=surrogate_root)
+        path_a = a.bundle.save(tmp_path / "a.npz")
+        path_b = b.bundle.save(tmp_path / "b.npz")
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_card_records_provenance(self, trained, small_spec):
+        card = trained.bundle.card
+        assert card["schema"] == BUNDLE_SCHEMA_VERSION
+        assert card["dataset"]["key"] == small_spec.key
+        assert card["dataset"]["spec"]["seed"] == small_spec.seed
+        assert card["model"]["kind"] == "polynomial-ridge"
+        assert card["features"]["names"] == [
+            "log_chi", "log_load_ratio", "alpha", "n_ut", "vdd_nominal",
+        ]
+        assert 0.0 < card["validation"]["trusted_fraction_val"] <= 1.0
+
+    def test_trusted_val_points_meet_the_power_tolerance(self, trained):
+        """The calibration contract: gate-passing held-out points are
+        within the tolerance the card advertises."""
+        bundle = trained.bundle
+        dataset = trained.dataset
+        val = dataset.val_indices
+        prediction = bundle.predict(dataset.features.take(val))
+        error = _relative_error(
+            prediction.ptot, dataset.table.columns["ptot"][val]
+        )
+        tolerance = bundle.card["validation"]["power_tolerance"]
+        assert prediction.n_trusted > 0
+        assert np.all(error[prediction.trusted] <= tolerance + 1e-12)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, trained, tmp_path):
+        path = trained.bundle.save(tmp_path / "bundle.npz")
+        loaded = SurrogateBundle.load(path)
+        assert loaded.card == trained.bundle.card
+        feats = trained.dataset.features.take(trained.dataset.val_indices)
+        np.testing.assert_array_equal(
+            loaded.predict(feats).vdd, trained.bundle.predict(feats).vdd
+        )
+        np.testing.assert_array_equal(
+            loaded.predict(feats).trusted,
+            trained.bundle.predict(feats).trusted,
+        )
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a surrogate bundle"):
+            SurrogateBundle.load(path)
+
+    def test_load_rejects_stale_schema(self, trained, tmp_path):
+        stale = SurrogateBundle(
+            model=trained.bundle.model,
+            card={**trained.bundle.card, "schema": BUNDLE_SCHEMA_VERSION + 1},
+            feature_lo=trained.bundle.feature_lo,
+            feature_hi=trained.bundle.feature_hi,
+            excess_threshold=trained.bundle.excess_threshold,
+        )
+        path = stale.save(tmp_path / "stale.npz")
+        with pytest.raises(ValueError, match="schema"):
+            SurrogateBundle.load(path)
+
+    def test_describe_renders_the_card(self, trained):
+        text = trained.bundle.describe()
+        assert "surrogate bundle" in text
+        assert "polynomial-ridge" in text
+        assert "log_chi" in text
+        assert "ptot" in text
+
+
+class TestEvaluate:
+    def test_report_on_a_fresh_seed(self, trained, surrogate_root):
+        report = evaluate_bundle(trained.bundle, cache_dir=surrogate_root)
+        trained_seed = trained.bundle.card["dataset"]["spec"]["seed"]
+        assert report["dataset"]["spec"]["seed"] == trained_seed + 1
+        assert report["trusted"] + report["flagged"] == report["points"]
+        assert 0.0 <= report["trusted_fraction"] <= 1.0
+        for output in ("vdd", "vth", "ptot"):
+            quantiles = report["errors_trusted"][output]
+            assert set(quantiles) == {"q50", "q90", "q99", "max"}
+
+    def test_explicit_spec_wins(self, trained, small_spec, surrogate_root):
+        spec = DatasetSpec.from_dict(
+            {**small_spec.to_dict(), "seed": 42}
+        )
+        report = evaluate_bundle(
+            trained.bundle, spec, cache_dir=surrogate_root
+        )
+        assert report["dataset"]["spec"]["seed"] == 42

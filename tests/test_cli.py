@@ -113,6 +113,26 @@ class TestExplore:
         assert "1008 candidates" in out
         assert "content hash" in out
 
+    def test_export_npz_round_trips(self, tmp_path, capsys):
+        from repro.explore.columnar import ResultTable
+
+        target = tmp_path / "sweep.npz"
+        code = main([
+            "explore", "--frequency-points", "3", "--jobs", "1",
+            "--no-cache", "--export", str(target),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"exported 72 records to {target}" in out
+        table = ResultTable.load_npz(target)
+        assert len(table) == 72
+
+    def test_export_bad_suffix_rejected_before_the_sweep(self, capsys):
+        code = main(["explore", "--export", "sweep.parquet"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert ".json, .csv or .npz" in err
+
 
 class TestProfile:
     def test_explore_profile_prints_spans_and_phases(self, tmp_path, capsys):

@@ -454,6 +454,14 @@ def _cmd_serve(args) -> int:
             slow_request_seconds=(
                 args.slow_threshold if args.slow_threshold > 0 else None
             ),
+            admission_queue=args.admission_queue,
+            admission_points=args.admission_points,
+            retry_after_seconds=args.retry_after,
+            shard_retries=args.shard_retries,
+            shard_timeout=(
+                args.shard_timeout if args.shard_timeout > 0 else None
+            ),
+            faults=args.faults,
         )
         server = ExplorationServer(config)
     except (ValueError, OSError) as error:
@@ -995,6 +1003,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-threshold", type=float, default=1.0, dest="slow_threshold",
         help="emit a structured slow_request log line for requests "
              "slower than this many seconds (0 disables; default 1.0)",
+    )
+    serve.add_argument(
+        "--admission-queue", type=int, default=16, dest="admission_queue",
+        help="requests allowed to wait for a worker beyond the pool "
+             "(excess sheds 429 with Retry-After; default 16)",
+    )
+    serve.add_argument(
+        "--admission-points", type=int, default=None, dest="admission_points",
+        help="total sweep points admitted concurrently before cost "
+             "shedding (503); default: unlimited",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, dest="retry_after",
+        help="Retry-After seconds advertised on shed responses "
+             "(default 1.0)",
+    )
+    serve.add_argument(
+        "--shard-retries", type=int, default=1, dest="shard_retries",
+        help="per-shard retry budget before a job shard is declared "
+             "poisoned (default 1)",
+    )
+    serve.add_argument(
+        "--shard-timeout", type=float, default=0.0, dest="shard_timeout",
+        help="watchdog seconds before a silent job shard is re-queued "
+             "(0 disables; default 0)",
+    )
+    serve.add_argument(
+        "--faults", default=None,
+        help="arm deterministic fault injection, e.g. "
+             "'seed=7; cache.read:p=0.5:corrupt; shard.run:n=2' "
+             "(also via REPRO_FAULTS; testing only)",
     )
     serve.add_argument(
         "-v", "--verbose", action="store_true", help="debug-level logging"

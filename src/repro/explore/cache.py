@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any
 
 from .. import obs
+from ..resilience import faults
 
 #: Bump whenever cached *results* could change — payload layout, model
 #: equations, fallback thresholds — so old entries miss instead of
@@ -61,13 +62,45 @@ class ResultCache:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.directory / f"{key}.json"
 
+    def quarantine_path_for(self, key: str) -> Path:
+        """Where a quarantined entry for ``key`` is moved aside to."""
+        return self.directory / f"{key}.quarantined"
+
+    def quarantine(self, key: str) -> bool:
+        """Move the entry for ``key`` aside so the next get recomputes.
+
+        Used when an entry turns out corrupt — torn JSON here, or a
+        payload the engine could not parse back into a table.  The file
+        is kept (renamed ``.quarantined``) for post-mortem rather than
+        deleted; returns True when something was actually moved.
+        """
+        path = self.path_for(key)
+        try:
+            os.replace(path, self.quarantine_path_for(key))
+        except OSError:
+            return False
+        obs.inc("cache.disk.quarantined")
+        return True
+
     def get(self, key: str) -> dict | None:
-        """The stored payload, or None on miss / unreadable entry."""
+        """The stored payload, or None on miss / quarantined entry.
+
+        A present-but-unreadable entry (torn write, disk error) is
+        quarantined — moved aside and recounted — instead of staying in
+        place to poison the key forever.
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+                text = handle.read()
+            if faults.active():
+                text = faults.mangle("cache.read", text)
+            payload = json.loads(text)
+        except FileNotFoundError:
+            obs.inc("cache.disk.misses")
+            return None
+        except (OSError, json.JSONDecodeError, faults.FaultError):
+            self.quarantine(key)
             obs.inc("cache.disk.misses")
             return None
         obs.inc("cache.disk.hits")
@@ -79,6 +112,7 @@ class ResultCache:
         Write-to-temp-then-rename so a crashed run never leaves a
         half-written (and therefore poisoned) entry behind.
         """
+        faults.check("cache.write")
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         descriptor, temp_name = tempfile.mkstemp(
@@ -123,10 +157,16 @@ class ResultCache:
                 total_bytes += path.stat().st_size
             except OSError:
                 pass
+        quarantined = (
+            len(list(self.directory.glob("*.quarantined")))
+            if self.directory.is_dir()
+            else 0
+        )
         return {
             "directory": str(self.directory),
             "entries": len(entries),
             "total_bytes": total_bytes,
+            "quarantined": quarantined,
         }
 
     def prune(self, max_entries: int) -> int:

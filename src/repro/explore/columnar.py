@@ -281,6 +281,25 @@ class ResultTable:
 
     @classmethod
     def from_payload_columns(cls, payload: Mapping[str, list]) -> "ResultTable":
+        """Rebuild from a field-name → value-list mapping, validating shape.
+
+        Raises ``ValueError`` on a missing column or ragged lengths so a
+        corrupt cache entry surfaces as one well-typed error the engine
+        can quarantine on, rather than a KeyError / broadcast error from
+        deep inside numpy.
+        """
+        missing = [
+            name for name in _field_names() if name not in payload
+        ]
+        if missing:
+            raise ValueError(
+                f"cache payload missing columns: {', '.join(missing)}"
+            )
+        lengths = {name: len(payload[name]) for name in _field_names()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(
+                f"cache payload columns are ragged: {lengths}"
+            )
         columns: dict[str, np.ndarray] = {}
         for name in STRING_COLUMNS:
             columns[name] = np.array(payload[name], dtype=object)

@@ -35,6 +35,7 @@ from typing import Any, ClassVar, Mapping, Sequence
 import numpy as np
 
 from .. import obs
+from ..resilience import current_deadline, faults
 from ..core.closed_form import closed_form_optimum
 from ..core.numerical import DEFAULT_VDD_SPAN
 from ..core.optimum import OperatingPoint, OptimizationResult
@@ -66,6 +67,15 @@ PARITY_RTOL = 1e-9
 PARITY_SAMPLES = 3
 
 EVALUATION_METHODS = ("auto", "closed-form", "numerical")
+
+#: Kernel sub-chunk size used *only when a deadline is active*: small
+#: enough that a breached budget is noticed within a fraction of a
+#: second of kernel work, large enough that splitting a technology
+#: group costs under the bench gate's 2% (smaller chunks lose batch
+#: amortisation in the vectorized kernel, not just the check itself).
+#: With no deadline the kernel runs each technology group in one shot,
+#: exactly as before — byte-identical results, zero overhead.
+DEADLINE_CHUNK_ROWS = 65536
 
 
 @dataclass(frozen=True)
@@ -486,6 +496,8 @@ def _evaluate_columns(
     spans when a tracer is active).
     """
     timer = timer if timer is not None else obs.PhaseTimer("engine")
+    deadline = current_deadline()
+    rows_done = 0
     n = columns.n
     vdd = np.full(n, np.nan)
     vth = np.full(n, np.nan)
@@ -504,42 +516,64 @@ def _evaluate_columns(
             indices = np.flatnonzero(columns.tech_index == tech_position)
             if not indices.size:
                 continue
-            batch = closed_form_batch(
-                tech, **batch_arrays_for_columns(columns, indices)
-            )
-            trusted = batch.feasible & ~batch.needs_fallback
-            keep = batch.feasible if method == "closed-form" else trusted
-            kept = indices[keep]
-            vdd[kept] = batch.vdd[keep]
-            vth[kept] = batch.vth[keep]
-            pdyn[kept] = batch.pdyn[keep]
-            pstat[kept] = batch.pstat[keep]
-            ptot[kept] = batch.ptot[keep]
-            feasible[kept] = True
-            if method == "closed-form":
-                for position, index in zip(
-                    np.flatnonzero(~batch.feasible).tolist(),
-                    indices[~batch.feasible].tolist(),
-                ):
-                    reason[index] = _closed_form_reason_values(
-                        columns.arch_name[index],
-                        float(batch.margin[position]),
-                        float(batch.log_argument[position]),
-                    )
+            if deadline is None:
+                # No deadline: one shot per technology group, the exact
+                # pre-resilience path (byte-identical, zero overhead).
+                chunks = (indices,)
             else:
-                flagged[indices[~trusted]] = True
-            if parity_check:
-                _check_parity(
-                    _ColumnPoints(columns),
-                    batch,
-                    np.flatnonzero(trusted),
-                    indices[trusted],
+                chunks = tuple(
+                    indices[start : start + DEADLINE_CHUNK_ROWS]
+                    for start in range(0, indices.size, DEADLINE_CHUNK_ROWS)
                 )
+            for part in chunks:
+                if deadline is not None:
+                    deadline.check(
+                        "engine.kernel", rows_done=rows_done, rows_total=n
+                    )
+                batch = closed_form_batch(
+                    tech, **batch_arrays_for_columns(columns, part)
+                )
+                trusted = batch.feasible & ~batch.needs_fallback
+                keep = batch.feasible if method == "closed-form" else trusted
+                kept = part[keep]
+                vdd[kept] = batch.vdd[keep]
+                vth[kept] = batch.vth[keep]
+                pdyn[kept] = batch.pdyn[keep]
+                pstat[kept] = batch.pstat[keep]
+                ptot[kept] = batch.ptot[keep]
+                feasible[kept] = True
+                if method == "closed-form":
+                    for position, index in zip(
+                        np.flatnonzero(~batch.feasible).tolist(),
+                        part[~batch.feasible].tolist(),
+                    ):
+                        reason[index] = _closed_form_reason_values(
+                            columns.arch_name[index],
+                            float(batch.margin[position]),
+                            float(batch.log_argument[position]),
+                        )
+                else:
+                    flagged[part[~trusted]] = True
+                if parity_check:
+                    _check_parity(
+                        _ColumnPoints(columns),
+                        batch,
+                        np.flatnonzero(trusted),
+                        part[trusted],
+                    )
+                rows_done += int(part.size)
 
     if flagged.any():
         from ..solvers.batch_numerical import solve_batch
 
         flagged_indices = np.flatnonzero(flagged)
+        if deadline is not None:
+            deadline.check(
+                "engine.fallback",
+                rows_done=rows_done,
+                rows_total=n,
+                fallback_points=int(flagged_indices.size),
+            )
         with timer.phase("fallback", points=int(flagged_indices.size)):
             solution = solve_batch(_fallback_task(columns, flagged_indices))
         vdd[flagged_indices] = solution.vdd
@@ -783,19 +817,34 @@ def explore(
             with timer.phase("cache_read"):
                 stored = cache.get(key)
             if stored is not None:
-                table = ResultTable.from_cache_payload(stored)
-                obs.inc("engine.runs", method=method, outcome="cache_hit")
-                return ExplorationResult(
-                    scenario=scenario,
-                    method=method,
-                    points=table.rows(),
-                    stats=EvaluationStats.from_dict(stored["stats"]),
-                    cache_hit=True,
-                    cache_key=key,
-                    cache_path=cache.path_for(key),
-                    parity_checked=bool(stored.get("parity_checked", False)),
-                    table=table,
-                )
+                try:
+                    table = ResultTable.from_cache_payload(stored)
+                    stats = EvaluationStats.from_dict(stored["stats"])
+                except (KeyError, ValueError, TypeError):
+                    # The entry parsed as JSON but is not a result we
+                    # can trust: quarantine it and recompute, the same
+                    # contract as a torn file.
+                    quarantine = getattr(cache, "quarantine", None)
+                    if quarantine is not None:
+                        quarantine(key)
+                    stored = None
+                else:
+                    obs.inc(
+                        "engine.runs", method=method, outcome="cache_hit"
+                    )
+                    return ExplorationResult(
+                        scenario=scenario,
+                        method=method,
+                        points=table.rows(),
+                        stats=stats,
+                        cache_hit=True,
+                        cache_key=key,
+                        cache_path=cache.path_for(key),
+                        parity_checked=bool(
+                            stored.get("parity_checked", False)
+                        ),
+                        table=table,
+                    )
 
         started = time.perf_counter()
         table = evaluate_table(
@@ -811,17 +860,24 @@ def explore(
         cache_path = None
         if use_cache:
             with timer.phase("cache_write"):
-                cache_path = cache.put(
-                    key,
-                    {
-                        "schema": CACHE_SCHEMA_VERSION,
-                        "method": method,
-                        "scenario": scenario.to_dict(),
-                        "stats": stats.to_dict(),
-                        "parity_checked": parity_check and method != "numerical",
-                        "columns": table.to_payload_columns(),
-                    },
-                )
+                try:
+                    cache_path = cache.put(
+                        key,
+                        {
+                            "schema": CACHE_SCHEMA_VERSION,
+                            "method": method,
+                            "scenario": scenario.to_dict(),
+                            "stats": stats.to_dict(),
+                            "parity_checked": parity_check
+                            and method != "numerical",
+                            "columns": table.to_payload_columns(),
+                        },
+                    )
+                except (OSError, faults.FaultError):
+                    # A failed cache write must not fail the sweep: the
+                    # result is already computed and correct.
+                    obs.inc("cache.disk.write_errors")
+                    cache_path = None
         # The returned stats carry the complete phase map (including
         # cache_write, which the stored payload necessarily cannot).
         stats = replace(stats, phases=dict(timer.phases))

@@ -30,10 +30,12 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import wait as futures_wait
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
 
 from .. import obs
+from ..resilience import Deadline, DeadlineExceeded, faults
 from ..explore.cache import CACHE_SCHEMA_VERSION, ResultCache, content_hash
 from ..explore.columnar import ResultTable
 from ..explore.engine import (
@@ -159,17 +161,37 @@ class JobManager:
         evaluate_shard: EvaluateShard | None = None,
         recover: bool = True,
         trace_store: "obs.TraceStore | None" = None,
+        max_shard_retries: int = 1,
+        shard_timeout: float | None = None,
+        allow_partial: bool = True,
     ) -> None:
+        if max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {shard_timeout}"
+            )
         self.store = store if isinstance(store, JobStore) else JobStore(store)
         self.cache = as_cache(cache)
         self.use_cache = use_cache
         self.coalescer = coalescer or Coalescer()
         self.pool = pool or WorkerPool()
+        #: Extra attempts a failing shard gets before it is poisoned.
+        self.max_shard_retries = max_shard_retries
+        #: Watchdog: with no shard finishing for this long, in-flight
+        #: shards are presumed hung, abandoned and re-queued.
+        self.shard_timeout = shard_timeout
+        #: When True, a job with poisoned shards still delivers the
+        #: merged surviving shards tagged ``partial=true``.
+        self.allow_partial = allow_partial
         # When set (the service passes its TraceStore), a job executed
         # on the dispatcher thread records its span tree here under the
         # submitting request's trace id — the cross-thread stitch.
         self.trace_store = trace_store
         self._evaluate_shard = evaluate_shard or self._explore_shard
+        self._submit_lock = threading.Lock()
         self._lock = threading.Lock()
         self._queue: deque[str] = deque()
         self._queue_cond = threading.Condition(self._lock)
@@ -186,17 +208,29 @@ class JobManager:
         solver: str = "auto",
         options: Mapping[str, Any] | None = None,
         shards: int | None = None,
+        idempotency_key: str = "",
+        deadline_ms: int | None = None,
     ) -> JobRecord:
         """Persist a new queued job and wake the dispatcher.
 
         Raises :class:`~repro.solvers.SolverError` on an unknown solver
         name and ``ValueError`` on a bad shard count — both before
         anything is persisted, so a rejected submit leaves no record.
+
+        With an ``idempotency_key``, resubmitting the same key returns
+        the already-known job instead of creating (and running) a
+        duplicate — the contract that makes client submit-retries safe.
+        ``deadline_ms`` bounds the job's execution; past it, remaining
+        shards are abandoned and the job fails (or completes partial).
         """
         if not isinstance(scenario, Scenario):
             scenario = Scenario.from_dict(dict(scenario))
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if deadline_ms is not None and deadline_ms < 1:
+            raise ValueError(
+                f"deadline_ms must be >= 1, got {deadline_ms}"
+            )
         options = dict(options or {})
         solver_obj = get_solver(solver)
         solver = solver_obj.name
@@ -215,19 +249,33 @@ class JobManager:
             if context is not None and self.trace_store is not None
             else None
         )
-        record = self.store.create(
-            scenario.to_dict(),
-            solver=solver,
-            options=options,
-            shards=shards,
-            trace=trace,
-            progress={
-                "shards_total": planned,
-                "shards_done": 0,
-                "points_total": scenario.size,
-                "points_done": 0,
-            },
-        )
+        # Dedup-check and create under one lock, so two racing retries
+        # of the same submit cannot both mint a job.  Deliberately NOT
+        # self._lock: that one doubles as the queue condition and
+        # _enqueue must be able to take it after this block.
+        with self._submit_lock:
+            if idempotency_key:
+                existing = self.store.find_by_idempotency_key(
+                    idempotency_key
+                )
+                if existing is not None:
+                    obs.inc("jobs.deduplicated")
+                    return existing
+            record = self.store.create(
+                scenario.to_dict(),
+                solver=solver,
+                options=options,
+                shards=shards,
+                trace=trace,
+                idempotency_key=idempotency_key,
+                deadline_ms=deadline_ms,
+                progress={
+                    "shards_total": planned,
+                    "shards_done": 0,
+                    "points_total": scenario.size,
+                    "points_done": 0,
+                },
+            )
         obs.inc("jobs.submitted", solver=solver)
         self._enqueue(record.id)
         return record
@@ -340,27 +388,39 @@ class JobManager:
         except JobCancelled:
             self.store.transition(job_id, "cancelled")
             obs.inc("jobs.cancelled")
+        except DeadlineExceeded as error:
+            obs.inc("jobs.deadline_breaches")
+            self.store.transition(
+                job_id, "failed", error=f"DeadlineExceeded: {error}"
+            )
+            obs.inc("jobs.failed")
         except Exception as error:  # noqa: BLE001 — the job failure boundary
             self.store.transition(
                 job_id, "failed", error=f"{type(error).__name__}: {error}"
             )
             obs.inc("jobs.failed")
         else:
+            partial = bool(getattr(result, "partial", False))
             self.store.write_result(
                 job_id, self._result_payload(result, coalesced)
             )
-            progress = self.store.get(job_id).progress
-            self.store.update_progress(
-                job_id,
-                shards_done=progress.get("shards_total", 1),
-                points_done=progress.get("points_total", len(result)),
-            )
+            if not partial:
+                # A full result completes the progress counters; a
+                # partial one keeps the honest shards_done/points_done
+                # the shard loop recorded.
+                progress = self.store.get(job_id).progress
+                self.store.update_progress(
+                    job_id,
+                    shards_done=progress.get("shards_total", 1),
+                    points_done=progress.get("points_total", len(result)),
+                )
             self.store.transition(
                 job_id,
                 "done",
                 stats=result.stats.to_dict() if result.stats else None,
                 cache_key=result.cache_key,
                 coalesced=coalesced,
+                partial=partial or None,
                 seconds=round(time.perf_counter() - started, 4),
             )
             obs.inc("jobs.completed", solver=record.solver)
@@ -402,6 +462,7 @@ class JobManager:
     ) -> tuple[ExplorationResult, float]:
         if cancel.is_set():
             raise JobCancelled(record_id)
+        faults.check("shard.run")
         # Adopt the dispatcher's tracer + context on this pool thread:
         # the shard span (and the engine phase spans beneath it) parent
         # under the job's ``jobs.run`` span instead of orphaning here.
@@ -437,52 +498,181 @@ class JobManager:
             if open_span is not None and open_span.span_id:
                 base = obs.current_context() or obs.TraceContext("", "")
                 shard_context = base.child(open_span.span_id)
-        futures = {
-            self.pool.submit(
+        deadline = (
+            Deadline.after(record.deadline_ms / 1000.0)
+            if record.deadline_ms
+            else None
+        )
+
+        def submit_one(shard: Shard):
+            return self.pool.submit(
                 self._run_shard,
                 record.id,
                 shard,
                 method,
                 cancel,
                 trace=(tracer, shard_context),
-            ): shard
-            for shard in shards
-        }
+            )
+
+        attempts = {shard.index: 1 for shard in shards}
+        pending = {submit_one(shard): shard for shard in shards}
         done: dict[int, tuple[Shard, ExplorationResult]] = {}
+        failures: dict[int, str] = {}
         points_done = 0
-        try:
-            for future in as_completed(futures):
-                shard = futures[future]
-                exploration, seconds = future.result()
-                done[shard.index] = (shard, exploration)
-                points_done += shard.n
-                obs.observe("jobs.shard_seconds", seconds)
-                self.store.update_progress(
-                    record.id, shards_done=len(done), points_done=points_done
-                )
+        last_progress = time.monotonic()
+
+        def retry_or_poison(shard: Shard, why: str, event: str) -> None:
+            """Give the shard another attempt within budget, else poison it."""
+            if attempts[shard.index] <= self.max_shard_retries:
+                attempts[shard.index] += 1
+                obs.inc("jobs.shard_retries")
                 self.store.add_event(
                     record.id,
-                    "shard",
+                    event,
                     shard=shard.index + 1,
                     of=shard.count,
-                    rows=shard.n,
-                    seconds=round(seconds, 4),
-                    cache_hit=exploration.cache_hit,
+                    attempt=attempts[shard.index],
+                    error=why,
                 )
+                pending[submit_one(shard)] = shard
+            else:
+                failures[shard.index] = why
+                obs.inc("jobs.shard_poisoned")
+                self.store.add_event(
+                    record.id,
+                    "shard_poisoned",
+                    shard=shard.index + 1,
+                    of=shard.count,
+                    attempts=attempts[shard.index],
+                    error=why,
+                )
+
+        try:
+            while pending:
+                timeouts = []
+                if self.shard_timeout is not None:
+                    timeouts.append(
+                        max(
+                            0.0,
+                            self.shard_timeout
+                            - (time.monotonic() - last_progress),
+                        )
+                    )
+                if deadline is not None:
+                    timeouts.append(max(0.0, deadline.remaining()))
+                finished, _ = futures_wait(
+                    set(pending), timeout=min(timeouts) if timeouts else None
+                )
+                if cancel.is_set():
+                    raise JobCancelled(record.id)
+                if not finished and deadline is not None and deadline.expired:
+                    # Budget spent: whatever is still in flight is
+                    # abandoned, and the shards it covered count as
+                    # failed for the partial-result decision below.
+                    obs.inc("jobs.deadline_breaches")
+                    self.store.add_event(
+                        record.id,
+                        "deadline",
+                        budget_ms=record.deadline_ms,
+                        shards_done=len(done),
+                        shards_abandoned=len(pending),
+                    )
+                    for future, shard in pending.items():
+                        future.cancel()
+                        failures[shard.index] = (
+                            f"deadline of {record.deadline_ms} ms exceeded"
+                        )
+                    pending.clear()
+                    break
+                if not finished:
+                    # Watchdog: nothing finished within shard_timeout.
+                    # The pool cannot kill a hung thread, so the futures
+                    # are abandoned (their eventual results discarded)
+                    # and the shards re-queued as fresh attempts.
+                    hung = list(pending.items())
+                    pending.clear()
+                    obs.inc("jobs.shard_watchdog_timeouts", len(hung))
+                    for future, shard in hung:
+                        future.cancel()
+                        retry_or_poison(
+                            shard,
+                            f"no progress for {self.shard_timeout:g}s "
+                            f"(presumed hung)",
+                            "shard_requeued",
+                        )
+                    last_progress = time.monotonic()
+                    continue
+                for future in finished:
+                    shard = pending.pop(future)
+                    try:
+                        exploration, seconds = future.result()
+                    except JobCancelled:
+                        raise
+                    except Exception as error:  # noqa: BLE001 — shard boundary
+                        retry_or_poison(
+                            shard,
+                            f"{type(error).__name__}: {error}",
+                            "shard_retry",
+                        )
+                        continue
+                    done[shard.index] = (shard, exploration)
+                    points_done += shard.n
+                    last_progress = time.monotonic()
+                    obs.observe("jobs.shard_seconds", seconds)
+                    self.store.update_progress(
+                        record.id,
+                        shards_done=len(done),
+                        points_done=points_done,
+                    )
+                    self.store.add_event(
+                        record.id,
+                        "shard",
+                        shard=shard.index + 1,
+                        of=shard.count,
+                        rows=shard.n,
+                        seconds=round(seconds, 4),
+                        cache_hit=exploration.cache_hit,
+                        attempt=attempts[shard.index],
+                    )
                 if cancel.is_set():
                     raise JobCancelled(record.id)
         except BaseException:
             # Abort everything not yet started; shards already running
             # finish on their pool thread and are simply discarded.
-            for future in futures:
+            for future in pending:
                 future.cancel()
             raise
 
-        pairs = [done[index] for index in range(len(shards))]
-        with obs.span("jobs.merge", job=record.id, shards=len(pairs)):
-            table = merge_tables(
-                [(shard, exploration.table) for shard, exploration in pairs]
+        if failures and not done:
+            first = failures[min(failures)]
+            raise JobError(
+                f"all {len(shards)} shards failed; first error: {first}"
             )
+        partial = bool(failures)
+        if partial and not self.allow_partial:
+            raise JobError(
+                f"{len(failures)} of {len(shards)} shards failed: "
+                + "; ".join(
+                    f"shard {index + 1}: {why}"
+                    for index, why in sorted(failures.items())
+                )
+            )
+
+        pairs = [done[index] for index in sorted(done)]
+        with obs.span("jobs.merge", job=record.id, shards=len(pairs)):
+            if partial:
+                # Surviving shards only: plain concatenation in shard
+                # order (the scatter path requires full row coverage).
+                table = merge_tables(
+                    [exploration.table for _, exploration in pairs]
+                )
+            else:
+                table = merge_tables(
+                    [
+                        (shard, exploration.table)
+                        for shard, exploration in pairs
+                    ]
+                )
             stats = merge_stats(
                 [exploration.stats for _, exploration in pairs],
                 elapsed_seconds=time.perf_counter() - started,
@@ -491,20 +681,34 @@ class JobManager:
             {**cache_key_payload(scenario), "method": method}
         )
         parity = all(exploration.parity_checked for _, exploration in pairs)
-        if self.use_cache:
-            # Under the inline explore() key, so a later inline request
-            # for the full scenario is a cache hit, not a re-run.
-            self.cache.put(
-                engine_key,
-                {
-                    "schema": CACHE_SCHEMA_VERSION,
-                    "method": method,
-                    "scenario": scenario.to_dict(),
-                    "stats": stats.to_dict(),
-                    "parity_checked": parity,
-                    "columns": table.to_payload_columns(),
-                },
+        if partial:
+            obs.inc("jobs.partial_results")
+            self.store.add_event(
+                record.id,
+                "partial",
+                shards_failed=sorted(
+                    index + 1 for index in failures
+                ),
+                shards_merged=len(pairs),
             )
+        if self.use_cache and not partial:
+            # Under the inline explore() key, so a later inline request
+            # for the full scenario is a cache hit, not a re-run.  A
+            # partial table must never be cached under the full key.
+            try:
+                self.cache.put(
+                    engine_key,
+                    {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "method": method,
+                        "scenario": scenario.to_dict(),
+                        "stats": stats.to_dict(),
+                        "parity_checked": parity,
+                        "columns": table.to_payload_columns(),
+                    },
+                )
+            except (OSError, faults.FaultError):
+                obs.inc("cache.disk.write_errors")
         return ResultSet(
             records=table.rows(),
             solver=solver.name,
@@ -512,6 +716,7 @@ class JobManager:
             stats=stats,
             cache_hit=False,
             cache_key=engine_key,
+            partial=partial,
         )
 
     def _produce_registry(
@@ -538,6 +743,8 @@ class JobManager:
             "coalesced": coalesced,
             "cache": {"hit": result.cache_hit, "key": result.cache_key},
         }
+        if getattr(result, "partial", False):
+            payload["partial"] = True
         if result.scenario is not None:
             payload["scenario"] = result.scenario.to_dict()
         if result.stats is not None:
@@ -636,6 +843,7 @@ class JobManager:
             stats=EvaluationStats.from_dict(stats) if stats else None,
             cache_hit=bool(cache.get("hit", False)),
             cache_key=str(cache.get("key", "")),
+            partial=bool(payload.get("partial", False)),
         )
 
     def job_result_response(self, job_id: str) -> tuple[ResultSet, bool]:

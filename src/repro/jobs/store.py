@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from .. import obs
+from ..resilience import faults
+
 __all__ = [
     "JOBS_DIR_ENV",
     "JobNotFound",
@@ -98,6 +101,14 @@ class JobRecord:
     #: ``{"trace_id": ..., "parent_id": ...}`` — the submitting
     #: request's trace and the span the job's tree parents under.
     trace: dict[str, Any] | None = None
+    #: Client-minted dedup key: resubmitting with the same key returns
+    #: this record instead of running the sweep twice.
+    idempotency_key: str = ""
+    #: End-to-end budget carried from the submitting request, if any.
+    deadline_ms: int | None = None
+    #: True when the job finished with some shards poisoned and the
+    #: merged result covers only the shards that succeeded.
+    partial: bool = False
 
     @property
     def terminal(self) -> bool:
@@ -125,6 +136,9 @@ class JobRecord:
             "stats": self.stats,
             "event_seq": self.event_seq,
             "trace": self.trace,
+            "idempotency_key": self.idempotency_key,
+            "deadline_ms": self.deadline_ms,
+            "partial": self.partial,
         }
 
     def to_payload(self) -> dict[str, Any]:
@@ -144,6 +158,7 @@ class JobRecord:
             "cache_key": self.cache_key,
             "stats": self.stats,
             "trace_id": (self.trace or {}).get("trace_id", ""),
+            "partial": self.partial,
         }
 
     @classmethod
@@ -180,20 +195,74 @@ class JobStore:
     def result_path_for(self, job_id: str) -> Path:
         return self.directory / f"{job_id}.result.json"
 
+    @staticmethod
+    def _backup_path_for(path: Path) -> Path:
+        # ``<id>.json.bak`` — outside the ``*.json`` glob on purpose.
+        return path.with_name(path.name + ".bak")
+
+    def _read_record(self, path: Path) -> JobRecord | None:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return JobRecord.from_dict(json.load(handle))
+        except (OSError, json.JSONDecodeError, TypeError, KeyError):
+            return None
+
+    def _recover_from_backup(self, path: Path) -> JobRecord | None:
+        """Torn record file: fall back to its last-good ``.bak`` twin.
+
+        The torn file is moved aside (``.corrupt``) for post-mortem and
+        the backup's state rewritten as current.  Losing the very last
+        mutation is fine — a lost progress tick re-runs; a lost terminal
+        write re-runs the job, which is idempotent through the result
+        cache — whereas trusting half a JSON file is not.
+        """
+        record = self._read_record(self._backup_path_for(path))
+        if record is None:
+            return None
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        try:
+            self._write(path, record.to_dict())
+        except (OSError, faults.FaultError):
+            pass
+        return record
+
     def _load(self) -> None:
         if not self.directory.is_dir():
             return
+        recovered = 0
         for path in sorted(self.directory.glob("*.json")):
             if path.name.endswith(".result.json"):
                 continue
-            try:
-                with path.open("r", encoding="utf-8") as handle:
-                    record = JobRecord.from_dict(json.load(handle))
-            except (OSError, json.JSONDecodeError, TypeError, KeyError):
-                continue
+            record = self._read_record(path)
+            if record is None:
+                record = self._recover_from_backup(path)
+                if record is None:
+                    continue
+                recovered += 1
             self._records[record.id] = record
+        # A crash between the backup rotation and the final rename
+        # leaves only ``<id>.json.bak``: restore those too.
+        for backup in sorted(self.directory.glob("*.json.bak")):
+            main = backup.with_name(backup.name[: -len(".bak")])
+            if main.exists():
+                continue
+            record = self._read_record(backup)
+            if record is None or record.id in self._records:
+                continue
+            try:
+                self._write(main, record.to_dict())
+            except (OSError, faults.FaultError):
+                pass
+            self._records[record.id] = record
+            recovered += 1
+        if recovered:
+            obs.inc("jobs.store.recovered", recovered)
 
-    def _write(self, path: Path, payload: Any) -> None:
+    def _write(self, path: Path, payload: Any, backup: bool = False) -> None:
+        faults.check("store.write")
         self.directory.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
@@ -201,6 +270,11 @@ class JobStore:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
+            if backup and path.exists():
+                # Keep the previous good state next to the new one, so
+                # a record torn by a crash or disk fault recovers to its
+                # last persisted state instead of vanishing.
+                os.replace(path, self._backup_path_for(path))
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -209,9 +283,23 @@ class JobStore:
                 pass
             raise
 
-    def _save_locked(self, record: JobRecord) -> None:
+    def _save_locked(self, record: JobRecord, advisory: bool = False) -> None:
+        """Persist ``record``; ``advisory`` saves tolerate write failure.
+
+        Progress ticks and event appends are advisory — the in-memory
+        record stays authoritative and the next successful save persists
+        the accumulated state — whereas creates and state transitions
+        must reach disk or raise.
+        """
         record.updated_at = time.time()
-        self._write(self.path_for(record.id), record.to_dict())
+        try:
+            self._write(
+                self.path_for(record.id), record.to_dict(), backup=True
+            )
+        except (OSError, faults.FaultError):
+            if not advisory:
+                raise
+            obs.inc("jobs.store.write_errors")
         self._version += 1
         self._cond.notify_all()
 
@@ -224,6 +312,8 @@ class JobStore:
         shards: int | None = None,
         progress: Mapping[str, int] | None = None,
         trace: Mapping[str, Any] | None = None,
+        idempotency_key: str = "",
+        deadline_ms: int | None = None,
     ) -> JobRecord:
         """Mint, persist and return a new ``queued`` job."""
         record = JobRecord(
@@ -236,6 +326,8 @@ class JobStore:
             created_at=time.time(),
             progress=dict(progress or {}),
             trace=dict(trace) if trace else None,
+            idempotency_key=idempotency_key,
+            deadline_ms=deadline_ms,
         )
         with self._lock:
             self._records[record.id] = record
@@ -261,6 +353,24 @@ class JobStore:
                 reverse=True,
             )
 
+    def find_by_idempotency_key(self, key: str) -> JobRecord | None:
+        """The newest job submitted with ``key``, or None.
+
+        Linear over the in-memory records — job counts are bounded by
+        prune policy, and dedup lookups happen once per submit.
+        """
+        if not key:
+            return None
+        with self._lock:
+            matches = [
+                record
+                for record in self._records.values()
+                if record.idempotency_key == key
+            ]
+        if not matches:
+            return None
+        return max(matches, key=lambda record: (record.created_at, record.id))
+
     def transition(
         self,
         job_id: str,
@@ -268,6 +378,7 @@ class JobStore:
         error: str = "",
         stats: Mapping[str, Any] | None = None,
         cache_key: str | None = None,
+        partial: bool | None = None,
         **event_fields: Any,
     ) -> JobRecord:
         """Move a job to ``state`` (persisting an event), and return it.
@@ -289,6 +400,8 @@ class JobStore:
                 record.stats = dict(stats)
             if cache_key is not None:
                 record.cache_key = cache_key
+            if partial is not None:
+                record.partial = bool(partial)
             self._append_event_locked(
                 record, {"event": "state", "state": state, **event_fields}
             )
@@ -300,7 +413,7 @@ class JobStore:
         with self._lock:
             record = self.get(job_id)
             self._append_event_locked(record, {"event": event, **fields})
-            self._save_locked(record)
+            self._save_locked(record, advisory=True)
             return record
 
     def _append_event_locked(
@@ -320,7 +433,7 @@ class JobStore:
             record.progress.update(
                 {name: int(value) for name, value in counters.items()}
             )
-            self._save_locked(record)
+            self._save_locked(record, advisory=True)
             return record
 
     # -- results -------------------------------------------------------------

@@ -91,6 +91,7 @@ __all__ = [
     "adopt",
     "assemble_tree",
     "clear_context",
+    "counter_total",
     "current_context",
     "current_tracer",
     "disable",
@@ -207,6 +208,25 @@ def snapshot() -> dict[str, Any]:
     else:
         payload.update({"counters": {}, "gauges": {}, "histograms": {}})
     return payload
+
+
+def counter_total(name: str) -> float:
+    """Sum of counter ``name`` across every label set (0.0 when off).
+
+    Snapshot keys are ``name`` for the unlabelled series and
+    ``name{label=value,...}`` for labelled ones; both count.  The chaos
+    suite uses this to assert "some fault fired" without caring which
+    site label it landed under.
+    """
+    counters = snapshot()["counters"]
+    prefix = name + "{"
+    return float(
+        sum(
+            value
+            for key, value in counters.items()
+            if key == name or key.startswith(prefix)
+        )
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""``repro.resilience`` — the cross-cutting degrade-gracefully layer.
+
+Three cooperating pieces, each usable on its own:
+
+* :mod:`.deadline` — cooperative end-to-end deadlines.  A client budget
+  (the ``X-Deadline-Ms`` header) becomes a :class:`Deadline` the server
+  activates thread-locally for the request; the engine checks it at
+  columnar chunk boundaries, the job manager at shard boundaries and
+  the coalescer while waiting on another request's flight, so a sweep
+  that cannot finish in budget stops early with a structured
+  :class:`DeadlineExceeded` (mapped to a 504 with partial-progress
+  info) instead of burning a worker to deliver an answer nobody is
+  waiting for.
+
+* :mod:`.admission` — bounded admission in front of the worker pool.
+  :class:`AdmissionController` sheds requests with a structured
+  :class:`AdmissionRejected` (429 queue-full / 503 cost-budget, both
+  carrying ``Retry-After``) once concurrent admissions or estimated
+  sweep cost exceed budget, so an overloaded server answers fast
+  instead of queueing work it cannot finish.
+
+* :mod:`.faults` — a deterministic, seedable fault-injection harness.
+  A :class:`FaultPlan` (parsed from ``REPRO_FAULTS`` or
+  ``repro serve --faults``) arms probability- or nth-call faults on
+  named sites (``cache.read``, ``cache.write``, ``shard.run``,
+  ``http.response``, ``store.write``); with no plan installed every
+  site is a single global-load-and-return, so production pays nothing.
+
+The package is stdlib-only and imports nothing from the engine or
+service layers — those layers import *it*, never the reverse.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController, AdmissionRejected
+from .deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    DeadlineExceeded,
+    active_deadline,
+    checkpoint,
+    current_deadline,
+)
+from .faults import (
+    FAULTS_ENV,
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    injected_faults,
+    install_faults,
+    uninstall_faults,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "DEADLINE_HEADER",
+    "Deadline",
+    "DeadlineExceeded",
+    "FAULTS_ENV",
+    "FAULT_SITES",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "active_deadline",
+    "checkpoint",
+    "current_deadline",
+    "injected_faults",
+    "install_faults",
+    "uninstall_faults",
+]

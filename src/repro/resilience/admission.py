@@ -1,0 +1,144 @@
+"""Bounded admission in front of the service's worker pool.
+
+An overloaded server has exactly one good answer: a fast, structured
+"not now" with a hint of when to come back.  Queueing unbounded work
+behind a busy pool converts overload into timeouts for *everyone*;
+:class:`AdmissionController` converts it into 429/503 + ``Retry-After``
+for the marginal request while admitted work finishes undisturbed.
+
+Two budgets, both optional:
+
+* **depth** — at most ``limit`` requests admitted concurrently
+  (running + waiting for a worker slot).  The ``limit + 1``-th request
+  is shed with status 429 (``queue-full``).
+* **cost** — when ``max_points`` is set, the sum of the admitted
+  requests' estimated sweep sizes may not exceed it.  A request that
+  would blow the budget while others are in flight is shed with status
+  503 (``cost-budget``).  An idle server always admits, whatever the
+  cost — a single huge sweep must stay *possible*, just not stackable.
+
+Shed/accept counters land in :mod:`repro.obs` (``admission.accepted``,
+``admission.shed`` labelled by reason) and :meth:`snapshot` feeds the
+health payload and scrape-time gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .. import obs
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(RuntimeError):
+    """A request was shed at admission; carries the HTTP contract."""
+
+    def __init__(
+        self,
+        message: str,
+        status: int,
+        reason: str,
+        retry_after: float,
+        depth: int,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
+        self.depth = depth
+
+
+class AdmissionController:
+    """Depth- and cost-bounded admission gate (a context manager per try).
+
+    ``limit`` counts concurrently admitted requests; ``max_points``
+    (optional) bounds their summed estimated cost; ``retry_after`` is
+    the hint (seconds) shed responses carry.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        max_points: int | None = None,
+        retry_after: float = 1.0,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        if max_points is not None and max_points < 1:
+            raise ValueError(
+                f"max_points must be >= 1 or None, got {max_points}"
+            )
+        if retry_after <= 0:
+            raise ValueError(
+                f"retry_after must be positive, got {retry_after}"
+            )
+        self.limit = limit
+        self.max_points = max_points
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._points = 0
+        self._accepted_total = 0
+        self._shed_total = 0
+
+    def _reject_locked(self, reason: str, status: int, cost: int) -> None:
+        self._shed_total += 1
+        obs.inc("admission.shed", reason=reason)
+        raise AdmissionRejected(
+            f"request shed ({reason}): {self._admitted} admitted"
+            + (f", {self._points}+{cost} points" if reason == "cost-budget" else "")
+            + f"; retry after {self.retry_after:g}s",
+            status=status,
+            reason=reason,
+            retry_after=self.retry_after,
+            depth=self._admitted,
+        )
+
+    @contextmanager
+    def admit(self, cost: int = 0) -> Iterator[None]:
+        """Admit this request for its whole run, or shed it right now.
+
+        Raises :class:`AdmissionRejected` without blocking — admission
+        never waits, that is the worker semaphore's job *after* a
+        request is admitted.
+        """
+        with self._lock:
+            if self._admitted >= self.limit:
+                self._reject_locked("queue-full", 429, cost)
+            if (
+                self.max_points is not None
+                and self._admitted > 0
+                and self._points + cost > self.max_points
+            ):
+                self._reject_locked("cost-budget", 503, cost)
+            self._admitted += 1
+            self._points += cost
+            self._accepted_total += 1
+        obs.inc("admission.accepted")
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._admitted -= 1
+                self._points -= cost
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted (running or waiting for a slot)."""
+        with self._lock:
+            return self._admitted
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "max_points": self.max_points,
+                "depth": self._admitted,
+                "points_in_flight": self._points,
+                "accepted": self._accepted_total,
+                "shed": self._shed_total,
+                "retry_after_seconds": self.retry_after,
+            }

@@ -1,0 +1,164 @@
+"""Cooperative end-to-end deadlines.
+
+A :class:`Deadline` is a monotonic-clock expiry plus the original
+budget.  It travels two ways:
+
+* **over the wire** as the ``X-Deadline-Ms`` request header (the client
+  sends its own timeout, so the server never works past the moment the
+  client hangs up), parsed by :meth:`Deadline.from_header`;
+* **within a process** through a thread-local set by
+  :func:`active_deadline`, so deep layers (the columnar kernel, the
+  coalescer's waiter path) read :func:`current_deadline` instead of
+  threading an argument through every signature.
+
+Checks are cooperative and cheap: long loops call
+:meth:`Deadline.check` (or the module-level :func:`checkpoint`) at
+natural chunk boundaries; an expired deadline raises
+:class:`DeadlineExceeded` carrying the site that noticed and a
+partial-progress snapshot, which the service maps to a structured 504.
+With no deadline active, :func:`checkpoint` is one thread-local read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "Deadline",
+    "DeadlineExceeded",
+    "active_deadline",
+    "checkpoint",
+    "current_deadline",
+]
+
+#: Request header carrying the client's remaining budget, in integer
+#: milliseconds.  Chosen over a float-seconds header so proxies and
+#: logs show one unambiguous unit.
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: Largest accepted budget: a week.  Anything bigger is a unit mistake
+#: (seconds pasted where milliseconds belong), not a real deadline.
+MAX_DEADLINE_MS = 7 * 24 * 3600 * 1000
+
+
+class DeadlineExceeded(RuntimeError):
+    """Work was stopped at a cooperative check because its budget ran out.
+
+    ``site`` names the checkpoint that noticed (``engine.kernel``,
+    ``jobs.shard``, ``coalesce.wait`` …); ``progress`` is whatever
+    partial-progress counters that site could cheaply report — the
+    service forwards both in the 504 body so a client knows how far the
+    work got, not just that it died.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: str = "",
+        budget_ms: float = 0.0,
+        progress: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.budget_ms = budget_ms
+        self.progress = dict(progress or {})
+
+
+class Deadline:
+    """A monotonic expiry instant plus the budget it was minted from."""
+
+    __slots__ = ("expires_at", "budget_ms")
+
+    def __init__(self, expires_at: float, budget_ms: float) -> None:
+        self.expires_at = expires_at
+        self.budget_ms = budget_ms
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (must be positive)."""
+        if not seconds > 0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        return cls(time.monotonic() + seconds, seconds * 1000.0)
+
+    @classmethod
+    def from_header(cls, value: str) -> "Deadline":
+        """Parse an ``X-Deadline-Ms`` header value; raises ``ValueError``."""
+        try:
+            ms = int(str(value).strip())
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{DEADLINE_HEADER} must be an integer number of "
+                f"milliseconds, got {value!r}"
+            ) from None
+        if ms <= 0 or ms > MAX_DEADLINE_MS:
+            raise ValueError(
+                f"{DEADLINE_HEADER} must be in (0, {MAX_DEADLINE_MS}] "
+                f"milliseconds, got {ms}"
+            )
+        return cls.after(ms / 1000.0)
+
+    def header_value(self) -> str:
+        """The remaining budget as an ``X-Deadline-Ms`` value (>= 1 ms)."""
+        return str(max(1, int(self.remaining() * 1000.0)))
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, site: str, **progress: Any) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if time.monotonic() >= self.expires_at:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_ms:g} ms exceeded at {site}",
+                site=site,
+                budget_ms=self.budget_ms,
+                progress=progress,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(budget_ms={self.budget_ms:g}, "
+            f"remaining={self.remaining():.3f}s)"
+        )
+
+
+# One thread-local slot: a request handler activates its deadline and
+# every layer below reads it without plumbing.
+_current = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline active on this thread, or None."""
+    return getattr(_current, "deadline", None)
+
+
+@contextmanager
+def active_deadline(deadline: Deadline | None) -> Iterator[None]:
+    """Run a block with ``deadline`` active thread-locally (None = no-op).
+
+    The previous value is restored on exit, so nested scopes (a traced
+    request calling into a helper that sets its own budget) unwind
+    correctly and pooled threads never leak one request's deadline into
+    the next.
+    """
+    previous = getattr(_current, "deadline", None)
+    _current.deadline = deadline if deadline is not None else previous
+    try:
+        yield
+    finally:
+        _current.deadline = previous
+
+
+def checkpoint(site: str, **progress: Any) -> None:
+    """Check the thread's active deadline, if any (else a no-op)."""
+    deadline = getattr(_current, "deadline", None)
+    if deadline is not None:
+        deadline.check(site, **progress)

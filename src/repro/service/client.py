@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import random
 import time
+import uuid
 from typing import Any, Iterator
 from urllib import error as urllib_error
 from urllib import request as urllib_request
@@ -36,6 +37,7 @@ from ..explore.engine import EvaluationStats
 from ..explore.scenario import Scenario
 from ..jobs.handle import AsyncResult
 from ..jobs.manager import JobTimeout
+from ..resilience import DEADLINE_HEADER
 from ..study import Record, ResultSet, Study
 from .server import JSON_CONTENT_TYPE, NDJSON_CONTENT_TYPE, ServiceError
 
@@ -51,17 +53,44 @@ DEFAULT_BACKOFF_MAX = 8.0
 STREAM_THRESHOLD = 512
 
 
-def _error_from_response(status: int, body: bytes) -> ServiceError:
+def _parse_retry_after(headers: Any) -> float | None:
+    """The ``Retry-After`` header as seconds, or ``None``.
+
+    Only the delta-seconds form is parsed (the server emits that); the
+    HTTP-date form — or garbage — degrades to ``None`` and the normal
+    backoff schedule applies.
+    """
+    if headers is None:
+        return None
+    raw = headers.get("Retry-After")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        return None
+    return value if value >= 0 else None
+
+
+def _error_from_response(
+    status: int, body: bytes, headers: Any = None
+) -> ServiceError:
+    retry_after = _parse_retry_after(headers)
     try:
         payload = json.loads(body.decode("utf-8"))["error"]
         return ServiceError(
             int(payload.get("status", status)),
             str(payload.get("type", "unknown")),
             str(payload.get("message", "")),
+            retry_after=retry_after,
+            details=payload.get("details"),
         )
     except (ValueError, KeyError, TypeError, UnicodeDecodeError):
         return ServiceError(
-            status, "unknown", body.decode("utf-8", "replace")[:500]
+            status,
+            "unknown",
+            body.decode("utf-8", "replace")[:500],
+            retry_after=retry_after,
         )
 
 
@@ -70,9 +99,15 @@ class ServiceClient:
 
     ``retries`` (default 0 = off, so tests and fail-fast callers see
     errors immediately) bounds how many times a request is re-sent
-    after a connection error or a 503, sleeping an exponentially
-    growing backoff with full jitter between attempts.  Enable it for
-    poll-style workloads (``retries=5`` rides out a worker restart).
+    after a connection error, a 503, or an admission-shed 429,
+    sleeping an exponentially growing backoff with full jitter between
+    attempts — unless the server named a ``Retry-After``, which is
+    honoured instead.  Enable it for poll-style workloads
+    (``retries=5`` rides out a worker restart).
+
+    ``timeout`` doubles as the end-to-end deadline: every request
+    carries it as ``X-Deadline-Ms`` so the server stops working (and
+    answers a structured 504) once the client would have hung up.
     """
 
     def __init__(
@@ -113,11 +148,22 @@ class ServiceClient:
             "X-Request-Id": context.request_id,
         }
 
+    def _deadline_header(self) -> dict[str, str]:
+        """The request's deadline budget, as the server-side header.
+
+        The client-side socket timeout and the server-side cooperative
+        deadline carry the same number, so the server gives up (with a
+        structured 504) at the same moment the client would.
+        """
+        return {DEADLINE_HEADER: str(max(1, int(self.timeout * 1000)))}
+
     def _open_once(self, request: urllib_request.Request):
         try:
             return urllib_request.urlopen(request, timeout=self.timeout)
         except urllib_error.HTTPError as error:
-            raise _error_from_response(error.code, error.read()) from None
+            raise _error_from_response(
+                error.code, error.read(), error.headers
+            ) from None
         except urllib_error.URLError as error:
             raise ServiceError(
                 503, "unreachable", f"cannot reach {self.base_url}: {error.reason}"
@@ -129,12 +175,19 @@ class ServiceClient:
             try:
                 return self._open_once(request)
             except ServiceError as error:
-                # Connection failures surface as status 503 ("unreachable")
-                # and an overloaded/restarting server answers 503 itself —
-                # both are the transient class retries exist for.
-                if error.status != 503 or attempt >= self.retries:
+                # Connection failures surface as status 503 ("unreachable"),
+                # an overloaded/restarting server answers 503 itself, and a
+                # full admission queue sheds with 429 — all the transient
+                # class retries exist for.
+                if error.status not in (429, 503) or attempt >= self.retries:
                     raise
-            self._sleep(delay * (1.0 + self._random()))
+                retry_after = error.retry_after
+            if retry_after is not None:
+                # The server said exactly when to come back; honour it
+                # (jitter on top avoids a shed herd returning in lockstep).
+                self._sleep(retry_after * (1.0 + 0.1 * self._random()))
+            else:
+                self._sleep(delay * (1.0 + self._random()))
             delay = min(delay * 2.0, self.backoff_max)
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -144,11 +197,15 @@ class ServiceClient:
         path: str,
         payload: dict[str, Any] | None = None,
         ndjson: bool = False,
+        extra_headers: dict[str, str] | None = None,
     ) -> Any:
         headers = {
             "Accept": NDJSON_CONTENT_TYPE if ndjson else JSON_CONTENT_TYPE,
             **self._trace_headers(),
+            **self._deadline_header(),
         }
+        if extra_headers:
+            headers.update(extra_headers)
         body = None
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
@@ -197,7 +254,8 @@ class ServiceClient:
     def metrics_text(self) -> str:
         """``/v1/metrics`` in the Prometheus text exposition format."""
         request = urllib_request.Request(
-            self.base_url + "/v1/metrics", headers=self._trace_headers()
+            self.base_url + "/v1/metrics",
+            headers={**self._trace_headers(), **self._deadline_header()},
         )
         with self._open(request) as response:
             return response.read().decode("utf-8")
@@ -295,6 +353,10 @@ class ServiceClient:
         The handle's ``wait()``/``result()``/``cancel()`` poll this
         client, so it behaves exactly like the one ``Study.submit()``
         returns for a local manager.
+
+        Every submit mints a fresh ``Idempotency-Key``, so a retried
+        POST (the response was lost, the retry loop re-sent it) maps to
+        the job the first attempt created instead of enqueuing a twin.
         """
         payload: dict[str, Any] = {
             "scenario": scenario.to_dict(),
@@ -304,7 +366,12 @@ class ServiceClient:
             payload["options"] = options
         if shards is not None:
             payload["shards"] = shards
-        response = self._post("/v1/jobs", payload)
+        response = self._request(
+            "POST",
+            "/v1/jobs",
+            payload,
+            extra_headers={"Idempotency-Key": uuid.uuid4().hex},
+        )
         return AsyncResult(self, str(response["job"]["id"]))
 
     def job(self, job_id: str) -> dict[str, Any]:
@@ -371,6 +438,7 @@ class ServiceClient:
             headers={
                 "Accept": NDJSON_CONTENT_TYPE,
                 **self._trace_headers(),
+                **self._deadline_header(),
             },
         )
         with self._open(request) as response:
@@ -465,4 +533,5 @@ def _resultset_from_payload(
         cache_hit=bool(cache.get("hit", False)),
         cache_key=str(cache.get("key", "")),
         cache_path=None,
+        partial=bool(header.get("partial", False)),
     )

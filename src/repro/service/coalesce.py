@@ -18,6 +18,7 @@ import threading
 from typing import Any, Callable, TypeVar
 
 from .. import obs
+from ..resilience import current_deadline
 
 __all__ = ["Coalescer"]
 
@@ -66,7 +67,14 @@ class Coalescer:
         obs.inc("coalescer.leaders" if leader else "coalescer.merged")
 
         if not leader:
-            flight.done.wait()
+            # A waiter with a deadline must not outwait its own budget
+            # just because the leader's request had a bigger one.
+            deadline = current_deadline()
+            while True:
+                timeout = None if deadline is None else deadline.remaining()
+                if flight.done.wait(timeout):
+                    break
+                deadline.check("coalesce.wait")
             if flight.error is not None:
                 raise flight.error
             return flight.result, True

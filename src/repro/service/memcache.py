@@ -95,6 +95,11 @@ class MemoryCache:
         if evicted:
             obs.inc("cache.memory.evictions", evicted)
 
+    def drop(self, key: str) -> bool:
+        """Forget one entry (used when a payload proves corrupt)."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def clear(self) -> int:
         """Drop every entry (counters survive); returns the number dropped."""
         with self._lock:
@@ -192,6 +197,16 @@ class TieredCache:
         path = self.disk.put(key, payload)
         self.memory.put(self._memory_key(key), payload)
         return path
+
+    def quarantine(self, key: str) -> bool:
+        """Drop the key from memory and move the disk entry aside.
+
+        Memory first: a semantically corrupt payload may already have
+        been promoted, and quarantining only the file would keep serving
+        it from the warm tier.
+        """
+        self.memory.drop(self._memory_key(key))
+        return self.disk.quarantine(key)
 
     def entries(self) -> list[Path]:
         return self.disk.entries()

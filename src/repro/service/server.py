@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import threading
 import time
 import uuid
@@ -70,6 +71,19 @@ from typing import Any, Callable, Iterator
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__, obs
+from ..resilience import (
+    DEADLINE_HEADER,
+    AdmissionController,
+    AdmissionRejected,
+    Deadline,
+    DeadlineExceeded,
+    FAULTS_ENV,
+    FaultPlan,
+    active_deadline,
+    faults,
+    install_faults,
+    uninstall_faults,
+)
 from ..explore.cache import content_hash
 from ..explore.columnar import ResultRows
 from ..explore.engine import cache_key_payload
@@ -112,21 +126,39 @@ JSON_CONTENT_TYPE = "application/json"
 
 
 class ServiceError(Exception):
-    """A request failure with an HTTP status and a machine-readable type."""
+    """A request failure with an HTTP status and a machine-readable type.
 
-    def __init__(self, status: int, kind: str, message: str) -> None:
+    ``retry_after`` (seconds) becomes a ``Retry-After`` response header
+    — shed/overload errors carry it so clients back off intelligently.
+    ``details`` is an optional structured payload (partial progress on a
+    504, shed reason on a 429/503).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        retry_after: float | None = None,
+        details: dict[str, Any] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.kind = kind
+        self.retry_after = retry_after
+        self.details = details
 
     def to_payload(self) -> dict[str, Any]:
-        return {
-            "error": {
-                "status": self.status,
-                "type": self.kind,
-                "message": str(self),
-            }
+        error: dict[str, Any] = {
+            "status": self.status,
+            "type": self.kind,
+            "message": str(self),
         }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
 
 
 @dataclass(frozen=True)
@@ -156,6 +188,23 @@ class ServiceConfig:
     #: Requests at least this slow emit a structured ``slow_request``
     #: log line (seconds; None disables the slow log).
     slow_request_seconds: float | None = 1.0
+    #: Admission queue depth beyond the worker pool: up to ``workers +
+    #: admission_queue`` heavy requests are admitted concurrently; the
+    #: next is shed with 429 + Retry-After instead of queueing blind.
+    admission_queue: int = 16
+    #: Optional cost budget: total points across admitted heavy requests
+    #: (a lone request of any size always passes; None disables).
+    admission_points: int | None = None
+    #: The Retry-After hint (seconds) on shed responses.
+    retry_after_seconds: float = 1.0
+    #: Extra attempts a failed job shard gets before being poisoned.
+    shard_retries: int = 1
+    #: Job watchdog: with no shard finishing for this long, in-flight
+    #: shards are presumed hung and re-queued (None disables).
+    shard_timeout: float | None = None
+    #: Fault-injection spec (``repro serve --faults``); empty/None falls
+    #: back to ``$REPRO_FAULTS``; both empty leaves injection off.
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -166,6 +215,32 @@ class ServiceConfig:
             raise ValueError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
+        if self.admission_queue < 0:
+            raise ValueError(
+                f"admission_queue must be >= 0, got {self.admission_queue}"
+            )
+        if self.admission_points is not None and self.admission_points < 1:
+            raise ValueError(
+                "admission_points must be >= 1 or None, "
+                f"got {self.admission_points}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ValueError(
+                "retry_after_seconds must be positive, "
+                f"got {self.retry_after_seconds}"
+            )
+        if self.shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                "shard_timeout must be positive or None, "
+                f"got {self.shard_timeout}"
+            )
+        if self.faults:
+            # Fail at configure time, not on the first injected call.
+            FaultPlan.parse(self.faults)
 
 
 #: Signature of the pluggable evaluation hook: scenario + solve policy
@@ -211,8 +286,26 @@ class ServiceState:
             use_cache=self.config.use_cache,
             coalescer=self.coalescer,
             trace_store=self.traces,
+            max_shard_retries=self.config.shard_retries,
+            shard_timeout=self.config.shard_timeout,
         )
         self.work_semaphore = threading.BoundedSemaphore(self.config.workers)
+        # Heavy requests (explore/optimize) pass this gate before the
+        # worker semaphore: up to workers + admission_queue admitted,
+        # the rest shed fast with Retry-After.
+        self.admission = AdmissionController(
+            limit=self.config.workers + self.config.admission_queue,
+            max_points=self.config.admission_points,
+            retry_after=self.config.retry_after_seconds,
+        )
+        # Arm fault injection from config or environment (tests and
+        # chaos CI); production leaves both empty and pays nothing.
+        self._faults_installed = False
+        spec = self.config.faults or os.environ.get(FAULTS_ENV, "")
+        if spec:
+            install_faults(FaultPlan.parse(spec))
+            self._faults_installed = True
+            logger.warning("fault injection armed: %s", spec)
         # Two clocks on purpose: the wall clock says *when* the service
         # started (for humans and log correlation); the monotonic clock
         # measures uptime, immune to NTP steps and DST.
@@ -224,8 +317,16 @@ class ServiceState:
         self.requests = 0
         self.errors = 0
         self.engine_runs = 0
+        self.deadline_breaches = 0
         if self.evaluate is None:
             self.evaluate = self._evaluate_study
+
+    def close(self) -> None:
+        """Release owned resources (the job manager, armed faults)."""
+        self.jobs.close()
+        if self._faults_installed:
+            uninstall_faults()
+            self._faults_installed = False
 
     # -- counters ------------------------------------------------------------
     def count_request(self) -> None:
@@ -239,6 +340,10 @@ class ServiceState:
     def count_engine_run(self) -> None:
         with self._counters_lock:
             self.engine_runs += 1
+
+    def count_deadline_breach(self) -> None:
+        with self._counters_lock:
+            self.deadline_breaches += 1
 
     # -- evaluation ----------------------------------------------------------
     def _evaluate_study(
@@ -273,8 +378,9 @@ class ServiceState:
         )
 
         def produce() -> ResultSet:
-            with self.work_semaphore:
-                result = self.evaluate(scenario, solver, jobs, options)
+            with self.admission.admit(cost=scenario.size):
+                with self.work_semaphore:
+                    result = self.evaluate(scenario, solver, jobs, options)
             if not result.cache_hit:
                 self.count_engine_run()
             return result
@@ -290,15 +396,19 @@ class ServiceState:
     # -- introspection payloads ---------------------------------------------
     def healthz_payload(self) -> dict[str, Any]:
         with self._counters_lock:
-            requests, errors, engine_runs = (
+            requests, errors, engine_runs, deadline_breaches = (
                 self.requests,
                 self.errors,
                 self.engine_runs,
+                self.deadline_breaches,
             )
         return {
             "status": "ok",
             "service": "repro",
             "version": __version__,
+            "admission": self.admission.snapshot(),
+            "deadline_breaches": deadline_breaches,
+            "faults_armed": self._faults_installed,
             "started_at": round(self.started_at, 3),
             "uptime_seconds": round(
                 time.monotonic() - self.started_monotonic, 3
@@ -335,6 +445,10 @@ class ServiceState:
         obs.set_gauge("cache.memory.entries", len(self.cache.memory))
         obs.set_gauge("coalescer.in_flight", self.coalescer.in_flight)
         obs.set_gauge("jobs.queue_depth", self.jobs.queue_depth)
+        obs.set_gauge("admission.depth", self.admission.depth)
+        with self._counters_lock:
+            breaches = self.deadline_breaches
+        obs.set_gauge("deadline.breached", breaches)
 
 
 # ---------------------------------------------------------------------------
@@ -435,6 +549,8 @@ def _header_payload(result: ResultSet, coalesced: bool) -> dict[str, Any]:
         "coalesced": coalesced,
         "cache": {"hit": result.cache_hit, "key": result.cache_key},
     }
+    if result.partial:
+        payload["partial"] = True
     if result.scenario is not None:
         payload["scenario"] = result.scenario.to_dict()
     if result.stats is not None:
@@ -548,6 +664,7 @@ class _Handler(BaseHTTPRequestHandler):
             route = self._match_jobs_route() or self._match_traces_route()
         self._begin_trace()
         try:
+            deadline = self._parse_deadline()
             if route is None:
                 known = "/v1/healthz, /v1/solvers, /v1/architectures, " \
                     "/v1/catalog, /v1/cache/stats, /v1/metrics, " \
@@ -560,36 +677,61 @@ class _Handler(BaseHTTPRequestHandler):
                     "not-found",
                     f"no route {self.command} {split.path}; known: {known}",
                 )
-            route()
+            # The client's budget becomes this thread's cooperative
+            # deadline for the whole route: the engine's chunk checks,
+            # the coalescer's waiter path and anything else below reads
+            # it thread-locally.
+            with active_deadline(deadline):
+                route()
+        except DeadlineExceeded as error:
+            state.count_error()
+            state.count_deadline_breach()
+            obs.inc("deadline.breaches", route=self._route_label)
+            self._send_error(
+                ServiceError(
+                    504,
+                    "deadline-exceeded",
+                    f"request deadline exceeded at {error.site or '?'}: "
+                    f"{error}",
+                    details={
+                        "site": error.site,
+                        "budget_ms": error.budget_ms,
+                        "progress": error.progress,
+                    },
+                )
+            )
+        except AdmissionRejected as error:
+            state.count_error()
+            self._send_error(
+                ServiceError(
+                    error.status,
+                    "admission-shed",
+                    str(error),
+                    retry_after=error.retry_after,
+                    details={
+                        "reason": error.reason,
+                        "depth": error.depth,
+                    },
+                )
+            )
         except JobNotFound as error:
             state.count_error()
-            self._send_json(
-                404,
-                self._error_payload(
-                    ServiceError(404, "job-not-found", str(error))
-                ),
-            )
+            self._send_error(ServiceError(404, "job-not-found", str(error)))
         except JobStateError as error:
             state.count_error()
-            self._send_json(
-                409,
-                self._error_payload(ServiceError(409, "job-state", str(error))),
-            )
+            self._send_error(ServiceError(409, "job-state", str(error)))
         except ServiceError as error:
             state.count_error()
-            self._send_json(error.status, self._error_payload(error))
+            self._send_error(error)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass
         except Exception as error:  # noqa: BLE001 — the 5xx boundary
             state.count_error()
             logger.exception("internal error on %s %s", self.command, self.path)
-            self._send_json(
-                500,
-                self._error_payload(
-                    ServiceError(
-                        500, "internal", f"{type(error).__name__}: {error}"
-                    )
-                ),
+            self._send_error(
+                ServiceError(
+                    500, "internal", f"{type(error).__name__}: {error}"
+                )
             )
         finally:
             self._finish_trace()
@@ -598,6 +740,24 @@ class _Handler(BaseHTTPRequestHandler):
         payload = error.to_payload()
         payload["error"]["request_id"] = self._request_id
         return payload
+
+    def _send_error(self, error: ServiceError) -> None:
+        headers: dict[str, str] = {}
+        if error.retry_after is not None:
+            headers["Retry-After"] = f"{error.retry_after:g}"
+        self._send_json(
+            error.status, self._error_payload(error), headers=headers
+        )
+
+    def _parse_deadline(self) -> Deadline | None:
+        """The request's ``X-Deadline-Ms`` budget, or None when absent."""
+        header = self.headers.get(DEADLINE_HEADER)
+        if not header:
+            return None
+        try:
+            return Deadline.from_header(header)
+        except ValueError as error:
+            raise ServiceError(400, "bad-deadline", str(error)) from None
 
     # -- tracing --------------------------------------------------------------
     def _begin_trace(self) -> None:
@@ -904,11 +1064,47 @@ class _Handler(BaseHTTPRequestHandler):
                 "bad-shards",
                 f"'shards' must be a positive integer, got {shards!r}",
             )
-        record = self.server.state.jobs.submit(
-            scenario, solver=solver, options=options, shards=shards
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, int)
+            or isinstance(deadline_ms, bool)
+            or deadline_ms < 1
+        ):
+            raise ServiceError(
+                400,
+                "bad-deadline",
+                "'deadline_ms' must be a positive integer number of "
+                f"milliseconds, got {deadline_ms!r}",
+            )
+        idempotency_key = (self.headers.get("Idempotency-Key") or "").strip()
+        if len(idempotency_key) > 128:
+            raise ServiceError(
+                400,
+                "bad-idempotency-key",
+                "Idempotency-Key must be at most 128 characters",
+            )
+        jobs = self.server.state.jobs
+        reused = bool(
+            idempotency_key
+            and jobs.store.find_by_idempotency_key(idempotency_key)
+            is not None
         )
-        self._note = f"job {record.id} queued ({scenario.size} candidates)"
-        self._send_json(202, {"job": record.to_payload()})
+        record = jobs.submit(
+            scenario,
+            solver=solver,
+            options=options,
+            shards=shards,
+            idempotency_key=idempotency_key,
+            deadline_ms=deadline_ms,
+        )
+        self._note = (
+            f"job {record.id} "
+            + ("deduplicated" if reused else "queued")
+            + f" ({scenario.size} candidates)"
+        )
+        self._send_json(
+            202, {"job": record.to_payload(), "deduplicated": reused}
+        )
 
     def _route_job_status(self, job_id: str) -> None:
         self._send_json(200, {"job": self.server.state.jobs.job(job_id)})
@@ -994,11 +1190,22 @@ class _Handler(BaseHTTPRequestHandler):
         if context is not None:
             self.send_header("X-Trace-Id", context.trace_id)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        if status < 400:
+            # Injectable response failure — success paths only, so the
+            # error handler sending the resulting 500 cannot re-fire it.
+            faults.check("http.response")
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", JSON_CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self._send_trace_headers()
         self.end_headers()
         self.wfile.write(body)
@@ -1015,6 +1222,9 @@ class _Handler(BaseHTTPRequestHandler):
         self._log_request(status, len(body))
 
     def _send_ndjson(self, lines: "Iterator[str]") -> None:
+        # Injected before the status line goes out, so a response fault
+        # still surfaces as a structured 500 rather than a torn stream.
+        faults.check("http.response")
         self.send_response(200)
         self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
         self._send_trace_headers()
@@ -1086,8 +1296,9 @@ class ExplorationServer(ThreadingHTTPServer):
 
     def server_close(self) -> None:
         # Stop the job dispatcher + shard pool with the listener; queued
-        # jobs stay persisted and re-queue on the next start.
-        self.state.jobs.close()
+        # jobs stay persisted and re-queue on the next start.  Also
+        # disarms any fault plan this server installed.
+        self.state.close()
         super().server_close()
 
     def start_background(self) -> threading.Thread:

@@ -89,6 +89,9 @@ class ResultSet:
     cache_hit: bool = False
     cache_key: str = ""
     cache_path: Path | None = None
+    #: True when the set covers only the shards of a job that survived
+    #: (some shards were poisoned); rows present are still exact.
+    partial: bool = False
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:

@@ -69,6 +69,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         assert cache.stats() == {
             "directory": str(tmp_path), "entries": 0, "total_bytes": 0,
+            "quarantined": 0,
         }
         cache.put("one", {"v": 1})
         cache.put("two", {"v": 2})

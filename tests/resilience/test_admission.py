@@ -1,0 +1,94 @@
+"""Admission control: depth and cost shedding, never blocking."""
+
+import pytest
+
+from repro.resilience import AdmissionController, AdmissionRejected
+
+
+class TestValidation:
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="limit"):
+            AdmissionController(limit=0)
+
+    def test_max_points_must_be_positive_or_none(self):
+        with pytest.raises(ValueError, match="max_points"):
+            AdmissionController(limit=1, max_points=0)
+        AdmissionController(limit=1, max_points=None)  # fine
+
+    def test_retry_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="retry_after"):
+            AdmissionController(limit=1, retry_after=0)
+
+
+class TestDepthShedding:
+    def test_admits_up_to_limit_then_sheds_429(self):
+        gate = AdmissionController(limit=2, retry_after=0.5)
+        with gate.admit():
+            with gate.admit():
+                assert gate.depth == 2
+                with pytest.raises(AdmissionRejected) as excinfo:
+                    with gate.admit():
+                        pass  # pragma: no cover
+                error = excinfo.value
+                assert error.status == 429
+                assert error.reason == "queue-full"
+                assert error.retry_after == 0.5
+                assert error.depth == 2
+
+    def test_slot_released_on_exit_even_after_error(self):
+        gate = AdmissionController(limit=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            with gate.admit():
+                raise RuntimeError("boom")
+        assert gate.depth == 0
+        with gate.admit():  # admits again — the slot was released
+            assert gate.depth == 1
+
+
+class TestCostShedding:
+    def test_idle_server_always_admits_whatever_the_cost(self):
+        gate = AdmissionController(limit=4, max_points=100)
+        with gate.admit(cost=10_000):
+            assert gate.depth == 1
+
+    def test_busy_server_sheds_over_budget_with_503(self):
+        gate = AdmissionController(limit=4, max_points=100)
+        with gate.admit(cost=80):
+            with pytest.raises(AdmissionRejected) as excinfo:
+                with gate.admit(cost=50):
+                    pass  # pragma: no cover
+            error = excinfo.value
+            assert error.status == 503
+            assert error.reason == "cost-budget"
+
+    def test_within_budget_admits_alongside(self):
+        gate = AdmissionController(limit=4, max_points=100)
+        with gate.admit(cost=80):
+            with gate.admit(cost=20):
+                assert gate.snapshot()["points_in_flight"] == 100
+
+    def test_no_max_points_means_no_cost_shedding(self):
+        gate = AdmissionController(limit=4)
+        with gate.admit(cost=10**9):
+            with gate.admit(cost=10**9):
+                assert gate.depth == 2
+
+
+class TestSnapshot:
+    def test_counts_accepts_and_sheds(self):
+        gate = AdmissionController(limit=1, retry_after=2.0)
+        with gate.admit():
+            for _ in range(3):
+                with pytest.raises(AdmissionRejected):
+                    with gate.admit():
+                        pass  # pragma: no cover
+        snap = gate.snapshot()
+        assert snap == {
+            "limit": 1,
+            "max_points": None,
+            "depth": 0,
+            "points_in_flight": 0,
+            "accepted": 1,
+            "shed": 3,
+            "retry_after_seconds": 2.0,
+        }

@@ -1,0 +1,116 @@
+"""Cooperative deadlines: header parsing, checks, thread-local scope."""
+
+import threading
+
+import pytest
+
+from repro.resilience import (
+    DEADLINE_HEADER,
+    Deadline,
+    DeadlineExceeded,
+    active_deadline,
+    checkpoint,
+    current_deadline,
+)
+from repro.resilience.deadline import MAX_DEADLINE_MS
+
+
+class TestDeadline:
+    def test_after_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            Deadline.after(0)
+        with pytest.raises(ValueError, match="positive"):
+            Deadline.after(-1.0)
+
+    def test_fresh_deadline_has_budget_left(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired
+        assert 0 < deadline.remaining() <= 60.0
+        assert deadline.budget_ms == 60_000.0
+        deadline.check("site")  # no raise
+
+    def test_expired_check_raises_with_site_and_progress(self):
+        deadline = Deadline.after(1e-9)
+        while not deadline.expired:
+            pass
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("engine.kernel", rows_done=7, rows_total=100)
+        error = excinfo.value
+        assert error.site == "engine.kernel"
+        assert error.budget_ms == pytest.approx(1e-6)
+        assert error.progress == {"rows_done": 7, "rows_total": 100}
+        assert "engine.kernel" in str(error)
+
+    def test_header_round_trip(self):
+        deadline = Deadline.from_header("2500")
+        assert 0 < deadline.remaining() <= 2.5
+        assert deadline.budget_ms == 2500.0
+        # header_value re-emits the *remaining* budget, clamped >= 1 ms.
+        assert 1 <= int(deadline.header_value()) <= 2500
+
+    @pytest.mark.parametrize(
+        "value", ["", "abc", "1.5", "0", "-10", str(MAX_DEADLINE_MS + 1)]
+    )
+    def test_bad_header_values_rejected(self, value):
+        with pytest.raises(ValueError, match=DEADLINE_HEADER):
+            Deadline.from_header(value)
+
+    def test_header_value_never_below_one_ms(self):
+        deadline = Deadline.after(1e-9)
+        while not deadline.expired:
+            pass
+        assert deadline.header_value() == "1"
+
+
+class TestThreadLocalScope:
+    def test_no_deadline_by_default(self):
+        assert current_deadline() is None
+        checkpoint("anywhere")  # no-op, no raise
+
+    def test_active_deadline_sets_and_restores(self):
+        deadline = Deadline.after(60.0)
+        assert current_deadline() is None
+        with active_deadline(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_inherits_enclosing_deadline(self):
+        outer = Deadline.after(60.0)
+        with active_deadline(outer):
+            with active_deadline(None):
+                assert current_deadline() is outer
+            assert current_deadline() is outer
+
+    def test_nested_deadline_shadows_then_unwinds(self):
+        outer = Deadline.after(60.0)
+        inner = Deadline.after(30.0)
+        with active_deadline(outer):
+            with active_deadline(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_restored_even_when_block_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with active_deadline(Deadline.after(60.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+    def test_deadline_is_per_thread(self):
+        seen = {}
+
+        def worker():
+            seen["other"] = current_deadline()
+
+        with active_deadline(Deadline.after(60.0)):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_checkpoint_raises_for_expired_active_deadline(self):
+        deadline = Deadline.after(1e-9)
+        while not deadline.expired:
+            pass
+        with active_deadline(deadline):
+            with pytest.raises(DeadlineExceeded):
+                checkpoint("loop", items=3)

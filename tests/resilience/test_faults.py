@@ -1,0 +1,157 @@
+"""The fault harness: spec grammar, determinism, zero overhead when off."""
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultSpecError,
+    injected_faults,
+    install_faults,
+    uninstall_faults,
+)
+from repro.resilience.faults import active, check, mangle
+
+
+class TestSpecGrammar:
+    def test_full_spec_parses(self):
+        plan = FaultPlan.parse(
+            "seed=1234; cache.read:p=0.5:corrupt; shard.run:n=3; "
+            "http.response:always; store.write:p=0.1:hang=0.05"
+        )
+        assert plan.seed == 1234
+        assert set(plan.rules) == {
+            "cache.read", "shard.run", "http.response", "store.write"
+        }
+        assert plan.rules["cache.read"].mode == "corrupt"
+        assert plan.rules["shard.run"].nth == 3
+        assert plan.rules["http.response"].always
+        assert plan.rules["store.write"].hang_seconds == 0.05
+
+    def test_default_seed_is_zero(self):
+        assert FaultPlan.parse("cache.read:always").seed == 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",                        # arms nothing
+            "seed=7",                  # seed alone arms nothing
+            "bogus.site:always",       # unknown site
+            "cache.read",              # missing trigger
+            "cache.read:p=1.5",        # probability out of range
+            "cache.read:p=0",          # probability must be > 0
+            "cache.read:n=0",          # call index is 1-based
+            "cache.read:maybe",        # unknown trigger
+            "cache.read:always:melt",  # unknown mode
+            "cache.read:always:hang=0",  # hang must be positive
+            "seed=x; cache.read:always",  # bad seed
+            "cache.read:always; cache.read:n=1",  # site armed twice
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_fault_spec_error_is_a_value_error(self):
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestDeterminism:
+    def test_same_seed_same_firing_sequence(self):
+        decisions = []
+        for _ in range(2):
+            plan = FaultPlan.parse("seed=99; cache.read:p=0.5")
+            decisions.append(
+                [plan.should_fire("cache.read") is not None for _ in range(64)]
+            )
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_different_seeds_differ(self):
+        sequences = []
+        for seed in (1, 2):
+            plan = FaultPlan.parse(f"seed={seed}; cache.read:p=0.5")
+            sequences.append(
+                [plan.should_fire("cache.read") is not None for _ in range(64)]
+            )
+        assert sequences[0] != sequences[1]
+
+    def test_sites_are_independent_streams(self):
+        # Exercising one site must not perturb another's decisions.
+        lone = FaultPlan.parse("seed=5; cache.read:p=0.5")
+        paired = FaultPlan.parse(
+            "seed=5; cache.read:p=0.5; store.write:p=0.5"
+        )
+        lone_seq = []
+        paired_seq = []
+        for _ in range(32):
+            lone_seq.append(lone.should_fire("cache.read") is not None)
+            paired.should_fire("store.write")  # interleave the other site
+            paired_seq.append(paired.should_fire("cache.read") is not None)
+        assert lone_seq == paired_seq
+
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan.parse("shard.run:n=3")
+        fired = [plan.should_fire("shard.run") is not None for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+        assert plan.calls("shard.run") == 6
+
+    def test_unarmed_site_never_fires_but_still_passes(self):
+        plan = FaultPlan.parse("cache.read:always")
+        assert plan.should_fire("store.write") is None
+
+
+class TestModuleSwitch:
+    def test_off_by_default(self):
+        assert not active()
+        check("cache.read")  # no-op
+        assert mangle("cache.read", "payload") == "payload"
+
+    def test_install_uninstall(self):
+        install_faults(FaultPlan.parse("cache.write:always"))
+        try:
+            assert active()
+            with pytest.raises(FaultError) as excinfo:
+                check("cache.write")
+            assert excinfo.value.site == "cache.write"
+        finally:
+            uninstall_faults()
+        assert not active()
+        check("cache.write")  # disarmed again
+
+    def test_injected_faults_scopes_and_restores(self):
+        with injected_faults("http.response:always") as plan:
+            assert active()
+            assert plan.rules["http.response"].always
+            with pytest.raises(FaultError):
+                check("http.response")
+        assert not active()
+
+    def test_injected_faults_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with injected_faults("http.response:always"):
+                raise RuntimeError("boom")
+        assert not active()
+
+    def test_corrupt_mangle_truncates_to_half(self):
+        with injected_faults("cache.read:always:corrupt"):
+            assert mangle("cache.read", "0123456789") == "01234"
+
+    def test_corrupt_at_pure_checkpoint_degrades_to_error(self):
+        with injected_faults("cache.write:always:corrupt"):
+            with pytest.raises(FaultError):
+                check("cache.write")
+
+    def test_hang_sleeps_then_continues(self):
+        with injected_faults("shard.run:always:hang=0.02"):
+            start = time.monotonic()
+            check("shard.run")  # returns — no exception
+            assert time.monotonic() - start >= 0.02
+
+    def test_every_declared_site_is_armable(self):
+        for site in FAULT_SITES:
+            plan = FaultPlan.parse(f"{site}:always")
+            assert plan.should_fire(site) is not None

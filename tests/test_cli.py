@@ -331,6 +331,7 @@ class TestCacheCommand:
         stats = json.loads(capsys.readouterr().out)
         assert stats["disk"] == {
             "directory": str(tmp_path), "entries": 0, "total_bytes": 0,
+            "quarantined": 0,
         }
         assert {"hits", "misses", "evictions", "entries"} <= set(
             stats["memory"]
